@@ -1,0 +1,40 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures at a reduced
+scale (the ``BENCH_COLUMNS`` evaluation-split size) and attaches the resulting
+rows to the pytest-benchmark record via ``benchmark.extra_info`` so the
+numbers appear in ``pytest-benchmark``'s JSON output.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Pass ``--bench-columns N`` to change the evaluation-split size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--bench-columns",
+        action="store",
+        type=int,
+        default=100,
+        help="evaluation columns per benchmark dataset (default 100)",
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_columns(request: pytest.FixtureRequest) -> int:
+    return int(request.config.getoption("--bench-columns"))
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark timing.
+
+    Experiment harnesses are deterministic and expensive relative to
+    micro-benchmarks, so a single round gives a representative wall-clock
+    figure without multiplying the suite's runtime.
+    """
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Figure 4 (context-sampling ablation)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.fig4_sampling import cells_as_rows, run_fig4
+
+
+def test_fig4_sampling_ablation(benchmark, bench_columns):
+    cells = run_once(
+        benchmark, run_fig4,
+        n_columns=2 * bench_columns, models=("t5", "ul2", "gpt"),
+    )
+    benchmark.extra_info["rows"] = cells_as_rows(cells)
+
+    by_pair = {(c.sampler, c.model): c.micro_f1 for c in cells}
+    models = ("t5", "ul2", "gpt")
+    # ArcheType's importance-weighted sampling beats SRS and first-k on
+    # average and never loses badly on any single architecture.
+    mean = lambda sampler: sum(by_pair[(sampler, m)] for m in models) / len(models)
+    assert mean("archetype") > mean("srs")
+    assert mean("archetype") > mean("firstk")
+    for model in models:
+        assert by_pair[("archetype", model)] >= by_pair[("srs", model)] - 3.0
+        assert by_pair[("archetype", model)] >= by_pair[("firstk", model)] - 3.0

@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Figure 5 (context size x label remapping)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.fig5_context_size import REMAPPERS, SAMPLE_SIZES, cells_as_rows, run_fig5
+
+
+def test_fig5_context_size_and_remapping(benchmark, bench_columns):
+    cells = run_once(benchmark, run_fig5, n_columns=2 * bench_columns)
+    benchmark.extra_info["rows"] = cells_as_rows(cells)
+
+    by_pair = {(c.remapper, c.sample_size): c.micro_f1 for c in cells}
+    # Every remapping strategy beats the no-op baseline at every context size.
+    for phi in SAMPLE_SIZES:
+        for remapper in ("similarity", "contains", "contains+resample"):
+            assert by_pair[(remapper, phi)] >= by_pair[("none", phi)] - 0.5
+    # CONTAINS+RESAMPLE is the best (or tied-best) strategy at every scale.
+    for phi in SAMPLE_SIZES:
+        best = max(by_pair[(r, phi)] for r in REMAPPERS)
+        assert by_pair[("contains+resample", phi)] >= best - 1.0
+    # Larger context helps on average (3 -> 10 samples).
+    mean = lambda phi: sum(by_pair[(r, phi)] for r in REMAPPERS) / len(REMAPPERS)
+    assert mean(10) >= mean(3) - 1.0

@@ -1,0 +1,29 @@
+"""Benchmark: regenerate Figure 6 (feature-selection ablation, ZS vs FT)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.fig6_features import FEATURE_SPECS, cells_as_rows, run_fig6
+
+
+def test_fig6_feature_selection(benchmark, bench_columns):
+    cells = run_once(
+        benchmark, run_fig6,
+        n_columns=bench_columns,
+        zero_shot_models=("ul2", "gpt"),
+        include_finetuned=True,
+        n_train_columns=3 * bench_columns,
+    )
+    benchmark.extra_info["rows"] = cells_as_rows(cells)
+
+    by_pair = {(c.method, c.features): c.micro_f1 for c in cells}
+    plain, full = FEATURE_SPECS[0], FEATURE_SPECS[-1]
+
+    # Zero-shot: adding table names, summary statistics and other columns to
+    # the prompt degrades accuracy (the paper's key negative finding).
+    for method in ("ArcheType-ZS-UL2", "ArcheType-ZS-GPT"):
+        assert by_pair[(method, plain)] > by_pair[(method, full)]
+
+    # Fine-tuned: the extended context does not hurt (in the paper it helps).
+    assert by_pair[("ArcheType-FT-LLAMA", full)] >= by_pair[("ArcheType-FT-LLAMA", plain)] - 3.0

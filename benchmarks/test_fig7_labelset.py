@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Figure 7 (label-set-size degradation)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.fig7_labelset import cells_as_rows, run_fig7
+
+
+def test_fig7_label_set_size(benchmark, bench_columns):
+    cells = run_once(
+        benchmark, run_fig7, n_columns=2 * bench_columns, models=("t5", "ul2", "gpt"),
+    )
+    benchmark.extra_info["rows"] = cells_as_rows(cells)
+
+    by_pair = {(c.model, c.label_set_size): c.micro_f1 for c in cells}
+    sizes = sorted({c.label_set_size for c in cells})
+    small, large = sizes[0], sizes[-1]
+    assert large == 91
+    # Every architecture loses a large fraction of its accuracy moving from
+    # the 27-class to the 91-class label set over the same columns.
+    for model in ("t5", "ul2", "gpt"):
+        assert by_pair[(model, small)] > by_pair[(model, large)] + 5.0

@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Table 1 (cost of CTA benchmarking with GPT)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.table1_cost import TABLE1_CONFIGURATIONS, run_table1
+
+
+def test_table1_cost(benchmark, bench_columns):
+    rows = run_once(benchmark, run_table1, n_columns=bench_columns)
+    benchmark.extra_info["rows"] = rows
+
+    assert len(rows) == len(TABLE1_CONFIGURATIONS)
+    by_key = {(r["Method"], r["# Smp."]): r for r in rows}
+    # Cost rises with per-column samples and explodes for 1000 samples.
+    assert (
+        by_key[("column", 3)]["App. USD Cost"]
+        < by_key[("column", 100)]["App. USD Cost"]
+        < by_key[("column", 1000)]["App. USD Cost"]
+    )
+    # Table-at-once prompts overflow small context windows far more often than
+    # column-at-once prompts with the same per-column sample count.
+    assert by_key[("table", 10)]["% >1k"] >= by_key[("column", 10)]["% >1k"]
+    # A 1000-sample column prompt essentially always exceeds 1k tokens.
+    assert by_key[("column", 1000)]["% >1k"] > 90.0

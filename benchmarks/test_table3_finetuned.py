@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Table 3 (fine-tuned CTA on SOTAB-91)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.table3_finetuned import run_table3
+
+
+def test_table3_finetuned(benchmark, bench_columns):
+    rows = run_once(
+        benchmark, run_table3,
+        n_columns=bench_columns, n_train_columns=4 * bench_columns,
+    )
+    benchmark.extra_info["rows"] = [r.as_dict() for r in rows]
+
+    by_name = {row.model_name: row.micro_f1 for row in rows}
+    assert set(by_name) == {"ArcheType-LLAMA+", "ArcheType-LLAMA", "DoDuo", "TURL"}
+    # Paper ordering: rules help ArcheType-LLAMA; DoDuo beats TURL; fine-tuned
+    # ArcheType is competitive with DoDuo despite seeing only 15 samples per
+    # column.
+    assert by_name["ArcheType-LLAMA+"] >= by_name["ArcheType-LLAMA"] - 1.0
+    assert by_name["DoDuo"] >= by_name["TURL"] - 2.0
+    assert abs(by_name["ArcheType-LLAMA"] - by_name["DoDuo"]) < 25.0

@@ -1,0 +1,29 @@
+"""Benchmark: regenerate Table 5 (established benchmarks: T2D, Efthymiou, VizNet)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.table5_established import run_table5
+
+
+def test_table5_established(benchmark, bench_columns):
+    rows = run_once(benchmark, run_table5, n_columns=bench_columns)
+    benchmark.extra_info["rows"] = [r.as_dict() for r in rows]
+
+    scores = {(row.dataset, row.method): row.score for row in rows}
+    datasets = {row.dataset for row in rows}
+    assert datasets == {"t2d", "efthymiou", "viznet-chorus"}
+
+    for dataset in datasets:
+        # Zero-shot ArcheType with the GPT-4 backbone is competitive with the
+        # best fine-tuned system (within 15 points at this scale; in the paper
+        # it wins T2D/Efthymiou outright).
+        best_finetuned = max(
+            scores[(dataset, name)] for name in ("TURL-FT", "DoDuo-FT", "Sherlock-FT")
+        )
+        assert scores[(dataset, "ArcheType-ZS-GPT4")] >= best_finetuned - 15.0
+        # ArcheType beats the CHORUS-style zero-shot baseline on its own backbone.
+        assert scores[(dataset, "ArcheType-ZS-GPT4")] >= scores[(dataset, "Chorus-ZS-GPT")] - 2.0
+        # GPT-4 backbone >= the small T5 backbone.
+        assert scores[(dataset, "ArcheType-ZS-GPT4")] >= scores[(dataset, "ArcheType-ZS-T5")] - 2.0

@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Table 6 (prompt-serialization ablation)."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.table6_prompts import best_prompt_per_model, cells_as_rows, run_table6
+
+
+def test_table6_prompt_ablation(benchmark, bench_columns):
+    cells = run_once(
+        benchmark, run_table6, n_columns=bench_columns, models=("t5", "ul2", "gpt"),
+    )
+    benchmark.extra_info["rows"] = cells_as_rows(cells)
+    benchmark.extra_info["best_prompt_per_model"] = best_prompt_per_model(cells)
+
+    assert len(cells) == 6 * 3
+    # Models are prompt sensitive: the spread across prompts is material.
+    for model in ("t5", "ul2", "gpt"):
+        scores = [c.micro_f1 for c in cells if c.model == model]
+        assert max(scores) - min(scores) > 1.0
+    # No prompt is a top-two performer on all three models (the paper's
+    # argument for treating prompt style as a hyperparameter).
+    top_two: dict[str, set[str]] = {}
+    for model in ("t5", "ul2", "gpt"):
+        ranked = sorted(
+            (c for c in cells if c.model == model), key=lambda c: -c.micro_f1
+        )
+        top_two[model] = {c.prompt for c in ranked[:2]}
+    universal = set.intersection(*top_two.values())
+    assert len(universal) <= 1

@@ -1,0 +1,81 @@
+"""Plugging a custom LLM backend into ArcheType.
+
+The pipeline only needs an object with ``generate(prompt) -> text``.  This
+example registers a tiny keyword-matching "model" under a custom name and runs
+the full four-stage pipeline (sampling, serialization, querying, remapping)
+through it — the same integration point a user with API access would use to
+connect a real hosted model.
+
+Run with::
+
+    python examples/custom_backend.py
+"""
+
+from __future__ import annotations
+
+from repro import ArcheType, ArcheTypeConfig, Column
+from repro.llm.base import GenerationParams, LanguageModel
+from repro.llm.prompt_parsing import parse_prompt
+from repro.llm.registry import get_model, register_model
+
+
+class KeywordModel(LanguageModel):
+    """A deliberately simple backend: score each option with a handful of
+    hand-written cues, and answer verbosely for even-sized contexts so the
+    label-remapping stage has something to do."""
+
+    name = "keyword-model"
+    context_window = 2048
+    architecture = "rule-based"
+
+    #: Cue predicates per label keyword.
+    CUES = {
+        "state": lambda v: v.istitle() and v.replace(" ", "").isalpha(),
+        "telephone": lambda v: sum(c.isdigit() for c in v) >= 7 and any(c in "()- +" for c in v),
+        "url": lambda v: v.startswith("http"),
+        "person": lambda v: v.istitle() and 2 <= len(v.split()) <= 3,
+    }
+
+    def generate(self, prompt: str, params: GenerationParams | None = None) -> str:
+        parsed = parse_prompt(prompt)
+        if not parsed.options:
+            return "unknown"
+
+        def score(option: str) -> float:
+            cue = self.CUES.get(option.lower().split()[0])
+            if cue is None:
+                return 0.0
+            return sum(1.0 for value in parsed.context_values if cue(value))
+
+        best = max(parsed.options, key=score)
+        if len(parsed.context_values) % 2 == 0:
+            return f"I think this column contains {best} values"
+        return best
+
+
+def main() -> None:
+    register_model("keyword-model", lambda seed: KeywordModel())
+    print("registered backends now include:", "keyword-model" in
+          __import__("repro.llm.registry", fromlist=["list_models"]).list_models())
+
+    annotator = ArcheType(
+        ArcheTypeConfig(
+            model=get_model("keyword-model"),
+            label_set=["state", "telephone", "url", "person"],
+            sample_size=4,
+            remapper="contains",
+        )
+    )
+    columns = {
+        "states": Column(["Alaska", "Colorado", "Kentucky", "Nevada"]),
+        "phones": Column(["(212) 555-0100", "646-555-0101", "718-555-0102"]),
+        "links": Column(["http://example.com/a", "http://example.org/b"]),
+    }
+    for name, column in columns.items():
+        result = annotator.annotate_column(column)
+        flag = " (remapped)" if result.remapped else ""
+        print(f"{name:8s} -> {result.label}{flag}   raw: {result.raw_response!r}")
+
+
+if __name__ == "__main__":
+    main()

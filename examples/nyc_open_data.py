@@ -1,0 +1,71 @@
+"""NYC Open Data scenario: domain-specific, long-tail semantic types.
+
+The paper motivates LLM-CTA with NYC Open Data: its columns carry city-specific
+types (public schools, agencies, boroughs, borough neighbourhoods) that no
+pre-trained closed-set model covers.  This example annotates a synthetic slice
+of the D4-20 benchmark with ArcheType and with the two zero-shot baselines,
+then prints the per-class accuracy so the difference on NYC-specific classes
+is visible.
+
+Run with::
+
+    python examples/nyc_open_data.py [--columns 150]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.baselines.llm_baselines import (
+    build_archetype_method,
+    build_c_baseline,
+    build_k_baseline,
+)
+from repro.datasets import load_benchmark
+from repro.eval import ExperimentRunner
+from repro.eval.reporting import format_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--columns", type=int, default=150)
+    parser.add_argument("--model", default="gpt", help="simulated backbone to use")
+    args = parser.parse_args()
+
+    benchmark = load_benchmark("d4-20", n_columns=args.columns, seed=0)
+    runner = ExperimentRunner()
+
+    methods = {
+        "ArcheType": build_archetype_method(benchmark, model=args.model, use_rules=True),
+        "C-Baseline": build_c_baseline(benchmark, model=args.model),
+        "K-Baseline": build_k_baseline(benchmark, model=args.model),
+    }
+
+    results = {
+        name: runner.evaluate(annotator, benchmark, name)
+        for name, annotator in methods.items()
+    }
+
+    print(format_table(
+        [result.summary_row() for result in results.values()],
+        title=f"NYC Open Data (D4-20), {args.columns} columns, backbone={args.model}",
+    ))
+
+    # Per-class view for the NYC-specific types the introduction highlights.
+    nyc_classes = [
+        "school name", "nyc agency name", "abbreviation of agency", "borough",
+        "region in bronx", "region in brooklyn", "region in manhattan",
+        "region in queens", "region in staten island",
+    ]
+    rows = []
+    for label in nyc_classes:
+        row: dict[str, object] = {"class": label}
+        for name, result in results.items():
+            row[name] = round(result.report.per_class_accuracy.get(label, 0.0), 2)
+        rows.append(row)
+    print()
+    print(format_table(rows, title="Per-class accuracy on NYC-specific types"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""PubChem scenario: chemistry-domain annotation with rule-based remapping.
+
+PubchemTables probes specialist world knowledge: SMILES strings, InChI
+identifiers, molecular formulas, diseases, taxonomy labels.  This example
+shows the two practical levers the paper recommends for such domains:
+
+* rule-based remapping ("+"): regex-solvable classes (ISSN, ISBN, MD5, InChI,
+  molecular formula) are assigned directly, saving LLM queries;
+* the numeric-label restriction and CONTAINS+RESAMPLE remapping for the rest.
+
+Run with::
+
+    python examples/pubchem_annotation.py [--columns 150]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.baselines.llm_baselines import build_archetype_method
+from repro.datasets import load_benchmark
+from repro.eval import ExperimentRunner
+from repro.eval.reporting import format_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--columns", type=int, default=150)
+    parser.add_argument("--model", default="t5")
+    args = parser.parse_args()
+
+    benchmark = load_benchmark("pubchem-20", n_columns=args.columns, seed=0)
+    runner = ExperimentRunner()
+
+    with_rules = runner.evaluate(
+        build_archetype_method(benchmark, model=args.model, use_rules=True),
+        benchmark, "ArcheType+ (rules)",
+    )
+    without_rules = runner.evaluate(
+        build_archetype_method(benchmark, model=args.model, use_rules=False),
+        benchmark, "ArcheType (no rules)",
+    )
+
+    print(format_table(
+        [with_rules.summary_row(), without_rules.summary_row()],
+        title=f"PubchemTables, {args.columns} columns, backbone={args.model}",
+    ))
+    saved = with_rules.n_rule_applied
+    print(
+        f"\nRule-based remapping answered {saved} of {len(benchmark.columns)} "
+        f"columns without querying the LLM "
+        f"({100.0 * saved / len(benchmark.columns):.0f}% of queries saved)."
+    )
+
+    hard_classes = ["biological formula", "book title", "chemical",
+                    "smiles (simplified molecular input line entry system)"]
+    rows = []
+    for label in hard_classes:
+        rows.append({
+            "class": label,
+            "accuracy": round(with_rules.report.per_class_accuracy.get(label, 0.0), 2),
+            "confused with": ", ".join(with_rules.confusion.confused_classes(label)),
+        })
+    print()
+    print(format_table(rows, title="Hard chemistry classes (Table 11's failure modes)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Quickstart: annotate the columns of a small table with ArcheType.
+
+This mirrors the running example of the paper (Figure 1): a column of US
+state names is classified against a user-defined label set, fully zero-shot.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import ArcheType, ArcheTypeConfig, Column, Table
+
+#: The label set is chosen at inference time — nothing is trained.
+LABEL_SET = [
+    "Newspaper or Publication",
+    "Numeric Identifier",
+    "Town",
+    "State",
+    "Headline",
+    "Author Byline",
+    "Article",
+]
+
+
+def main() -> None:
+    table = Table.from_columns(
+        [
+            ["Alaska", "Colorado", "Kentucky", "Arizona", "Nevada", "New Jersey"],
+            ["The Nome nugget.", "The Arizona champion.", "The evening world.",
+             "Omaha daily bee.", "The Seattle star.", "Norwich bulletin."],
+            ["WHEAT PRICES RISE SHARPLY", "RAILROAD EXTENSION ANNOUNCED",
+             "NEW SCHOOLHOUSE OPENS MONDAY", "FLOOD WATERS BEGIN TO RECEDE",
+             "MINERS REACH WAGE AGREEMENT", "COURTHOUSE CORNERSTONE LAID"],
+            ["4417021", "8832405", "1290347", "5561230", "9904412", "3317765"],
+        ],
+        column_names=["col_a", "col_b", "col_c", "col_d"],
+        name="newspaper_metadata.csv",
+    )
+
+    annotator = ArcheType(
+        ArcheTypeConfig(
+            model="gpt",           # simulated GPT-3.5 backbone
+            label_set=LABEL_SET,
+            sample_size=5,          # phi: context samples per column
+            sampler="archetype",   # importance-weighted context sampling
+            remapper="contains+resample",
+        )
+    )
+
+    print(f"Annotating {len(table)} columns against {len(LABEL_SET)} labels\n")
+    for index, result in enumerate(annotator.annotate_table(table)):
+        preview = ", ".join(table[index].values[:3])
+        print(f"column {index} ({preview!r:60s}) -> {result.label}")
+        if result.remapped:
+            print(f"    raw model answer {result.raw_response!r} was remapped")
+
+    # A single column works too:
+    column = Column(["Stuyvesant High School", "Bronx High School of Science",
+                     "Townsend Harris High School"])
+    school_annotator = ArcheType(
+        ArcheTypeConfig(model="gpt", label_set=["public school", "hospital", "park"])
+    )
+    print("\nsingle column ->", school_annotator.annotate_column(column).label)
+
+
+if __name__ == "__main__":
+    main()

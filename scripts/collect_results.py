@@ -1,0 +1,111 @@
+"""Collect measured numbers for EXPERIMENTS.md.
+
+Runs every experiment harness at a moderate scale and writes a plain-text
+report to ``results/measured.txt``.  Used to populate the paper-vs-measured
+record; re-run after changing the simulator calibration.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+from repro.eval.reporting import format_table
+from repro.experiments import (
+    fig4_sampling,
+    fig5_context_size,
+    fig6_features,
+    fig7_labelset,
+    perclass,
+    shift,
+    table1_cost,
+    table2_rules,
+    table3_finetuned,
+    table4_zeroshot,
+    table5_established,
+    table6_prompts,
+    table7_remap_counts,
+    table8_classnames,
+)
+
+COLUMNS = int(sys.argv[1]) if len(sys.argv) > 1 else 250
+OUT = Path("results/measured.txt")
+OUT.parent.mkdir(exist_ok=True)
+
+
+def section(title: str) -> None:
+    print(f"\n{'=' * 78}\n{title}\n{'=' * 78}")
+
+
+def main() -> None:
+    start = time.time()
+    with OUT.open("w") as handle:
+        original_stdout = sys.stdout
+        sys.stdout = handle  # type: ignore[assignment]
+        try:
+            print(f"# Measured results (evaluation columns per benchmark: {COLUMNS})")
+
+            section("Table 1: cost of CTA benchmarking")
+            print(format_table(table1_cost.run_table1(n_columns=min(COLUMNS, 200))))
+
+            section("Table 2: gains from rule-based remapping")
+            print(format_table([r.as_dict() for r in table2_rules.run_table2(n_columns=COLUMNS)]))
+
+            section("Table 3: fine-tuned CTA on SOTAB-91")
+            print(format_table([
+                r.as_dict() for r in table3_finetuned.run_table3(
+                    n_columns=COLUMNS, n_train_columns=4 * COLUMNS)
+            ]))
+
+            section("Table 4: zero-shot CTA")
+            cells = table4_zeroshot.run_table4(n_columns=COLUMNS)
+            print(format_table(table4_zeroshot.cells_as_rows(cells)))
+
+            section("Table 5: established benchmarks")
+            print(format_table([r.as_dict() for r in table5_established.run_table5(n_columns=COLUMNS)]))
+
+            section("Table 6: prompt ablation (SOTAB-27)")
+            prompt_cells = table6_prompts.run_table6(n_columns=COLUMNS)
+            print(format_table(table6_prompts.cells_as_rows(prompt_cells)))
+            print("best prompt per model:", table6_prompts.best_prompt_per_model(prompt_cells))
+
+            section("Table 7: out-of-label generations")
+            print(format_table([r.as_dict() for r in table7_remap_counts.run_table7(n_columns=COLUMNS)]))
+
+            section("Table 8: classname semantics and ordering (Pubchem-20)")
+            outcome = table8_classnames.run_table8(n_columns=COLUMNS)
+            print(format_table(outcome.as_rows()))
+            print("classes changed by >3%:", outcome.changed_classes())
+
+            for benchmark_name in ("sotab-27", "d4-20", "pubchem-20"):
+                section(f"Per-class accuracy: {benchmark_name}")
+                report = perclass.run_per_class(benchmark_name, n_columns=COLUMNS)
+                print(format_table(report.as_rows()))
+
+            section("Figure 4: sampling ablation")
+            print(format_table(fig4_sampling.cells_as_rows(
+                fig4_sampling.run_fig4(n_columns=COLUMNS))))
+
+            section("Figure 5: context size x remapping (UL2)")
+            print(format_table(fig5_context_size.cells_as_rows(
+                fig5_context_size.run_fig5(n_columns=COLUMNS))))
+
+            section("Figure 6: feature selection")
+            print(format_table(fig6_features.cells_as_rows(
+                fig6_features.run_fig6(n_columns=min(COLUMNS, 150),
+                                       n_train_columns=2 * COLUMNS))))
+
+            section("Figure 7: label-set size")
+            print(format_table(fig7_labelset.cells_as_rows(
+                fig7_labelset.run_fig7(n_columns=COLUMNS))))
+
+            section("Distribution shift (Section 1)")
+            print(format_table([r.as_dict() for r in shift.run_shift(n_columns=COLUMNS)]))
+        finally:
+            sys.stdout = original_stdout
+    print(f"wrote {OUT} in {time.time() - start:.0f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setuptools entry point (kept for environments without the ``wheel`` package,
+where PEP 660 editable installs are unavailable)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,39 @@
+"""ArcheType reproduction: column type annotation with (simulated) LLMs.
+
+This package reproduces the system described in *ArcheType: A Novel Framework
+for Open-Source Column Type Annotation using Large Language Models* (PVLDB
+17(9), 2024).  The public API is intentionally small:
+
+* :class:`repro.core.table.Column` / :class:`repro.core.table.Table` — the
+  tabular substrate consumed by every component.
+* :class:`repro.core.pipeline.ArcheType` — the four-stage annotator (context
+  sampling, prompt serialization, model querying, label remapping).
+* :mod:`repro.datasets` — synthetic generators for every benchmark in the
+  paper's evaluation (SOTAB-91/27, D4-20, Amstr-56, Pubchem-20, T2D,
+  Efthymiou, VizNet-CHORUS).
+* :mod:`repro.baselines` — classical CTA models (DoDuo, TURL, Sherlock
+  simulations) and the C-/K- LLM baselines.
+* :mod:`repro.eval` — weighted micro-F1, confidence intervals, confusion
+  matrices, and the experiment runner.
+* :mod:`repro.experiments` — one module per table and figure in the paper.
+
+See ``DESIGN.md`` for the full system inventory and ``EXPERIMENTS.md`` for the
+paper-vs-measured record.
+"""
+
+from repro.core.pipeline import ArcheType, ArcheTypeConfig, AnnotationResult
+from repro.core.table import Column, Table
+from repro.llm import get_model, list_models
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ArcheType",
+    "ArcheTypeConfig",
+    "AnnotationResult",
+    "Column",
+    "Table",
+    "get_model",
+    "list_models",
+    "__version__",
+]

@@ -1,0 +1,39 @@
+"""Baselines: the systems ArcheType is compared against.
+
+Two families of baselines appear in the paper's evaluation:
+
+* **Classical fine-tuned CTA models** — DoDuo, TURL and Sherlock.  These are
+  simulated with feature-based classifiers (character/statistical features +
+  nearest-centroid scoring over NumPy) trained on a benchmark's training
+  split; see :mod:`repro.baselines.classical`.  They exhibit the paper's key
+  weakness: strong in-distribution accuracy, sharp degradation under
+  distribution shift.
+* **Zero-shot LLM baselines** — the CHORUS-style *C-Baseline* (simple random
+  sampling, similarity remapping, C-prompt) and the Korini-style *K-Baseline*
+  (first-k sampling, no-op remapping, K-prompt), built on top of the same
+  pipeline machinery as ArcheType; see :mod:`repro.baselines.llm_baselines`.
+"""
+
+from repro.baselines.classical import (
+    ClassicalCTAModel,
+    DoDuoModel,
+    SherlockModel,
+    TURLModel,
+)
+from repro.baselines.llm_baselines import (
+    build_archetype_method,
+    build_c_baseline,
+    build_k_baseline,
+    get_zero_shot_method,
+)
+
+__all__ = [
+    "ClassicalCTAModel",
+    "DoDuoModel",
+    "SherlockModel",
+    "TURLModel",
+    "build_archetype_method",
+    "build_c_baseline",
+    "build_k_baseline",
+    "get_zero_shot_method",
+]

@@ -1,0 +1,146 @@
+"""Zero-shot LLM-CTA baselines: the C-Baseline and K-Baseline (Section 5.1).
+
+Both baselines share ArcheType's pipeline machinery but fix the design choices
+of the prior work they are derived from:
+
+* **C-Baseline** (CHORUS-style): simple random sampling, the "C" prompt, and
+  similarity-based label remapping.
+* **K-Baseline** (Korini-style): first-k-rows sampling, the "K" prompt, and
+  *no* label remapping (out-of-set answers count as errors).
+
+ArcheType itself uses importance-weighted sampling, the best prompt for the
+model (prompt style is a hyperparameter), and CONTAINS+RESAMPLE remapping.
+The factory functions here build fully configured annotators for any
+(benchmark, architecture) pair so every experiment constructs methods the same
+way.
+"""
+
+from __future__ import annotations
+
+from repro.core.pipeline import ArcheType, ArcheTypeConfig
+from repro.core.rules import RuleSet, get_ruleset
+from repro.core.serialization import PromptStyle
+from repro.datasets.base import Benchmark
+from repro.exceptions import ConfigurationError
+from repro.llm.base import LanguageModel
+
+#: Best-performing prompt style per architecture, found by the Table 6 grid
+#: search; prompt style is a hyperparameter of zero-shot ArcheType.
+ARCHETYPE_PROMPT_BY_MODEL: dict[str, PromptStyle] = {
+    "t5": PromptStyle.K,
+    "ul2": PromptStyle.C,
+    "gpt": PromptStyle.S,
+    "gpt4": PromptStyle.S,
+    "llama": PromptStyle.S,
+    "opt-iml": PromptStyle.K,
+}
+
+
+def _ruleset_for(benchmark: Benchmark, use_rules: bool) -> RuleSet | None:
+    if not use_rules:
+        return None
+    return get_ruleset(benchmark.name)
+
+
+def build_archetype_method(
+    benchmark: Benchmark,
+    model: str | LanguageModel = "t5",
+    sample_size: int = 5,
+    use_rules: bool = False,
+    prompt_style: PromptStyle | str | None = None,
+    remapper: str = "contains+resample",
+    sampler: str = "archetype",
+    seed: int = 0,
+) -> ArcheType:
+    """Zero-shot ArcheType configured for a benchmark and architecture."""
+    if prompt_style is None:
+        model_key = model if isinstance(model, str) else model.name
+        prompt_style = ARCHETYPE_PROMPT_BY_MODEL.get(
+            model_key.split("-")[0].replace("sim", "").strip() or "t5",
+            PromptStyle.S,
+        )
+        if isinstance(model, str):
+            prompt_style = ARCHETYPE_PROMPT_BY_MODEL.get(model, prompt_style)
+    config = ArcheTypeConfig(
+        model=model,
+        label_set=benchmark.label_set,
+        sample_size=sample_size,
+        sampler=sampler,
+        importance=benchmark.importance,
+        prompt_style=prompt_style,
+        remapper=remapper,
+        ruleset=_ruleset_for(benchmark, use_rules),
+        numeric_labels=benchmark.numeric_labels,
+        seed=seed,
+    )
+    return ArcheType(config)
+
+
+def build_c_baseline(
+    benchmark: Benchmark,
+    model: str | LanguageModel = "t5",
+    sample_size: int = 5,
+    use_rules: bool = False,
+    seed: int = 0,
+) -> ArcheType:
+    """CHORUS-style baseline: SRS sampling, C prompt, similarity remapping."""
+    config = ArcheTypeConfig(
+        model=model,
+        label_set=benchmark.label_set,
+        sample_size=sample_size,
+        sampler="srs",
+        prompt_style=PromptStyle.C,
+        remapper="similarity",
+        ruleset=_ruleset_for(benchmark, use_rules),
+        numeric_labels=None,
+        seed=seed,
+    )
+    return ArcheType(config)
+
+
+def build_k_baseline(
+    benchmark: Benchmark,
+    model: str | LanguageModel = "t5",
+    sample_size: int = 5,
+    use_rules: bool = False,
+    seed: int = 0,
+) -> ArcheType:
+    """Korini-style baseline: first-k sampling, K prompt, no remapping."""
+    config = ArcheTypeConfig(
+        model=model,
+        label_set=benchmark.label_set,
+        sample_size=sample_size,
+        sampler="firstk",
+        prompt_style=PromptStyle.K,
+        remapper="none",
+        ruleset=_ruleset_for(benchmark, use_rules),
+        numeric_labels=None,
+        seed=seed,
+    )
+    return ArcheType(config)
+
+
+_METHOD_BUILDERS = {
+    "archetype": build_archetype_method,
+    "c-baseline": build_c_baseline,
+    "k-baseline": build_k_baseline,
+}
+
+
+def get_zero_shot_method(
+    method: str,
+    benchmark: Benchmark,
+    model: str | LanguageModel = "t5",
+    sample_size: int = 5,
+    use_rules: bool = False,
+    seed: int = 0,
+) -> ArcheType:
+    """Build any of the three zero-shot methods of Table 4 by name."""
+    key = method.strip().lower()
+    if key not in _METHOD_BUILDERS:
+        raise ConfigurationError(
+            f"unknown zero-shot method {method!r}; choose from {sorted(_METHOD_BUILDERS)}"
+        )
+    return _METHOD_BUILDERS[key](
+        benchmark, model=model, sample_size=sample_size, use_rules=use_rules, seed=seed
+    )

@@ -1,0 +1,167 @@
+"""Command-line interface for the ArcheType reproduction.
+
+Two subcommands cover the common workflows:
+
+``annotate``
+    Annotate the columns of a CSV file against a user-supplied label set::
+
+        python -m repro.cli annotate data.csv --labels state,person,url,number
+
+``evaluate``
+    Evaluate a zero-shot method over one of the built-in benchmarks::
+
+        python -m repro.cli evaluate --benchmark d4-20 --method archetype --model gpt
+
+Both subcommands print plain-text tables; ``--help`` lists every option.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.baselines.llm_baselines import get_zero_shot_method
+from repro.core.pipeline import ArcheType, ArcheTypeConfig
+from repro.core.serialization import PromptStyle
+from repro.core.table import Table
+from repro.datasets.registry import BENCHMARK_NAMES, load_benchmark
+from repro.eval.reporting import format_table
+from repro.eval.runner import ExperimentRunner
+from repro.llm.registry import list_models
+
+
+def read_csv_table(path: Path, has_header: bool = True, max_rows: int | None = None) -> Table:
+    """Load a CSV file into a :class:`Table` (all cells kept as strings)."""
+    with path.open(newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        rows = list(reader)
+    if not rows:
+        return Table(columns=[], name=path.name)
+    header: Sequence[str] | None = None
+    if has_header:
+        header, rows = rows[0], rows[1:]
+    if max_rows is not None:
+        rows = rows[:max_rows]
+    return Table.from_rows(rows, column_names=header, name=path.name)
+
+
+def _annotate_command(args: argparse.Namespace) -> int:
+    path = Path(args.csv_file)
+    if not path.exists():
+        print(f"error: {path} does not exist", file=sys.stderr)
+        return 2
+    labels = [label.strip() for label in args.labels.split(",") if label.strip()]
+    if not labels:
+        print("error: --labels must list at least one label", file=sys.stderr)
+        return 2
+    table = read_csv_table(path, has_header=not args.no_header, max_rows=args.max_rows)
+    if not table.columns:
+        print(f"error: {path} contains no data rows", file=sys.stderr)
+        return 2
+
+    annotator = ArcheType(
+        ArcheTypeConfig(
+            model=args.model,
+            label_set=labels,
+            sample_size=args.samples,
+            sampler=args.sampler,
+            prompt_style=PromptStyle(args.prompt) if args.prompt else PromptStyle.S,
+            remapper=args.remapper,
+            seed=args.seed,
+        )
+    )
+    rows = []
+    for index, result in enumerate(annotator.annotate_table(table)):
+        column = table[index]
+        rows.append(
+            {
+                "column": column.name or f"col{index}",
+                "predicted type": result.label,
+                "raw answer": result.raw_response,
+                "remapped": "yes" if result.remapped else "",
+            }
+        )
+    print(format_table(rows, title=f"{path.name}: {len(table)} columns, model={args.model}"))
+    return 0
+
+
+def _evaluate_command(args: argparse.Namespace) -> int:
+    benchmark = load_benchmark(args.benchmark, n_columns=args.columns, seed=args.seed)
+    annotator = get_zero_shot_method(
+        args.method,
+        benchmark,
+        model=args.model,
+        sample_size=args.samples,
+        use_rules=args.rules,
+        seed=args.seed,
+    )
+    result = ExperimentRunner().evaluate(
+        annotator, benchmark, f"{args.method}-{args.model}{'+' if args.rules else ''}"
+    )
+    print(format_table([result.summary_row()],
+                       title=f"{args.benchmark}: {args.columns} columns"))
+    if args.per_class:
+        rows = [
+            {"class": label, "accuracy": round(accuracy, 2)}
+            for label, accuracy in sorted(result.report.per_class_accuracy.items())
+        ]
+        print()
+        print(format_table(rows, title="per-class accuracy"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    annotate = subparsers.add_parser(
+        "annotate", help="annotate the columns of a CSV file"
+    )
+    annotate.add_argument("csv_file", help="path to the CSV file")
+    annotate.add_argument("--labels", required=True,
+                          help="comma-separated label set, e.g. 'state,person,url'")
+    annotate.add_argument("--model", default="gpt",
+                          help=f"model name or alias (built-ins: {', '.join(sorted(list_models()))})")
+    annotate.add_argument("--samples", type=int, default=5, help="context samples per column")
+    annotate.add_argument("--sampler", default="archetype",
+                          choices=["archetype", "srs", "firstk"])
+    annotate.add_argument("--prompt", default=None, choices=[s.value for s in PromptStyle.zero_shot_styles()])
+    annotate.add_argument("--remapper", default="contains+resample",
+                          choices=["none", "contains", "resample", "similarity",
+                                   "contains+resample"])
+    annotate.add_argument("--no-header", action="store_true",
+                          help="the CSV file has no header row")
+    annotate.add_argument("--max-rows", type=int, default=None)
+    annotate.add_argument("--seed", type=int, default=0)
+    annotate.set_defaults(func=_annotate_command)
+
+    evaluate = subparsers.add_parser(
+        "evaluate", help="evaluate a zero-shot method over a built-in benchmark"
+    )
+    evaluate.add_argument("--benchmark", default="sotab-27", choices=list(BENCHMARK_NAMES))
+    evaluate.add_argument("--method", default="archetype",
+                          choices=["archetype", "c-baseline", "k-baseline"])
+    evaluate.add_argument("--model", default="t5",
+                          help=f"model name or alias (built-ins: {', '.join(sorted(list_models()))})")
+    evaluate.add_argument("--columns", type=int, default=200)
+    evaluate.add_argument("--samples", type=int, default=5)
+    evaluate.add_argument("--rules", action="store_true", help="enable rule-based remapping")
+    evaluate.add_argument("--per-class", action="store_true")
+    evaluate.add_argument("--seed", type=int, default=0)
+    evaluate.set_defaults(func=_evaluate_command)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return int(args.func(args))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

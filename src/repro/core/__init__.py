@@ -1,0 +1,39 @@
+"""The paper's primary contribution: the four-stage ArcheType pipeline.
+
+Submodules map one-to-one onto the stages in Figure 1 of the paper:
+
+* :mod:`repro.core.table` — the tabular substrate (``Column``, ``Table``).
+* :mod:`repro.core.sampling` — context sampling (Algorithm 1).
+* :mod:`repro.core.features` — extended-context feature selection (SS/TN/OC).
+* :mod:`repro.core.serialization` — prompt serialization (six prompt styles).
+* :mod:`repro.core.querying` — model querying.
+* :mod:`repro.core.remapping` — label remapping (Algorithms 3 and 4).
+* :mod:`repro.core.rules` — rule-based label remapping (the "+" variants).
+* :mod:`repro.core.pipeline` — the end-to-end ``ArcheType`` annotator.
+"""
+
+from repro.core.pipeline import AnnotationResult, ArcheType, ArcheTypeConfig
+from repro.core.sampling import (
+    ArcheTypeSampler,
+    FirstKSampler,
+    SimpleRandomSampler,
+    get_sampler,
+)
+from repro.core.serialization import PromptSerializer, PromptStyle
+from repro.core.remapping import get_remapper
+from repro.core.table import Column, Table
+
+__all__ = [
+    "AnnotationResult",
+    "ArcheType",
+    "ArcheTypeConfig",
+    "ArcheTypeSampler",
+    "Column",
+    "FirstKSampler",
+    "PromptSerializer",
+    "PromptStyle",
+    "SimpleRandomSampler",
+    "Table",
+    "get_remapper",
+    "get_sampler",
+]

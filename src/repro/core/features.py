@@ -1,0 +1,213 @@
+"""Extended-context feature selection: summary statistics, table name, other columns.
+
+Section 3.2 ("Feature Selection") of the paper describes three optional
+features that can be appended to the context sample:
+
+* **SS** — summary statistics (standard deviation, average, mode, median,
+  max, min).  When every sampled value is numeric the statistics are computed
+  over the values themselves; otherwise they are computed over the value
+  *lengths*.  Floats are rounded to two decimal places, integers keep no
+  decimal place.
+* **TN** — the table (file) name.
+* **OC** — samples from the other columns of the table, labelled with the
+  index of the column they came from.
+
+The paper finds these features help the fine-tuned model but hurt zero-shot
+performance (Figure 6); this module only computes them — the pipeline decides
+when to use them.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.table import Column, Table, is_numeric_string
+
+
+def _format_stat(value: float) -> str:
+    """Format a statistic the way the paper describes.
+
+    Floats are rounded to two decimal places; values that round to an integer
+    are printed without a decimal point.
+    """
+    rounded = round(float(value), 2)
+    if rounded == int(rounded):
+        return str(int(rounded))
+    return f"{rounded:.2f}"
+
+
+@dataclass(frozen=True)
+class SummaryStatistics:
+    """The six summary statistics listed in the paper, ready for serialization."""
+
+    std: float
+    mean: float
+    mode: float
+    median: float
+    maximum: float
+    minimum: float
+    over_lengths: bool
+
+    def as_strings(self) -> list[str]:
+        """Render the statistics as ``"name: value"`` strings for the prompt."""
+        prefix = "len " if self.over_lengths else ""
+        return [
+            f"{prefix}std: {_format_stat(self.std)}",
+            f"{prefix}mean: {_format_stat(self.mean)}",
+            f"{prefix}mode: {_format_stat(self.mode)}",
+            f"{prefix}median: {_format_stat(self.median)}",
+            f"{prefix}max: {_format_stat(self.maximum)}",
+            f"{prefix}min: {_format_stat(self.minimum)}",
+        ]
+
+
+def _to_float(value: str) -> float:
+    return float(value.replace(",", ""))
+
+
+def summary_statistics(values: Sequence[str]) -> SummaryStatistics | None:
+    """Compute the paper's summary statistics sketch over ``values``.
+
+    Returns None if there are no non-empty values to summarise.  When any
+    sampled value is non-numeric the statistics are computed over string
+    lengths instead of the values themselves (and ``over_lengths`` is set).
+    """
+    usable = [v for v in values if v.strip()]
+    if not usable:
+        return None
+    all_numeric = all(is_numeric_string(v) for v in usable)
+    if all_numeric:
+        numbers = [_to_float(v) for v in usable]
+        over_lengths = False
+    else:
+        numbers = [float(len(v)) for v in usable]
+        over_lengths = True
+    std = statistics.pstdev(numbers) if len(numbers) > 1 else 0.0
+    try:
+        mode = float(statistics.mode(numbers))
+    except statistics.StatisticsError:  # pragma: no cover - multimode fallback
+        mode = numbers[0]
+    return SummaryStatistics(
+        std=std,
+        mean=statistics.fmean(numbers),
+        mode=mode,
+        median=statistics.median(numbers),
+        maximum=max(numbers),
+        minimum=min(numbers),
+        over_lengths=over_lengths,
+    )
+
+
+@dataclass(frozen=True)
+class FeatureConfig:
+    """Which extended-context features to include in the sample.
+
+    ``include_context_sample`` is always True in the paper's experiments; it
+    exists so the ablation harness can express the feature axis of Figure 6
+    uniformly.
+    """
+
+    include_context_sample: bool = True
+    include_table_name: bool = False
+    include_summary_stats: bool = False
+    include_other_columns: bool = False
+    other_columns_per_column: int = 1
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "FeatureConfig":
+        """Parse a specification such as ``"CS+TN+SS"`` (Figure 6 x-axis labels)."""
+        parts = {p.strip().upper() for p in spec.split("+") if p.strip()}
+        known = {"CS", "TN", "SS", "OC"}
+        unknown = parts - known
+        if unknown:
+            raise ValueError(f"unknown feature flags: {sorted(unknown)}")
+        return cls(
+            include_context_sample="CS" in parts,
+            include_table_name="TN" in parts,
+            include_summary_stats="SS" in parts,
+            include_other_columns="OC" in parts,
+        )
+
+    def spec(self) -> str:
+        """Inverse of :meth:`from_spec`."""
+        parts = []
+        if self.include_context_sample:
+            parts.append("CS")
+        if self.include_table_name:
+            parts.append("TN")
+        if self.include_summary_stats:
+            parts.append("SS")
+        if self.include_other_columns:
+            parts.append("OC")
+        return "+".join(parts)
+
+
+def table_name_feature(table: Table | None) -> str | None:
+    """Render the TN feature string, or None when the table has no name."""
+    if table is None or not table.name:
+        return None
+    return f"TABLE NAME: {table.name}"
+
+
+def other_columns_feature(
+    table: Table | None,
+    column_index: int | None,
+    per_column: int = 1,
+) -> list[str]:
+    """Render the OC feature: a few values from every other column.
+
+    Each sampled value is prefixed with the index of its source column so the
+    model can (in principle) distinguish inter-column from intra-column
+    values, as discussed in Section 3.2.
+    """
+    if table is None or column_index is None:
+        return []
+    rendered: list[str] = []
+    for position, other in enumerate(table.columns):
+        if position == column_index:
+            continue
+        taken = 0
+        for value in other.values:
+            if not value.strip():
+                continue
+            rendered.append(f"col{position}: {value}")
+            taken += 1
+            if taken >= per_column:
+                break
+    return rendered
+
+
+def build_feature_strings(
+    sampled_values: Sequence[str],
+    config: FeatureConfig,
+    table: Table | None = None,
+    column_index: int | None = None,
+    column: Column | None = None,
+) -> list[str]:
+    """Assemble the full extended-context string list for one column.
+
+    The ordering follows the fine-tuned prompt example in Figure 2 of the
+    paper: table name first, then the sampled values, then summary statistics,
+    then other-column samples.
+    """
+    pieces: list[str] = []
+    if config.include_table_name:
+        tn = table_name_feature(table)
+        if tn is not None:
+            pieces.append(tn)
+    if config.include_context_sample:
+        pieces.extend(sampled_values)
+    if config.include_summary_stats:
+        source = column.values if column is not None else list(sampled_values)
+        stats = summary_statistics(source)
+        if stats is not None:
+            pieces.extend(stats.as_strings())
+    if config.include_other_columns:
+        pieces.extend(
+            other_columns_feature(
+                table, column_index, per_column=config.other_columns_per_column
+            )
+        )
+    return pieces

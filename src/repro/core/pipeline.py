@@ -1,0 +1,219 @@
+"""The end-to-end ArcheType annotator.
+
+:class:`ArcheType` wires together the four stages of Figure 1 — context
+sampling, prompt serialization, model querying and label remapping — plus the
+optional rule-based remapping that produces the paper's "+" variants.  It
+operates column-at-once: a single call annotates a single column, and
+:meth:`ArcheType.annotate_table` simply iterates.
+
+Typical usage::
+
+    from repro import ArcheType, ArcheTypeConfig, Column
+
+    annotator = ArcheType(ArcheTypeConfig(
+        model="gpt",
+        label_set=["state", "person", "url", "number"],
+        sample_size=5,
+    ))
+    result = annotator.annotate_column(Column(["Alaska", "Colorado", "Kentucky"]))
+    assert result.label == "state"
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.features import FeatureConfig, build_feature_strings
+from repro.core.querying import QueryEngine
+from repro.core.remapping import NULL_LABEL, Remapper, get_remapper
+from repro.core.rules import RuleSet
+from repro.core.sampling import ContextSampler, get_sampler
+from repro.core.serialization import PromptSerializer, PromptStyle, SerializedPrompt
+from repro.core.table import Column, Table
+from repro.exceptions import ConfigurationError, EmptyColumnError
+from repro.llm.base import GenerationParams, LanguageModel
+from repro.llm.registry import get_model
+
+
+@dataclass(frozen=True)
+class ArcheTypeConfig:
+    """Configuration for one ArcheType annotator.
+
+    Every knob corresponds to a decision the paper discusses:
+
+    * ``model`` — the backend (name in the model registry or an instance).
+    * ``label_set`` — the test-time label set (zero-shot CTA defines it here).
+    * ``sample_size`` — ``phi``, the number of context samples per column.
+    * ``sampler`` / ``importance`` — context-sampling strategy (Figure 4).
+    * ``prompt_style`` — one of the six styles (Table 6); treated as a
+      hyperparameter.
+    * ``remapper`` — label-remapping strategy (Figure 5).
+    * ``features`` — extended-context features (Figure 6).
+    * ``ruleset`` — rule-based remapping; non-None produces "+" behaviour.
+    * ``numeric_labels`` — labels eligible for the numeric-context restriction.
+    """
+
+    model: str | LanguageModel = "t5"
+    label_set: Sequence[str] = field(default_factory=tuple)
+    sample_size: int = 5
+    sampler: str = "archetype"
+    importance: str = "length"
+    prompt_style: PromptStyle | str = PromptStyle.S
+    remapper: str | Remapper = "contains+resample"
+    resample_k: int = 3
+    features: FeatureConfig = field(default_factory=FeatureConfig)
+    ruleset: RuleSet | None = None
+    numeric_labels: Sequence[str] | None = None
+    sort_labels: bool = True
+    context_window: int | None = None
+    seed: int = 0
+    generation: GenerationParams = field(default_factory=GenerationParams)
+
+    def with_updates(self, **changes: object) -> "ArcheTypeConfig":
+        """Return a copy of the config with the given fields replaced."""
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class AnnotationResult:
+    """The annotation produced for one column."""
+
+    label: str
+    raw_response: str
+    prompt: SerializedPrompt | None
+    remapped: bool
+    rule_applied: bool
+    strategy: str
+    sampled_values: tuple[str, ...] = ()
+
+    @property
+    def recovered(self) -> bool:
+        return self.label != NULL_LABEL
+
+
+class ArcheType:
+    """Four-stage LLM column type annotator (Figure 1)."""
+
+    def __init__(self, config: ArcheTypeConfig) -> None:
+        if not config.label_set:
+            raise ConfigurationError("ArcheTypeConfig.label_set must be non-empty")
+        if config.sample_size <= 0:
+            raise ConfigurationError("sample_size must be positive")
+        self.config = config
+        self.label_set = list(config.label_set)
+
+        model = config.model
+        if isinstance(model, str):
+            model = get_model(model, seed=config.seed)
+        self.model: LanguageModel = model
+
+        self.sampler: ContextSampler = get_sampler(
+            config.sampler, label_set=self.label_set, importance=config.importance
+        )
+        window = config.context_window or self.model.context_window
+        self.serializer = PromptSerializer(
+            style=config.prompt_style,
+            context_window=window,
+            numeric_labels=config.numeric_labels,
+            sort_labels=config.sort_labels,
+        )
+        if isinstance(config.remapper, Remapper):
+            self.remapper = config.remapper
+        elif config.remapper in ("resample", "contains+resample"):
+            self.remapper = get_remapper(config.remapper, k=config.resample_k)
+        else:
+            self.remapper = get_remapper(config.remapper)
+        self.engine = QueryEngine(model=self.model, params=config.generation)
+        self._rng = np.random.default_rng(config.seed)
+
+    # ------------------------------------------------------------------ api
+    def annotate_column(
+        self,
+        column: Column,
+        table: Table | None = None,
+        column_index: int | None = None,
+    ) -> AnnotationResult:
+        """Annotate one column with a label from the configured label set."""
+        # Stage 1: context sampling.  Sampling happens before the rule check
+        # so that enabling rules does not perturb the random stream used for
+        # the remaining columns — the "+" and plain variants of an experiment
+        # then differ only on rule-covered columns.
+        try:
+            sample = self.sampler.sample(column, self.config.sample_size, self._rng)
+        except EmptyColumnError:
+            return AnnotationResult(
+                label=NULL_LABEL,
+                raw_response="",
+                prompt=None,
+                remapped=False,
+                rule_applied=False,
+                strategy="empty-column",
+            )
+
+        # Stage 0 (optional): rule-based assignment before querying.  A match
+        # answers the column directly and skips the LLM entirely.
+        if self.config.ruleset is not None:
+            rule_label = self.config.ruleset.apply(column, self.label_set)
+            if rule_label is not None:
+                return AnnotationResult(
+                    label=rule_label,
+                    raw_response=rule_label,
+                    prompt=None,
+                    remapped=False,
+                    rule_applied=True,
+                    strategy="rule",
+                    sampled_values=tuple(sample.values),
+                )
+        context_strings = build_feature_strings(
+            sample.values,
+            self.config.features,
+            table=table,
+            column_index=column_index,
+            column=column,
+        )
+
+        # Stage 2: prompt serialization.
+        prompt = self.serializer.serialize(context_strings, self.label_set)
+
+        # Stage 3: model querying.
+        response = self.engine.query(prompt.text)
+
+        # Stage 4: label remapping (with optional resampling requeries).
+        requery = lambda attempt: self.engine.requery(prompt.text, attempt)
+        remap = self.remapper.remap(response, list(prompt.label_set), requery)
+        label = remap.label
+
+        # Post-query rule correction: a rule that matches the column overrides
+        # an LLM answer that disagrees (the rules are high precision).
+        rule_applied = False
+        if self.config.ruleset is not None and label == NULL_LABEL:
+            rule_label = self.config.ruleset.apply(column, self.label_set)
+            if rule_label is not None:
+                label = rule_label
+                rule_applied = True
+
+        return AnnotationResult(
+            label=label,
+            raw_response=response,
+            prompt=prompt,
+            remapped=remap.remapped,
+            rule_applied=rule_applied,
+            strategy=self.remapper.name,
+            sampled_values=tuple(sample.values),
+        )
+
+    def annotate_table(self, table: Table) -> list[AnnotationResult]:
+        """Annotate every column of a table (column-at-once serialization)."""
+        return [
+            self.annotate_column(column, table=table, column_index=index)
+            for index, column in enumerate(table.columns)
+        ]
+
+    # ------------------------------------------------------------- metrics
+    @property
+    def query_count(self) -> int:
+        """Total number of LLM queries issued so far (includes resamples)."""
+        return self.engine.stats.n_queries

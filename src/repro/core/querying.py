@@ -1,0 +1,48 @@
+"""Model querying: the third stage of the ArcheType pipeline.
+
+The querying stage is intentionally thin — its job is to submit a serialized
+prompt to the chosen language model and return the raw response, while
+tracking how many queries were issued (remap-resample issues extra ones) and
+which generation parameters were used.  Keeping it separate from the pipeline
+makes the Section 5.4.3 model-querying ablation a one-line model swap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.llm.base import GenerationParams, LanguageModel
+
+
+@dataclass
+class QueryStats:
+    """Counters accumulated by a :class:`QueryEngine` over its lifetime."""
+
+    n_queries: int = 0
+    n_resamples: int = 0
+    total_prompt_chars: int = 0
+
+    def record(self, prompt: str, resample_index: int) -> None:
+        self.n_queries += 1
+        if resample_index > 0:
+            self.n_resamples += 1
+        self.total_prompt_chars += len(prompt)
+
+
+@dataclass
+class QueryEngine:
+    """Submit prompts to a model with consistent generation parameters."""
+
+    model: LanguageModel
+    params: GenerationParams = field(default_factory=GenerationParams)
+    stats: QueryStats = field(default_factory=QueryStats)
+
+    def query(self, prompt: str, params: GenerationParams | None = None) -> str:
+        """Send one prompt to the model and return its raw completion."""
+        effective = params or self.params
+        self.stats.record(prompt, effective.resample_index)
+        return self.model.generate(prompt, effective)
+
+    def requery(self, prompt: str, attempt: int) -> str:
+        """Re-query with permuted hyperparameters (remap-resample, Algorithm 3)."""
+        return self.query(prompt, self.params.permuted(attempt))

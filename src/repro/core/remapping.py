@@ -1,0 +1,305 @@
+"""Label remapping: mapping free-form LLM output back into the label set.
+
+Section 3.5 of the paper describes four strategies, all implemented here:
+
+* **no-op** — accept only exact matches; everything else maps to a null class.
+* **contains** — accept when the response is contained in a label or vice
+  versa; on multiple matches take the longest label.
+* **resample** (Algorithm 3) — re-query the LLM up to ``k`` times with
+  permuted generation hyperparameters until an in-set answer appears.
+* **similarity** (Algorithm 4) — embed the response and every label and take
+  the label with the highest cosine similarity.
+* **contains+resample** — the paper's best-performing combination: try
+  contains first, then resample (checking contains after each retry), then
+  fall back to the null class.
+
+All remappers share the :class:`Remapper` interface: they receive the raw
+response, the label set and (optionally) a ``requery`` callback for resampling,
+and return a :class:`RemapResult`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.llm.embeddings import DEFAULT_EMBEDDER, HashingEmbedder
+
+#: The label returned when no remapping strategy can recover an answer.
+NULL_LABEL = "__unmapped__"
+
+RequeryFn = Callable[[int], str]
+
+
+def normalize(text: str) -> str:
+    """Case/whitespace/punctuation-insensitive comparison form of a label."""
+    return " ".join(text.strip().lower().replace("_", " ").split()).strip(".\"' ")
+
+
+def exact_match(response: str, label_set: Sequence[str]) -> str | None:
+    """Return the label equal to ``response`` under normalization, if any."""
+    normalized = normalize(response)
+    for label in label_set:
+        if normalize(label) == normalized:
+            return label
+    return None
+
+
+@dataclass(frozen=True)
+class RemapResult:
+    """Outcome of a remapping attempt."""
+
+    label: str
+    original_response: str
+    remapped: bool
+    strategy: str
+    attempts: int = 0
+
+    @property
+    def recovered(self) -> bool:
+        """True when remapping produced a usable (non-null) label."""
+        return self.label != NULL_LABEL
+
+
+class Remapper(ABC):
+    """Interface shared by all remapping strategies."""
+
+    name: str = "base"
+
+    @abstractmethod
+    def remap(
+        self,
+        response: str,
+        label_set: Sequence[str],
+        requery: RequeryFn | None = None,
+    ) -> RemapResult:
+        """Map ``response`` into ``label_set`` (or to :data:`NULL_LABEL`)."""
+
+    def _passthrough(self, response: str, label_set: Sequence[str]) -> RemapResult | None:
+        matched = exact_match(response, label_set)
+        if matched is not None:
+            return RemapResult(
+                label=matched,
+                original_response=response,
+                remapped=matched != response,
+                strategy=self.name,
+                attempts=0,
+            )
+        return None
+
+
+class NoOpRemapper(Remapper):
+    """Accept exact matches only; everything else becomes the null class."""
+
+    name = "none"
+
+    def remap(
+        self,
+        response: str,
+        label_set: Sequence[str],
+        requery: RequeryFn | None = None,
+    ) -> RemapResult:
+        passthrough = self._passthrough(response, label_set)
+        if passthrough is not None:
+            return passthrough
+        return RemapResult(
+            label=NULL_LABEL,
+            original_response=response,
+            remapped=False,
+            strategy=self.name,
+        )
+
+
+def contains_match(response: str, label_set: Sequence[str]) -> str | None:
+    """The CONTAINS rule: bidirectional substring match, longest label wins."""
+    normalized = normalize(response)
+    if not normalized:
+        return None
+    candidates = [
+        label
+        for label in label_set
+        if normalize(label) and (normalize(label) in normalized or normalized in normalize(label))
+    ]
+    if not candidates:
+        return None
+    return max(candidates, key=lambda label: len(normalize(label)))
+
+
+class ContainsRemapper(Remapper):
+    """Substring intersection between response and labels (Section 3.5)."""
+
+    name = "contains"
+
+    def remap(
+        self,
+        response: str,
+        label_set: Sequence[str],
+        requery: RequeryFn | None = None,
+    ) -> RemapResult:
+        passthrough = self._passthrough(response, label_set)
+        if passthrough is not None:
+            return passthrough
+        matched = contains_match(response, label_set)
+        if matched is not None:
+            return RemapResult(
+                label=matched,
+                original_response=response,
+                remapped=True,
+                strategy=self.name,
+            )
+        return RemapResult(
+            label=NULL_LABEL,
+            original_response=response,
+            remapped=False,
+            strategy=self.name,
+        )
+
+
+class ResampleRemapper(Remapper):
+    """Algorithm 3: retry the LLM with permuted hyperparameters up to ``k`` times."""
+
+    name = "resample"
+
+    def __init__(self, k: int = 3, use_contains: bool = False) -> None:
+        if k < 1:
+            raise ConfigurationError("resample k must be >= 1")
+        self.k = k
+        self.use_contains = use_contains
+
+    def _accept(self, response: str, label_set: Sequence[str]) -> str | None:
+        matched = exact_match(response, label_set)
+        if matched is not None:
+            return matched
+        if self.use_contains:
+            return contains_match(response, label_set)
+        return None
+
+    def remap(
+        self,
+        response: str,
+        label_set: Sequence[str],
+        requery: RequeryFn | None = None,
+    ) -> RemapResult:
+        accepted = self._accept(response, label_set)
+        if accepted is not None:
+            return RemapResult(
+                label=accepted,
+                original_response=response,
+                remapped=accepted != response,
+                strategy=self.name,
+                attempts=0,
+            )
+        if requery is None:
+            return RemapResult(
+                label=NULL_LABEL, original_response=response,
+                remapped=False, strategy=self.name,
+            )
+        last = response
+        for attempt in range(1, self.k + 1):
+            last = requery(attempt)
+            accepted = self._accept(last, label_set)
+            if accepted is not None:
+                return RemapResult(
+                    label=accepted,
+                    original_response=response,
+                    remapped=True,
+                    strategy=self.name,
+                    attempts=attempt,
+                )
+        return RemapResult(
+            label=NULL_LABEL,
+            original_response=response,
+            remapped=False,
+            strategy=self.name,
+            attempts=self.k,
+        )
+
+
+class SimilarityRemapper(Remapper):
+    """Algorithm 4: embed response and labels, take the argmax cosine similarity."""
+
+    name = "similarity"
+
+    def __init__(self, embedder: HashingEmbedder | None = None,
+                 min_similarity: float = -1.0) -> None:
+        self.embedder = embedder or DEFAULT_EMBEDDER
+        self.min_similarity = min_similarity
+
+    def remap(
+        self,
+        response: str,
+        label_set: Sequence[str],
+        requery: RequeryFn | None = None,
+    ) -> RemapResult:
+        passthrough = self._passthrough(response, label_set)
+        if passthrough is not None:
+            return passthrough
+        if not label_set or not response.strip():
+            return RemapResult(
+                label=NULL_LABEL, original_response=response,
+                remapped=False, strategy=self.name,
+            )
+        index, similarity = self.embedder.most_similar(response, list(label_set))
+        if similarity < self.min_similarity:
+            return RemapResult(
+                label=NULL_LABEL, original_response=response,
+                remapped=False, strategy=self.name,
+            )
+        return RemapResult(
+            label=label_set[index],
+            original_response=response,
+            remapped=True,
+            strategy=self.name,
+        )
+
+
+class ContainsResampleRemapper(Remapper):
+    """The paper's CONTAINS+RESAMPLE strategy (best at every context scale)."""
+
+    name = "contains+resample"
+
+    def __init__(self, k: int = 3) -> None:
+        self._resample = ResampleRemapper(k=k, use_contains=True)
+
+    def remap(
+        self,
+        response: str,
+        label_set: Sequence[str],
+        requery: RequeryFn | None = None,
+    ) -> RemapResult:
+        result = self._resample.remap(response, label_set, requery)
+        if result.strategy != self.name:
+            result = RemapResult(
+                label=result.label,
+                original_response=result.original_response,
+                remapped=result.remapped,
+                strategy=self.name,
+                attempts=result.attempts,
+            )
+        return result
+
+
+_REMAPPERS: dict[str, Callable[[], Remapper]] = {
+    "none": NoOpRemapper,
+    "contains": ContainsRemapper,
+    "resample": ResampleRemapper,
+    "similarity": SimilarityRemapper,
+    "contains+resample": ContainsResampleRemapper,
+}
+
+
+def get_remapper(name: str, **kwargs: object) -> Remapper:
+    """Construct a remapping strategy by name."""
+    key = name.strip().lower()
+    if key not in _REMAPPERS:
+        raise ConfigurationError(
+            f"unknown remapper {name!r}; choose from {sorted(_REMAPPERS)}"
+        )
+    return _REMAPPERS[key](**kwargs)  # type: ignore[call-arg]
+
+
+def list_remappers() -> list[str]:
+    """Names accepted by :func:`get_remapper`."""
+    return sorted(_REMAPPERS)

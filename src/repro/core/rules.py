@@ -1,0 +1,222 @@
+"""Rule-based label remapping (the "+" variants, Section 3.5 and Table 2).
+
+The paper supplements both ArcheType and the baselines with simple rule-based
+label assignment: certain types (URLs, ISSNs, MD5 hashes, DBN codes, ...) are
+faster and more reliable to detect with a regex or lookup than with an LLM.
+Rules are applied *before* querying (if a column's values overwhelmingly match
+a rule, the rule's label is assigned directly and the LLM is skipped) and
+*after* querying (a rule can override an LLM answer when the evidence is
+unambiguous).  To conserve the zero-shot nature of the problem the paper
+limits rule development to two hours per dataset; the rule sets below have the
+same flavour — a handful of high-precision detectors per benchmark.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.core.table import Column
+
+ValuePredicate = Callable[[str], bool]
+
+
+@dataclass(frozen=True)
+class ColumnRule:
+    """Assign ``label`` when at least ``min_fraction`` of values satisfy ``predicate``."""
+
+    label: str
+    predicate: ValuePredicate
+    min_fraction: float = 0.7
+    description: str = ""
+
+    def matches(self, column: Column) -> bool:
+        values = column.non_empty_values()
+        if not values:
+            return False
+        hits = sum(1 for v in values if self.predicate(v))
+        return hits / len(values) >= self.min_fraction
+
+
+@dataclass
+class RuleSet:
+    """An ordered collection of rules for one benchmark."""
+
+    name: str
+    rules: list[ColumnRule] = field(default_factory=list)
+
+    @property
+    def covered_labels(self) -> list[str]:
+        """Labels that at least one rule can assign (deduplicated, ordered)."""
+        seen: dict[str, None] = {}
+        for rule in self.rules:
+            seen.setdefault(rule.label, None)
+        return list(seen)
+
+    def apply(self, column: Column, label_set: Sequence[str]) -> str | None:
+        """Return the first matching rule's label if it is in the label set."""
+        allowed = {label for label in label_set}
+        for rule in self.rules:
+            if rule.label in allowed and rule.matches(column):
+                return rule.label
+        return None
+
+
+def _regex_predicate(pattern: str, flags: int = 0) -> ValuePredicate:
+    compiled = re.compile(pattern, flags)
+    return lambda value: bool(compiled.match(value.strip()))
+
+
+_URL = _regex_predicate(r"^(https?://|www\.)\S+$", re.I)
+_EMAIL = _regex_predicate(r"^[\w.+-]+@[\w-]+\.[\w.-]+$")
+_PHONE = _regex_predicate(r"^(\+?\d{1,3}[\s.-]?)?(\(\d{3}\)|\d{3})[\s.-]?\d{3}[\s.-]?\d{4}$")
+_ZIP = _regex_predicate(r"^\d{5}(-\d{4})?$")
+_BOOLEAN = _regex_predicate(r"^(true|false|yes|no|y|n|0|1)$", re.I)
+_ISSN = _regex_predicate(r"^\d{4}-\d{3}[\dX]$")
+_ISBN = _regex_predicate(r"^(97[89][- ]?)?\d{1,5}[- ]?\d{1,7}[- ]?\d{1,7}[- ]?[\dX]$")
+_MD5 = _regex_predicate(r"^[a-f0-9]{32}$", re.I)
+_INCHI = _regex_predicate(r"^InChI=1S?/.+")
+_MOLFORMULA = _regex_predicate(r"^([A-Z][a-z]?\d*){2,}$")
+_DBN = _regex_predicate(r"^\d{2}[A-Z]\d{3}$")
+_SCHOOL_NUMBER = _regex_predicate(r"^[KPMQXR]?\d{3}$")
+_GRADES = _regex_predicate(r"^(PK|K|\d{1,2})-(\d{1,2}|K)$", re.I)
+_MONTH = _regex_predicate(
+    r"^(January|February|March|April|May|June|July|August|September|October|November|December)$",
+    re.I,
+)
+_PLATE = _regex_predicate(r"^[A-Z]{3}$")
+_HEADLINE = lambda value: (
+    3 <= len(value.split()) <= 12
+    and sum(1 for c in value if c.isalpha() and c.isupper())
+    > 0.85 * max(sum(1 for c in value if c.isalpha()), 1)
+)
+_NEWSPAPER = lambda value: (
+    value.strip().endswith(".")
+    and len(value.split()) <= 6
+    and any(
+        word in value.lower()
+        for word in ("gazette", "tribune", "herald", "daily", "journal", "times",
+                     "nugget", "champion", "star", "bee", "dispatch", "republic",
+                     "argus", "bulletin", "news", "press", "advertiser", "call",
+                     "union", "review", "globe", "world", "sun")
+    )
+)
+
+
+SOTAB_27_RULES = RuleSet(
+    name="sotab-27",
+    rules=[
+        ColumnRule("url", _URL, description="URL regex"),
+        ColumnRule("email", _EMAIL, description="email regex"),
+        ColumnRule("telephone", _PHONE, description="phone regex"),
+        ColumnRule("zipcode", _ZIP, description="5-digit zip regex"),
+        ColumnRule("boolean", _BOOLEAN, description="boolean tokens"),
+    ],
+)
+
+#: SOTAB-91 shares the structural types that rules can detect; the paper's own
+#: example rule (Schema.org enumeration URLs) is covered by the URL detector
+#: plus the enumeration lookup below.
+_SCHEMA_ENUM = _regex_predicate(r"^https?://schema\.org/\w+$")
+SOTAB_91_RULES = RuleSet(
+    name="sotab-91",
+    rules=[
+        ColumnRule("attendenum", lambda v: bool(re.match(r"^https?://schema\.org/(Offline|Online|Mixed)\w*Attendance", v.strip())),
+                   description="Schema.org attendance enumeration"),
+        ColumnRule("availabilityofitem", lambda v: bool(re.match(r"^https?://schema\.org/(InStock|OutOfStock|PreOrder|Discontinued|LimitedAvailability)", v.strip())),
+                   description="Schema.org availability enumeration"),
+        ColumnRule("offeritemcondition", lambda v: bool(re.match(r"^https?://schema\.org/\w*Condition$", v.strip())),
+                   description="Schema.org item condition enumeration"),
+        ColumnRule("statustype", lambda v: bool(re.match(r"^https?://schema\.org/Event(Scheduled|Cancelled|Postponed|Rescheduled|MovedOnline)", v.strip())),
+                   description="Schema.org event status enumeration"),
+        # Only rules whose label is unambiguous within the 91-class space are
+        # kept: a generic URL or phone rule would misfire on the website /
+        # faxnumber sibling classes.
+        ColumnRule("email", _EMAIL, description="email regex"),
+        ColumnRule("postalcode", _ZIP, description="5-digit zip regex"),
+    ],
+)
+
+D4_RULES = RuleSet(
+    name="d4-20",
+    rules=[
+        ColumnRule("school-dbn", _DBN, description="NYC DBN code regex"),
+        ColumnRule("school-grades", _GRADES, description="grade-range regex"),
+        ColumnRule("school-number", _SCHOOL_NUMBER, description="school number regex"),
+        ColumnRule("month", _MONTH, description="month-name lookup"),
+        ColumnRule("plate-type", _PLATE, description="3-letter plate code"),
+        ColumnRule(
+            "borough",
+            lambda v: v.strip().lower() in
+            {"manhattan", "brooklyn", "queens", "bronx", "staten island"},
+            description="borough lookup",
+        ),
+        ColumnRule(
+            "color",
+            lambda v: v.strip().lower() in
+            {"red", "orange", "yellow", "green", "blue", "indigo", "violet",
+             "black", "white", "gray", "brown", "pink", "purple", "teal",
+             "maroon", "navy", "olive", "cyan", "magenta", "beige",
+             "turquoise", "crimson", "gold", "silver", "lavender"},
+            description="color lookup",
+        ),
+        ColumnRule(
+            "ethnicity",
+            lambda v: v.strip().lower() in
+            {"hispanic or latino", "white", "black or african american",
+             "asian", "american indian or alaska native"},
+            description="ethnicity lookup",
+        ),
+        # No rule is written for us-state / other-states: both classes draw
+        # from the same value pool, so a lookup rule could not tell them apart
+        # (Section 4 calls this subsumption out explicitly).
+        ColumnRule(
+            "elevator or staircase",
+            lambda v: v.strip().lower() in {
+                "elevator", "staircase", "escalator", "ramp",
+                "passenger elevator", "freight elevator", "stairway a",
+                "stairway b", "service elevator",
+            },
+            description="elevator/staircase lookup",
+        ),
+    ],
+)
+
+AMSTR_RULES = RuleSet(
+    name="amstr-56",
+    rules=[
+        ColumnRule("newspaper", _NEWSPAPER, min_fraction=0.65,
+                   description="newspaper masthead heuristics"),
+        ColumnRule("headline", _HEADLINE, min_fraction=0.65,
+                   description="all-caps short line heuristics"),
+    ],
+)
+
+PUBCHEM_RULES = RuleSet(
+    name="pubchem-20",
+    rules=[
+        ColumnRule("journal issn", _ISSN, description="ISSN regex"),
+        ColumnRule("book isbn", _ISBN, description="ISBN regex"),
+        ColumnRule("md5 hash", _MD5, description="MD5 regex"),
+        ColumnRule("inchi (international chemical identifier)", _INCHI,
+                   description="InChI prefix"),
+        ColumnRule("molecular formula", _MOLFORMULA, min_fraction=0.8,
+                   description="element-symbol formula regex"),
+    ],
+)
+
+_RULESETS: dict[str, RuleSet] = {
+    rs.name: rs
+    for rs in (SOTAB_27_RULES, SOTAB_91_RULES, D4_RULES, AMSTR_RULES, PUBCHEM_RULES)
+}
+
+
+def get_ruleset(benchmark_name: str) -> RuleSet | None:
+    """Rule set for a benchmark, or None when the benchmark has no rules."""
+    return _RULESETS.get(benchmark_name.strip().lower())
+
+
+def list_rulesets() -> list[str]:
+    """Benchmarks that ship with a rule set."""
+    return sorted(_RULESETS)

@@ -1,0 +1,255 @@
+"""Context sampling strategies (Algorithm 1 of the paper).
+
+Given a column's unique values ``U_i`` and a target sample size ``phi``, a
+sampler selects the subset of values that will represent the column in the
+prompt.  The paper compares three strategies:
+
+* **Simple random sampling (SRS)** — used by the CHORUS-style C-Baseline.
+* **First-k sampling (FS)** — used by the Korini-style K-Baseline.
+* **ArcheType sampling** — weighted sampling without replacement under an
+  importance function; the default importance function is string length, and
+  a "contains a class name" importance function is used for the American
+  Stories benchmark.  When the column has fewer unique values than ``phi``
+  the sampler falls back to sampling *with* replacement, exactly as the
+  algorithm in the paper does.
+
+All samplers are deterministic given a ``numpy`` random generator / seed so
+experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.table import Column
+from repro.exceptions import ConfigurationError, EmptyColumnError
+
+ImportanceFunction = Callable[[str], float]
+
+
+def length_importance(value: str) -> float:
+    """Importance proportional to string length (the paper's default).
+
+    Longer strings are more likely to contain useful information.  Empty
+    strings receive a tiny weight so the distribution stays valid even for
+    columns with many blanks.
+    """
+    return float(len(value)) if value.strip() else 0.01
+
+
+def make_label_containment_importance(
+    label_set: Sequence[str],
+) -> ImportanceFunction:
+    """Importance function used for the American Stories benchmark.
+
+    ``f(sigma) = 1`` when any label from the label set appears inside the
+    value (case-insensitively), else ``0.1``.  Labels rarely occur verbatim
+    inside cell values ("article from Pennsylvania" never appears inside an
+    article), so in addition to the full label we also match each label's
+    distinctive tokens (length >= 4, e.g. "pennsylvania").  Note that this
+    uses only the label *set*, never the ground-truth label of the column, so
+    it remains a legitimate zero-shot heuristic.
+    """
+    generic = {"article", "from", "with", "name", "label", "type", "other",
+               "title", "person", "column", "alternative"}
+    needles: set[str] = set()
+    for label in label_set:
+        stripped = label.strip().lower()
+        if not stripped:
+            continue
+        needles.add(stripped)
+        for token in stripped.replace("-", " ").split():
+            if len(token) >= 4 and token not in generic:
+                needles.add(token)
+
+    def importance(value: str) -> float:
+        haystack = value.lower()
+        for needle in needles:
+            if needle in haystack:
+                return 1.0
+        return 0.1
+
+    return importance
+
+
+@dataclass
+class SampleResult:
+    """The outcome of one context-sampling call."""
+
+    values: list[str]
+    with_replacement: bool
+    strategy: str
+
+
+class ContextSampler(ABC):
+    """Interface shared by every context-sampling strategy."""
+
+    name: str = "base"
+
+    @abstractmethod
+    def sample(
+        self,
+        column: Column,
+        sample_size: int,
+        rng: np.random.Generator,
+    ) -> SampleResult:
+        """Return ``sample_size`` representative values from ``column``."""
+
+    def _validate(self, column: Column, sample_size: int) -> list[str]:
+        if sample_size <= 0:
+            raise ConfigurationError(
+                f"sample_size must be positive, got {sample_size}"
+            )
+        values = column.non_empty_values()
+        if not values:
+            raise EmptyColumnError(
+                f"cannot sample from column {column.name!r}: no non-empty values"
+            )
+        return values
+
+
+class SimpleRandomSampler(ContextSampler):
+    """Uniform sampling over the raw (non-unique) column values.
+
+    This mirrors the sampling used by the C-Baseline: values are drawn
+    uniformly with replacement from the column, so duplicated values are
+    over-represented and long informative values carry no extra weight.
+    """
+
+    name = "srs"
+
+    def sample(
+        self,
+        column: Column,
+        sample_size: int,
+        rng: np.random.Generator,
+    ) -> SampleResult:
+        values = self._validate(column, sample_size)
+        indices = rng.integers(0, len(values), size=sample_size)
+        return SampleResult(
+            values=[values[i] for i in indices],
+            with_replacement=True,
+            strategy=self.name,
+        )
+
+
+class FirstKSampler(ContextSampler):
+    """Take the first ``k`` rows of the column (the K-Baseline strategy).
+
+    If the column is shorter than ``k`` the values wrap around, matching the
+    "sampling with replacement" assumption used for the cost analysis in
+    Table 1.
+    """
+
+    name = "firstk"
+
+    def sample(
+        self,
+        column: Column,
+        sample_size: int,
+        rng: np.random.Generator,
+    ) -> SampleResult:
+        values = self._validate(column, sample_size)
+        taken = [values[i % len(values)] for i in range(sample_size)]
+        return SampleResult(
+            values=taken,
+            with_replacement=sample_size > len(values),
+            strategy=self.name,
+        )
+
+
+class ArcheTypeSampler(ContextSampler):
+    """Importance-weighted sampling over unique values (Algorithm 1).
+
+    The probability of selecting ``sigma`` from ``U_i`` is
+    ``f(sigma) / sum_j f(sigma_j)``.  When ``|U_i| >= phi`` the sample is
+    drawn without replacement; otherwise it is drawn with replacement.
+    """
+
+    name = "archetype"
+
+    def __init__(self, importance: ImportanceFunction | None = None) -> None:
+        self.importance = importance or length_importance
+
+    def _probabilities(self, values: Sequence[str]) -> np.ndarray:
+        weights = np.array([max(self.importance(v), 0.0) for v in values])
+        total = float(weights.sum())
+        if total <= 0.0:
+            return np.full(len(values), 1.0 / len(values))
+        return weights / total
+
+    def sample(
+        self,
+        column: Column,
+        sample_size: int,
+        rng: np.random.Generator,
+    ) -> SampleResult:
+        self._validate(column, sample_size)
+        unique = [v for v in column.unique_values() if v.strip()]
+        if not unique:
+            raise EmptyColumnError(
+                f"cannot sample from column {column.name!r}: no non-empty values"
+            )
+        probabilities = self._probabilities(unique)
+        with_replacement = len(unique) < sample_size
+        if with_replacement:
+            chosen = rng.choice(
+                len(unique), size=sample_size, replace=True, p=probabilities
+            )
+        else:
+            chosen = rng.choice(
+                len(unique), size=sample_size, replace=False, p=probabilities
+            )
+        return SampleResult(
+            values=[unique[i] for i in chosen],
+            with_replacement=with_replacement,
+            strategy=self.name,
+        )
+
+
+_SAMPLERS: dict[str, Callable[[], ContextSampler]] = {
+    "srs": SimpleRandomSampler,
+    "firstk": FirstKSampler,
+    "archetype": ArcheTypeSampler,
+}
+
+
+def get_sampler(
+    name: str,
+    label_set: Sequence[str] | None = None,
+    importance: str = "length",
+) -> ContextSampler:
+    """Construct a sampler by name.
+
+    ``importance`` selects the ArcheType importance function: ``"length"``
+    (default) or ``"label-containment"`` (requires ``label_set``; used for the
+    Amstr benchmark in the paper).
+    """
+    key = name.lower()
+    if key not in _SAMPLERS:
+        raise ConfigurationError(
+            f"unknown sampler {name!r}; choose from {sorted(_SAMPLERS)}"
+        )
+    if key != "archetype":
+        return _SAMPLERS[key]()
+    if importance == "length":
+        return ArcheTypeSampler(length_importance)
+    if importance == "label-containment":
+        if not label_set:
+            raise ConfigurationError(
+                "label-containment importance requires a non-empty label_set"
+            )
+        return ArcheTypeSampler(make_label_containment_importance(label_set))
+    raise ConfigurationError(
+        f"unknown importance function {importance!r}; "
+        "choose 'length' or 'label-containment'"
+    )
+
+
+def list_samplers() -> list[str]:
+    """Names accepted by :func:`get_sampler`."""
+    return sorted(_SAMPLERS)

@@ -1,0 +1,200 @@
+"""Tabular substrate: columns, tables and basic type testing.
+
+The paper's formal model (Section 3) treats a table ``T`` as a collection of
+columns, each of which maps row indices to strings.  Column names and table
+metadata *may* exist but are never required.  This module provides exactly
+that abstraction plus the small amount of type testing the pipeline needs
+(numeric detection for the numeric-label-space restriction described in
+Section 3.3, and unique-value extraction used by context sampling).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from repro.exceptions import EmptyColumnError
+
+_NUMERIC_RE = re.compile(r"^\s*[-+]?(\d[\d,]*\.?\d*|\.\d+)([eE][-+]?\d+)?\s*$")
+_ALNUM_UNIT_RE = re.compile(r"^\s*[-+]?\d[\d,.]*\s*[a-zA-Z%°$€£]{0,6}\s*$")
+
+
+def is_numeric_string(value: str) -> bool:
+    """Return True if ``value`` looks like a plain number.
+
+    Thousands separators, signs and exponents are accepted; anything with
+    alphabetic content (other than an exponent marker) is not.
+    """
+    return bool(_NUMERIC_RE.match(value))
+
+
+def is_numeric_like(value: str) -> bool:
+    """Return True for numbers possibly followed by a short unit suffix.
+
+    The paper's numeric-label restriction treats values such as ``"550mm"``
+    or ``"4.99 $"`` as numeric-like when deciding whether to restrict the
+    label space to numeric labels.
+    """
+    return bool(_NUMERIC_RE.match(value)) or bool(_ALNUM_UNIT_RE.match(value))
+
+
+@dataclass
+class Column:
+    """A single table column: an ordered sequence of string cell values.
+
+    Parameters
+    ----------
+    values:
+        The cell values.  Non-string values are converted with ``str``.
+    name:
+        Optional column header.  The formal model does not require one.
+    label:
+        Optional ground-truth semantic type, populated by benchmark
+        generators and ignored by the annotation pipeline itself.
+    """
+
+    values: list[str]
+    name: str | None = None
+    label: str | None = None
+
+    def __post_init__(self) -> None:
+        self.values = [v if isinstance(v, str) else str(v) for v in self.values]
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.values)
+
+    def __getitem__(self, index: int) -> str:
+        return self.values[index]
+
+    def non_empty_values(self) -> list[str]:
+        """Return values that are not empty or whitespace-only."""
+        return [v for v in self.values if v.strip()]
+
+    def unique_values(self) -> list[str]:
+        """Return the distinct values of the column, preserving first-seen order.
+
+        This corresponds to ``U_i := unique(Sigma_{C_i})`` in the paper and is
+        the input to every context-sampling strategy.
+        """
+        seen: dict[str, None] = {}
+        for value in self.values:
+            if value not in seen:
+                seen[value] = None
+        return list(seen)
+
+    def is_degenerate(self) -> bool:
+        """Return True if the column has at most one distinct non-empty value.
+
+        Degenerate columns are called out in Section 3.2 as a case where CTA
+        can become unsolvable; samplers and the simulated LLM both treat them
+        specially.
+        """
+        distinct = {v for v in self.values if v.strip()}
+        return len(distinct) <= 1
+
+    def numeric_fraction(self) -> float:
+        """Fraction of non-empty values that are plain numbers."""
+        usable = self.non_empty_values()
+        if not usable:
+            return 0.0
+        return sum(1 for v in usable if is_numeric_string(v)) / len(usable)
+
+    def is_numeric(self, threshold: float = 0.95) -> bool:
+        """Return True if at least ``threshold`` of the values are numeric."""
+        usable = self.non_empty_values()
+        if not usable:
+            return False
+        return self.numeric_fraction() >= threshold
+
+    def require_values(self) -> list[str]:
+        """Return non-empty values or raise :class:`EmptyColumnError`."""
+        usable = self.non_empty_values()
+        if not usable:
+            raise EmptyColumnError(
+                f"column {self.name!r} has no non-empty values"
+            )
+        return usable
+
+
+@dataclass
+class Table:
+    """A table: an ordered list of columns plus an optional name.
+
+    The optional ``name`` corresponds to the table filename feature (TN) used
+    for extended-context sampling in the fine-tuned regime.
+    """
+
+    columns: list[Column] = field(default_factory=list)
+    name: str | None = None
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __iter__(self) -> Iterator[Column]:
+        return iter(self.columns)
+
+    def __getitem__(self, index: int) -> Column:
+        return self.columns[index]
+
+    @property
+    def n_rows(self) -> int:
+        """Number of rows (length of the longest column)."""
+        if not self.columns:
+            return 0
+        return max(len(column) for column in self.columns)
+
+    def column_by_name(self, name: str) -> Column:
+        """Return the first column whose ``name`` matches, else raise KeyError."""
+        for column in self.columns:
+            if column.name == name:
+                return column
+        raise KeyError(name)
+
+    def other_columns(self, index: int) -> list[Column]:
+        """Return every column except the one at ``index``.
+
+        Used by the "other columns" (OC) extended-context feature.
+        """
+        if index < 0 or index >= len(self.columns):
+            raise IndexError(f"column index {index} out of range")
+        return [c for i, c in enumerate(self.columns) if i != index]
+
+    @classmethod
+    def from_rows(
+        cls,
+        rows: Sequence[Sequence[str]],
+        column_names: Sequence[str] | None = None,
+        name: str | None = None,
+    ) -> "Table":
+        """Build a table from row-major data (the usual CSV orientation)."""
+        if not rows:
+            return cls(columns=[], name=name)
+        width = max(len(row) for row in rows)
+        columns: list[Column] = []
+        for i in range(width):
+            values = [str(row[i]) if i < len(row) else "" for row in rows]
+            col_name = None
+            if column_names is not None and i < len(column_names):
+                col_name = column_names[i]
+            columns.append(Column(values=values, name=col_name))
+        return cls(columns=columns, name=name)
+
+    @classmethod
+    def from_columns(
+        cls,
+        columns: Iterable[Sequence[str]],
+        column_names: Sequence[str] | None = None,
+        name: str | None = None,
+    ) -> "Table":
+        """Build a table from column-major data."""
+        built: list[Column] = []
+        for i, values in enumerate(columns):
+            col_name = None
+            if column_names is not None and i < len(column_names):
+                col_name = column_names[i]
+            built.append(Column(values=[str(v) for v in values], name=col_name))
+        return cls(columns=built, name=name)

@@ -1,0 +1,28 @@
+"""Synthetic benchmark generators for every dataset in the paper's evaluation.
+
+Real SOTAB / NYC Open Data / American Stories / PubChem / T2D / Efthymiou /
+VizNet corpora are not available offline, so each benchmark is regenerated
+synthetically from the same class inventories with realistic value shapes
+(see DESIGN.md, "Substitutions").  Each generator produces
+:class:`repro.datasets.base.BenchmarkColumn` instances — a column of values
+plus its ground-truth label — and a :class:`repro.datasets.base.Benchmark`
+that carries the label set and optional per-dataset metadata (numeric labels,
+rule-covered labels, importance function).
+
+Use :func:`load_benchmark` to obtain any benchmark by name:
+
+>>> from repro.datasets import load_benchmark
+>>> bench = load_benchmark("sotab-27", n_columns=200, seed=0)
+>>> len(bench.columns), len(bench.label_set)
+(200, 27)
+"""
+
+from repro.datasets.base import Benchmark, BenchmarkColumn
+from repro.datasets.registry import BENCHMARK_NAMES, load_benchmark
+
+__all__ = [
+    "BENCHMARK_NAMES",
+    "Benchmark",
+    "BenchmarkColumn",
+    "load_benchmark",
+]

@@ -1,0 +1,507 @@
+"""Value generators: synthetic cell values for every semantic type.
+
+Each generator is a function ``(rng) -> str`` producing one cell value of a
+given semantic type.  The benchmark modules combine these generators into
+labelled columns with realistic lengths, duplicate rates and noise.  All
+generators draw exclusively from the shared vocabulary module and from a
+seeded ``numpy`` generator so benchmark construction is fully reproducible.
+"""
+
+from __future__ import annotations
+
+import string
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.datasets import vocab
+
+ValueGenerator = Callable[[np.random.Generator], str]
+
+GENERATORS: dict[str, ValueGenerator] = {}
+
+
+def register_generator(name: str) -> Callable[[ValueGenerator], ValueGenerator]:
+    """Decorator registering a generator under ``name``."""
+
+    def decorator(func: ValueGenerator) -> ValueGenerator:
+        GENERATORS[name] = func
+        return func
+
+    return decorator
+
+
+def get_generator(name: str) -> ValueGenerator:
+    """Look up a generator; raises KeyError for unknown names."""
+    return GENERATORS[name]
+
+
+def _choice(rng: np.random.Generator, pool: Sequence[str]) -> str:
+    return str(pool[int(rng.integers(0, len(pool)))])
+
+
+def _digits(rng: np.random.Generator, n: int) -> str:
+    return "".join(str(int(d)) for d in rng.integers(0, 10, size=n))
+
+
+# ---------------------------------------------------------------------------
+# structural types
+# ---------------------------------------------------------------------------
+
+
+@register_generator("url")
+def generate_url(rng: np.random.Generator) -> str:
+    domain = _choice(rng, vocab.URL_DOMAINS)
+    path_words = rng.integers(1, 4)
+    path = "/".join(
+        _choice(rng, ("item", "page", "file", "article", "product", "view",
+                      "8.6.19", "2020", "archive", "catalog"))
+        for _ in range(path_words)
+    )
+    suffix = _choice(rng, ("", ".html", ".php", "?id=" + _digits(rng, 4),
+                           "?is_for_sharing=true"))
+    return f"http://{domain}/{path}{suffix}"
+
+
+@register_generator("email")
+def generate_email(rng: np.random.Generator) -> str:
+    first = _choice(rng, vocab.FIRST_NAMES).lower()
+    last = _choice(rng, vocab.LAST_NAMES).lower()
+    sep = _choice(rng, (".", "_", ""))
+    domain = _choice(rng, vocab.EMAIL_DOMAINS)
+    return f"{first}{sep}{last}@{domain}"
+
+
+@register_generator("zipcode")
+def generate_zipcode(rng: np.random.Generator) -> str:
+    base = _digits(rng, 5)
+    if rng.random() < 0.15:
+        return f"{base}-{_digits(rng, 4)}"
+    return base
+
+
+@register_generator("telephone")
+def generate_telephone(rng: np.random.Generator) -> str:
+    style = rng.random()
+    area, mid, tail = _digits(rng, 3), _digits(rng, 3), _digits(rng, 4)
+    if style < 0.4:
+        return f"({area}) {mid}-{tail}"
+    if style < 0.7:
+        return f"{area}-{mid}-{tail}"
+    return f"+1 {area} {mid} {tail}"
+
+
+@register_generator("date")
+def generate_date(rng: np.random.Generator) -> str:
+    year = int(rng.integers(1950, 2024))
+    month = int(rng.integers(1, 13))
+    day = int(rng.integers(1, 29))
+    style = rng.random()
+    if style < 0.4:
+        return f"{year}-{month:02d}-{day:02d}"
+    if style < 0.7:
+        return f"{month}/{day}/{year}"
+    return f"{vocab.MONTHS[month - 1]} {day}, {year}"
+
+
+@register_generator("time")
+def generate_time(rng: np.random.Generator) -> str:
+    hour = int(rng.integers(1, 13))
+    minute = int(rng.integers(0, 60))
+    if rng.random() < 0.5:
+        return f"{hour}:{minute:02d} {_choice(rng, ('AM', 'PM'))}"
+    return f"{int(rng.integers(0, 24)):02d}:{minute:02d}:{int(rng.integers(0, 60)):02d}"
+
+
+@register_generator("coordinates")
+def generate_coordinates(rng: np.random.Generator) -> str:
+    lat = rng.uniform(-90, 90)
+    lon = rng.uniform(-180, 180)
+    if rng.random() < 0.5:
+        return f"{lat:.6f}, {lon:.6f}"
+    return f"{lat:.6f}"
+
+
+@register_generator("price")
+def generate_price(rng: np.random.Generator) -> str:
+    amount = rng.uniform(0.5, 5000)
+    style = rng.random()
+    if style < 0.5:
+        return f"${amount:,.2f}"
+    if style < 0.75:
+        return f"{amount:.2f} USD"
+    return f"€{amount:,.2f}"
+
+
+@register_generator("currency")
+def generate_currency(rng: np.random.Generator) -> str:
+    return _choice(rng, vocab.CURRENCIES)
+
+
+@register_generator("boolean")
+def generate_boolean(rng: np.random.Generator) -> str:
+    return _choice(rng, vocab.BOOLEAN_VALUES)
+
+
+@register_generator("number")
+def generate_number(rng: np.random.Generator) -> str:
+    style = rng.random()
+    if style < 0.4:
+        return str(int(rng.integers(0, 100000)))
+    if style < 0.7:
+        return f"{rng.uniform(0, 1000):.2f}"
+    return str(int(rng.integers(0, 1000)))
+
+
+@register_generator("numeric identifier")
+def generate_numeric_identifier(rng: np.random.Generator) -> str:
+    return _digits(rng, int(rng.integers(5, 10)))
+
+
+@register_generator("age")
+def generate_age(rng: np.random.Generator) -> str:
+    return str(int(rng.integers(1, 100)))
+
+
+@register_generator("weight")
+def generate_weight(rng: np.random.Generator) -> str:
+    unit = _choice(rng, ("kg", "g", "lb", "oz", "mm", "cm"))
+    return f"{int(rng.integers(1, 900))}{unit}"
+
+
+@register_generator("year")
+def generate_year(rng: np.random.Generator) -> str:
+    return str(int(rng.integers(1774, 2024)))
+
+
+@register_generator("isbn")
+def generate_isbn(rng: np.random.Generator) -> str:
+    return f"978-{_digits(rng, 1)}-{_digits(rng, 4)}-{_digits(rng, 4)}-{_digits(rng, 1)}"
+
+
+@register_generator("issn")
+def generate_issn(rng: np.random.Generator) -> str:
+    check = _choice(rng, tuple("0123456789X"))
+    return f"{_digits(rng, 4)}-{_digits(rng, 3)}{check}"
+
+
+@register_generator("md5")
+def generate_md5(rng: np.random.Generator) -> str:
+    return "".join(_choice(rng, tuple("0123456789abcdef")) for _ in range(32))
+
+
+@register_generator("inchi")
+def generate_inchi(rng: np.random.Generator) -> str:
+    carbons = int(rng.integers(2, 30))
+    hydrogens = int(rng.integers(2, 60))
+    tail = "".join(_choice(rng, tuple("123456789-()chn")) for _ in range(12))
+    return f"InChI=1S/C{carbons}H{hydrogens}NO2/c{tail}"
+
+
+@register_generator("smiles")
+def generate_smiles(rng: np.random.Generator) -> str:
+    fragments = ("C", "CC", "C(=O)", "c1ccccc1", "N", "O", "Cl", "CO", "C(N)",
+                 "[nH]", "C=C", "OC", "c1ccncc1", "S(=O)(=O)", "F", "Br")
+    length = int(rng.integers(3, 9))
+    body = "".join(_choice(rng, fragments) for _ in range(length))
+    return body + _choice(rng, ("", "O", "N", "Cl"))
+
+
+@register_generator("molecular formula")
+def generate_molecular_formula(rng: np.random.Generator) -> str:
+    c = int(rng.integers(2, 60))
+    h = int(rng.integers(4, 90))
+    extras = ""
+    for symbol in ("N", "O", "S", "Cl", "Si", "P"):
+        if rng.random() < 0.4:
+            count = int(rng.integers(1, 12))
+            extras += f"{symbol}{count if count > 1 else ''}"
+    return f"C{c}H{h}{extras}"
+
+
+@register_generator("biological formula")
+def generate_biological_formula(rng: np.random.Generator) -> str:
+    """Peptide-style sequences; deliberately hard to separate from chemicals."""
+    length = int(rng.integers(3, 8))
+    residues = "-".join(_choice(rng, vocab.AMINO_ACID_CODES) for _ in range(length))
+    return residues
+
+
+@register_generator("street address")
+def generate_street_address(rng: np.random.Generator) -> str:
+    number = int(rng.integers(1, 9999))
+    base = _choice(rng, vocab.STREET_BASE_NAMES)
+    suffix = _choice(rng, vocab.STREET_SUFFIXES)
+    return f"{number} {base} {suffix}"
+
+
+@register_generator("patent identifier")
+def generate_patent_identifier(rng: np.random.Generator) -> str:
+    return f"US{_digits(rng, 7)}{_choice(rng, ('A1', 'B2', ''))}"
+
+
+# ---------------------------------------------------------------------------
+# lexicon-backed types
+# ---------------------------------------------------------------------------
+
+
+def _lexicon_generator(name: str, pool: Sequence[str]) -> None:
+    @register_generator(name)
+    def _generate(rng: np.random.Generator, _pool: Sequence[str] = pool) -> str:
+        return _choice(rng, _pool)
+
+
+_lexicon_generator("us-state", vocab.US_STATES)
+_lexicon_generator("state abbreviation", vocab.US_STATE_ABBREVIATIONS)
+_lexicon_generator("country", vocab.COUNTRIES)
+_lexicon_generator("language", vocab.LANGUAGES)
+_lexicon_generator("gender", vocab.GENDERS)
+_lexicon_generator("month", vocab.MONTHS)
+_lexicon_generator("color", vocab.COLORS)
+_lexicon_generator("ethnicity", vocab.ETHNICITIES)
+_lexicon_generator("borough", vocab.NYC_BOROUGHS)
+_lexicon_generator("organization", vocab.ORGANIZATIONS)
+_lexicon_generator("company", vocab.COMPANIES)
+_lexicon_generator("sportsteam", vocab.SPORTS_TEAMS)
+_lexicon_generator("nyc agency", vocab.NYC_AGENCIES)
+_lexicon_generator("nyc agency abbreviation", vocab.NYC_AGENCY_ABBREVIATIONS)
+_lexicon_generator("school name", vocab.NYC_SCHOOL_NAMES)
+_lexicon_generator("permit-types", vocab.PERMIT_TYPES)
+_lexicon_generator("plate-type", vocab.PLATE_TYPES)
+_lexicon_generator("school-grades", vocab.SCHOOL_GRADES)
+_lexicon_generator("elevator or staircase", vocab.ELEVATOR_STAIRCASE)
+_lexicon_generator("newspaper", vocab.NEWSPAPER_NAMES)
+_lexicon_generator("journal title", vocab.JOURNAL_TITLES)
+_lexicon_generator("chemical", vocab.CHEMICAL_NAMES)
+_lexicon_generator("disease", vocab.DISEASES)
+_lexicon_generator("taxonomy", vocab.TAXONOMY_LABELS)
+_lexicon_generator("cell line", vocab.CELL_LINES)
+_lexicon_generator("concept broader term", vocab.CONCEPT_BROADER_TERMS)
+_lexicon_generator("product", vocab.PRODUCT_NAMES)
+_lexicon_generator("creativework", vocab.CREATIVE_WORKS)
+_lexicon_generator("event", vocab.EVENTS)
+_lexicon_generator("jobposting", vocab.JOB_TITLES)
+_lexicon_generator("jobrequirements", vocab.JOB_REQUIREMENTS)
+_lexicon_generator("headline", vocab.HEADLINE_FRAGMENTS)
+
+_lexicon_generator("region in bronx", vocab.BRONX_NEIGHBORHOODS)
+_lexicon_generator("region in brooklyn", vocab.BROOKLYN_NEIGHBORHOODS)
+_lexicon_generator("region in queens", vocab.QUEENS_NEIGHBORHOODS)
+_lexicon_generator("region in manhattan", vocab.MANHATTAN_NEIGHBORHOODS)
+_lexicon_generator("region in staten island", vocab.STATEN_ISLAND_NEIGHBORHOODS)
+
+
+@register_generator("other-states")
+def generate_other_states(rng: np.random.Generator) -> str:
+    """States column whose value pool is subsumed by ``us-state`` (Section 4)."""
+    return _choice(rng, vocab.US_STATES)
+
+
+@register_generator("school-dbn")
+def generate_school_dbn(rng: np.random.Generator) -> str:
+    return f"{int(rng.integers(1, 33)):02d}{_choice(rng, 'KMQXR')}{_digits(rng, 3)}"
+
+
+@register_generator("school-number")
+def generate_school_number(rng: np.random.Generator) -> str:
+    prefix = _choice(rng, ("", "K", "Q", "M", "X", "R"))
+    return f"{prefix}{_digits(rng, 3)}"
+
+
+# ---------------------------------------------------------------------------
+# people and text
+# ---------------------------------------------------------------------------
+
+
+@register_generator("person full name")
+def generate_person_full_name(rng: np.random.Generator) -> str:
+    first = _choice(rng, vocab.FIRST_NAMES)
+    last = _choice(rng, vocab.LAST_NAMES)
+    if rng.random() < 0.2:
+        return f"{last}, {first}"
+    return f"{first} {last}"
+
+
+@register_generator("person first name")
+def generate_person_first_name(rng: np.random.Generator) -> str:
+    first = _choice(rng, vocab.FIRST_NAMES)
+    if rng.random() < 0.4:
+        middle = _choice(rng, string.ascii_uppercase)
+        return f"{first} {middle}."
+    return first
+
+
+@register_generator("person last name")
+def generate_person_last_name(rng: np.random.Generator) -> str:
+    return _choice(rng, vocab.LAST_NAMES)
+
+
+@register_generator("author byline")
+def generate_author_byline(rng: np.random.Generator) -> str:
+    first = _choice(rng, vocab.FIRST_NAMES)
+    last = _choice(rng, vocab.LAST_NAMES)
+    style = rng.random()
+    if style < 0.5:
+        return f"By {first} {last}"
+    if style < 0.8:
+        return f"BY {first.upper()} {last.upper()}"
+    return f"{first} {last}, Staff Correspondent"
+
+
+@register_generator("text")
+def generate_text(rng: np.random.Generator) -> str:
+    n = int(rng.integers(4, 14))
+    words = [
+        _choice(rng, ("the", "quality", "service", "delivery", "was", "great",
+                      "product", "arrived", "on", "time", "highly",
+                      "recommended", "package", "condition", "excellent",
+                      "customer", "support", "friendly", "store", "visit"))
+        for _ in range(n)
+    ]
+    sentence = " ".join(words)
+    return sentence[0].upper() + sentence[1:] + "."
+
+
+@register_generator("category")
+def generate_category(rng: np.random.Generator) -> str:
+    return _choice(rng, (
+        "Electronics", "Books", "Clothing", "Home & Garden", "Sports",
+        "Toys", "Automotive", "Beauty", "Grocery", "Office Supplies",
+        "Outdoor", "Pet Supplies", "Music", "Jewelry", "Health",
+        "Furniture", "Appliances", "Footwear", "Hardware", "Stationery",
+    ))
+
+
+@register_generator("patent abstract")
+def generate_patent_abstract(rng: np.random.Generator) -> str:
+    subject = _choice(rng, ("a pharmaceutical composition", "a catalytic process",
+                            "an electrode assembly", "a polymer blend",
+                            "a diagnostic method", "a coating formulation",
+                            "an antibody conjugate", "a battery separator"))
+    action = _choice(rng, ("treating inflammatory disorders",
+                           "reducing manufacturing costs",
+                           "improving thermal stability",
+                           "increasing catalytic yield",
+                           "detecting biomarkers in serum",
+                           "enhancing drug solubility"))
+    return (
+        f"The present invention relates to {subject} for {action}. "
+        f"Disclosed herein are embodiments comprising "
+        f"{_choice(rng, vocab.CHEMICAL_NAMES)} and methods of use thereof, "
+        f"wherein the composition exhibits improved efficacy over prior art."
+    )
+
+
+@register_generator("patent title")
+def generate_patent_title(rng: np.random.Generator) -> str:
+    head = _choice(rng, ("Method for", "Apparatus for", "Composition for",
+                         "System for", "Process for the preparation of",
+                         "Device for"))
+    subject = _choice(rng, ("the treatment of metabolic disorders",
+                            "solid-phase peptide synthesis",
+                            "wastewater purification",
+                            "selective hydrogenation of alkenes",
+                            "controlled drug release",
+                            "non-invasive glucose monitoring"))
+    tail = " and uses thereof" if rng.random() < 0.3 else ""
+    return f"{head} {subject}{tail}"
+
+
+@register_generator("book title")
+def generate_book_title(rng: np.random.Generator) -> str:
+    return _choice(rng, vocab.CREATIVE_WORKS)
+
+
+def make_article_generator(state: str, mention_probability: float = 0.12) -> ValueGenerator:
+    """Generator for OCR'd newspaper article text from one US state.
+
+    Articles from different states are drawn from the same prose distribution;
+    only an occasional dateline or in-text mention reveals the state, which is
+    what makes Amstr-56 the hardest benchmark in the suite and what makes the
+    label-containment importance function effective.
+    """
+
+    def generate(rng: np.random.Generator) -> str:
+        sentences = [
+            _choice(rng, vocab.ARTICLE_SENTENCE_FRAGMENTS)
+            for _ in range(int(rng.integers(2, 5)))
+        ]
+        body = ". ".join(sentences) + "."
+        if rng.random() < mention_probability:
+            town = _choice(rng, vocab.STREET_BASE_NAMES).upper()
+            day = _choice(rng, vocab.MONTHS)[:3]
+            return f"{town}, {state.upper()}, {day}. {int(rng.integers(1, 29))}.-{body}"
+        return body
+
+    return generate
+
+
+@register_generator("article")
+def generate_article(rng: np.random.Generator) -> str:
+    sentences = [
+        _choice(rng, vocab.ARTICLE_SENTENCE_FRAGMENTS)
+        for _ in range(int(rng.integers(2, 5)))
+    ]
+    return ". ".join(sentences) + "."
+
+
+@register_generator("subheading")
+def generate_subheading(rng: np.random.Generator) -> str:
+    base = _choice(rng, vocab.HEADLINE_FRAGMENTS)
+    return base.title()
+
+
+@register_generator("publication date")
+def generate_publication_date(rng: np.random.Generator) -> str:
+    year = int(rng.integers(1774, 1964))
+    month = _choice(rng, vocab.MONTHS)
+    return f"{month} {int(rng.integers(1, 29))}, {year}"
+
+
+@register_generator("schema enumeration")
+def generate_schema_enumeration(rng: np.random.Generator) -> str:
+    return "http://schema.org/" + _choice(rng, (
+        "OfflineEventAttendanceMode", "OnlineEventAttendanceMode",
+        "MixedEventAttendanceMode", "InStock", "OutOfStock", "PreOrder",
+        "NewCondition", "UsedCondition", "RefurbishedCondition",
+        "EventScheduled", "EventCancelled", "EventPostponed",
+    ))
+
+
+def _schema_enum_generator(name: str, members: tuple[str, ...]) -> None:
+    """Register a degenerate Schema.org enumeration column generator.
+
+    Each SOTAB enumeration class (attendance mode, availability, item
+    condition, event status) contains only the handful of Schema.org URLs of
+    that specific enumeration — the situation the paper's Appendix B rule
+    example exploits.
+    """
+
+    @register_generator(name)
+    def _generate(rng: np.random.Generator, _members: tuple[str, ...] = members) -> str:
+        return "http://schema.org/" + _choice(rng, _members)
+
+
+_schema_enum_generator(
+    "attendance enumeration",
+    ("OfflineEventAttendanceMode", "OnlineEventAttendanceMode",
+     "MixedEventAttendanceMode"),
+)
+_schema_enum_generator(
+    "availability enumeration",
+    ("InStock", "OutOfStock", "PreOrder", "Discontinued", "LimitedAvailability"),
+)
+_schema_enum_generator(
+    "condition enumeration",
+    ("NewCondition", "UsedCondition", "RefurbishedCondition", "DamagedCondition"),
+)
+_schema_enum_generator(
+    "status enumeration",
+    ("EventScheduled", "EventCancelled", "EventPostponed", "EventRescheduled",
+     "EventMovedOnline"),
+)
+
+
+def available_generators() -> list[str]:
+    """All registered generator names."""
+    return sorted(GENERATORS)

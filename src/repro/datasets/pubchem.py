@@ -1,0 +1,135 @@
+"""PubchemTables (Pubchem-20): chemistry-domain semantic types.
+
+Derived from the PubChem RDF dump in the paper, regenerated synthetically
+here.  The 20 classes (Table 11 / label set A) span chemical identifiers
+(SMILES, InChI, molecular formulas, MD5 hashes, ISSN/ISBN), bibliographic
+fields (journal and patent titles, abstracts) and people/organizations.
+Correct classification requires specialist domain knowledge, which is why the
+paper uses PubChem to probe the breadth of LLM world knowledge.
+
+The module also exposes the alternative label set B and the shuffled variant
+used for the Appendix C classname-semantics ablation (Table 8).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import Benchmark, ClassSpec, build_benchmark_columns
+from repro.datasets.generators import get_generator
+
+#: Label set A (Table 11) -> the generator behind each class.
+PUBCHEM_LABELS_A: dict[str, str] = {
+    "abstract for patent": "patent abstract",
+    "biological formula": "biological formula",
+    "book isbn": "isbn",
+    "book title": "book title",
+    "cell alternative label": "cell line",
+    "chemical": "chemical",
+    "concept broader term": "concept broader term",
+    "disease alternative label": "disease",
+    "inchi (international chemical identifier)": "inchi",
+    "journal issn": "issn",
+    "journal title": "journal title",
+    "md5 hash": "md5",
+    "molecular formula": "molecular formula",
+    "organization": "organization",
+    "patent title": "patent title",
+    "person's first name and middle initials": "person first name",
+    "person's full name": "person full name",
+    "person's last name": "person last name",
+    "smiles (simplified molecular input line entry system)": "smiles",
+    "taxonomy label": "taxonomy",
+}
+
+#: Label set B (Table 8): six classes renamed relative to set A.
+PUBCHEM_LABEL_A_TO_B: dict[str, str] = {
+    "biological formula": "iupac",
+    "cell alternative label": "cell label",
+    "chemical": "concept preferred label",
+    "disease alternative label": "disease label",
+    "person's first name and middle initials": "author first name",
+    "person's full name": "author full name",
+    "person's last name": "author family name",
+}
+
+PUBCHEM_RULE_LABELS: tuple[str, ...] = (
+    "journal issn",
+    "book isbn",
+    "md5 hash",
+    "inchi (international chemical identifier)",
+    "molecular formula",
+)
+
+PUBCHEM_NUMERIC_LABELS: tuple[str, ...] = ()
+
+_TABLE_NAMES: tuple[str, ...] = (
+    "pubchem_compound_export", "pubchem_patent_links", "pubchem_bioassay",
+    "pubchem_substance_batch", "pubchem_literature_refs",
+)
+
+
+def pubchem_label_set_b() -> list[str]:
+    """Label set B: set A with six classes renamed (Table 8)."""
+    return [PUBCHEM_LABEL_A_TO_B.get(label, label) for label in PUBCHEM_LABELS_A]
+
+
+def _specs() -> list[ClassSpec]:
+    specs = []
+    for label, generator_name in PUBCHEM_LABELS_A.items():
+        specs.append(
+            ClassSpec(
+                label=label,
+                generator=get_generator(generator_name),
+                weight=1.0,
+                min_length=5,
+                max_length=30,
+            )
+        )
+    return specs
+
+
+def load_pubchem(n_columns: int = 2000, seed: int = 0) -> Benchmark:
+    """Generate the Pubchem-20 zero-shot benchmark (label set A)."""
+    rng = np.random.default_rng(seed)
+
+    def table_name(_spec: ClassSpec, inner_rng: np.random.Generator) -> str:
+        base = _TABLE_NAMES[int(inner_rng.integers(0, len(_TABLE_NAMES)))]
+        return f"{base}_{int(inner_rng.integers(1, 500)):04d}.csv"
+
+    columns = build_benchmark_columns(_specs(), n_columns, rng, table_name_fn=table_name)
+    return Benchmark(
+        name="pubchem-20",
+        label_set=list(PUBCHEM_LABELS_A),
+        columns=columns,
+        numeric_labels=list(PUBCHEM_NUMERIC_LABELS),
+        rule_covered_labels=list(PUBCHEM_RULE_LABELS),
+        importance="length",
+        description="20-class chemistry benchmark derived from PubChem RDF",
+    )
+
+
+def relabel_to_set_b(benchmark: Benchmark) -> Benchmark:
+    """Return a copy of the benchmark with label set B (Table 8 ablation)."""
+    from repro.datasets.base import BenchmarkColumn
+
+    new_columns = [
+        BenchmarkColumn(
+            column=bc.column,
+            label=PUBCHEM_LABEL_A_TO_B.get(bc.label, bc.label),
+            table_name=bc.table_name,
+        )
+        for bc in benchmark.columns
+    ]
+    return Benchmark(
+        name="pubchem-20-setb",
+        label_set=pubchem_label_set_b(),
+        columns=new_columns,
+        numeric_labels=list(benchmark.numeric_labels),
+        rule_covered_labels=[
+            PUBCHEM_LABEL_A_TO_B.get(label, label)
+            for label in benchmark.rule_covered_labels
+        ],
+        importance=benchmark.importance,
+        description="Pubchem-20 with label set B (six classes renamed)",
+    )

@@ -1,0 +1,45 @@
+"""Benchmark registry: load any benchmark in the suite by name."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.datasets.amstr import load_amstr
+from repro.datasets.base import Benchmark
+from repro.datasets.d4 import load_d4
+from repro.datasets.established import load_efthymiou, load_t2d, load_viznet
+from repro.datasets.pubchem import load_pubchem
+from repro.datasets.sotab import load_sotab27, load_sotab91
+from repro.exceptions import UnknownDatasetError
+
+_LOADERS: dict[str, Callable[..., Benchmark]] = {
+    "sotab-27": load_sotab27,
+    "sotab-91": load_sotab91,
+    "d4-20": load_d4,
+    "amstr-56": load_amstr,
+    "pubchem-20": load_pubchem,
+    "t2d": load_t2d,
+    "efthymiou": load_efthymiou,
+    "viznet-chorus": load_viznet,
+}
+
+#: All loadable benchmark names.
+BENCHMARK_NAMES: tuple[str, ...] = tuple(sorted(_LOADERS))
+
+#: The four zero-shot benchmarks of Table 4.
+ZERO_SHOT_BENCHMARKS: tuple[str, ...] = ("sotab-27", "d4-20", "amstr-56", "pubchem-20")
+
+
+def load_benchmark(name: str, n_columns: int = 2000, seed: int = 0, **kwargs: object) -> Benchmark:
+    """Load a benchmark by name.
+
+    ``n_columns`` controls the size of the evaluation split; extra keyword
+    arguments are forwarded to the specific loader (e.g. ``n_train_columns``
+    for SOTAB-91).
+    """
+    key = name.strip().lower()
+    if key not in _LOADERS:
+        raise UnknownDatasetError(
+            f"unknown benchmark {name!r}; available: {list(BENCHMARK_NAMES)}"
+        )
+    return _LOADERS[key](n_columns=n_columns, seed=seed, **kwargs)  # type: ignore[arg-type]

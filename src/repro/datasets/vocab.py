@@ -1,0 +1,526 @@
+"""Shared vocabulary: the word lists behind both the synthetic benchmark
+generators and the simulated LLM's world knowledge.
+
+Keeping these lists in one place guarantees that the generators and the
+knowledge base agree on what, say, a NYC agency or a Queens neighbourhood
+looks like — while the simulated model's *accuracy* is still governed by the
+model profiles, not by trivially matching generated strings.
+"""
+
+from __future__ import annotations
+
+US_STATES: tuple[str, ...] = (
+    "Alabama", "Alaska", "Arizona", "Arkansas", "California", "Colorado",
+    "Connecticut", "Delaware", "Florida", "Georgia", "Hawaii", "Idaho",
+    "Illinois", "Indiana", "Iowa", "Kansas", "Kentucky", "Louisiana",
+    "Maine", "Maryland", "Massachusetts", "Michigan", "Minnesota",
+    "Mississippi", "Missouri", "Montana", "Nebraska", "Nevada",
+    "New Hampshire", "New Jersey", "New Mexico", "New York",
+    "North Carolina", "North Dakota", "Ohio", "Oklahoma", "Oregon",
+    "Pennsylvania", "Rhode Island", "South Carolina", "South Dakota",
+    "Tennessee", "Texas", "Utah", "Vermont", "Virginia", "Washington",
+    "West Virginia", "Wisconsin", "Wyoming",
+)
+
+US_STATE_ABBREVIATIONS: tuple[str, ...] = (
+    "AL", "AK", "AZ", "AR", "CA", "CO", "CT", "DE", "FL", "GA", "HI", "ID",
+    "IL", "IN", "IA", "KS", "KY", "LA", "ME", "MD", "MA", "MI", "MN", "MS",
+    "MO", "MT", "NE", "NV", "NH", "NJ", "NM", "NY", "NC", "ND", "OH", "OK",
+    "OR", "PA", "RI", "SC", "SD", "TN", "TX", "UT", "VT", "VA", "WA", "WV",
+    "WI", "WY",
+)
+
+COUNTRIES: tuple[str, ...] = (
+    "United States", "Canada", "Mexico", "Brazil", "Argentina", "Chile",
+    "United Kingdom", "Ireland", "France", "Germany", "Spain", "Portugal",
+    "Italy", "Netherlands", "Belgium", "Switzerland", "Austria", "Poland",
+    "Czech Republic", "Hungary", "Romania", "Greece", "Turkey", "Russia",
+    "Ukraine", "Sweden", "Norway", "Denmark", "Finland", "Iceland",
+    "China", "Japan", "South Korea", "India", "Pakistan", "Bangladesh",
+    "Indonesia", "Vietnam", "Thailand", "Malaysia", "Singapore",
+    "Philippines", "Australia", "New Zealand", "South Africa", "Nigeria",
+    "Egypt", "Kenya", "Morocco", "Ghana", "Israel", "Saudi Arabia",
+    "United Arab Emirates", "Qatar", "Armenia", "Liechtenstein", "Austria",
+    "Croatia", "Serbia", "Slovakia", "Slovenia", "Estonia", "Latvia",
+    "Lithuania", "Colombia", "Peru", "Ecuador", "Uruguay", "Paraguay",
+    "Bolivia", "Venezuela", "Cuba", "Jamaica",
+)
+
+COUNTRY_CODES: tuple[str, ...] = (
+    "US", "CA", "MX", "BR", "AR", "GB", "IE", "FR", "DE", "ES", "PT", "IT",
+    "NL", "BE", "CH", "AT", "PL", "CZ", "HU", "RO", "GR", "TR", "RU", "UA",
+    "SE", "NO", "DK", "FI", "IS", "CN", "JP", "KR", "IN", "PK", "BD", "ID",
+    "VN", "TH", "MY", "SG", "PH", "AU", "NZ", "ZA", "NG", "EG", "KE", "MA",
+)
+
+LANGUAGES: tuple[str, ...] = (
+    "English", "Spanish", "French", "German", "Italian", "Portuguese",
+    "Dutch", "Russian", "Polish", "Ukrainian", "Mandarin", "Cantonese",
+    "Japanese", "Korean", "Hindi", "Bengali", "Urdu", "Arabic", "Hebrew",
+    "Turkish", "Greek", "Swedish", "Norwegian", "Danish", "Finnish",
+    "Hungarian", "Czech", "Romanian", "Vietnamese", "Thai", "Indonesian",
+    "Tagalog", "Swahili", "Yoruba", "Amharic", "Haitian Creole",
+)
+
+LANGUAGE_CODES: tuple[str, ...] = (
+    "en", "es", "fr", "de", "it", "pt", "nl", "ru", "pl", "uk", "zh", "ja",
+    "ko", "hi", "bn", "ur", "ar", "he", "tr", "el", "sv", "no", "da", "fi",
+    "hu", "cs", "ro", "vi", "th", "id", "tl", "sw",
+)
+
+FIRST_NAMES: tuple[str, ...] = (
+    "James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael",
+    "Linda", "David", "Elizabeth", "William", "Barbara", "Richard", "Susan",
+    "Joseph", "Jessica", "Thomas", "Sarah", "Charles", "Karen", "Christopher",
+    "Lisa", "Daniel", "Nancy", "Matthew", "Betty", "Anthony", "Margaret",
+    "Mark", "Sandra", "Donald", "Ashley", "Steven", "Kimberly", "Paul",
+    "Emily", "Andrew", "Donna", "Joshua", "Michelle", "Kenneth", "Carol",
+    "Kevin", "Amanda", "Brian", "Dorothy", "George", "Melissa", "Edward",
+    "Deborah", "Ronald", "Stephanie", "Timothy", "Rebecca", "Jason",
+    "Sharon", "Jeffrey", "Laura", "Ryan", "Cynthia", "Jacob", "Kathleen",
+    "Gary", "Amy", "Nicholas", "Angela", "Eric", "Shirley", "Jonathan",
+    "Anna", "Stephen", "Brenda", "Larry", "Pamela", "Justin", "Nicole",
+    "Scott", "Samantha", "Brandon", "Katherine", "Benjamin", "Emma",
+    "Samuel", "Ruth", "Gregory", "Christine", "Alexander", "Catherine",
+    "Patrick", "Debra", "Frank", "Rachel", "Raymond", "Carolyn", "Jack",
+    "Janet", "Dennis", "Virginia", "Jerry", "Maria", "Tyler", "Heather",
+    "Aaron", "Diane", "Jose", "Julie", "Adam", "Joyce", "Nathan", "Victoria",
+    "Henry", "Olivia", "Douglas", "Kelly", "Zachary", "Christina", "Peter",
+    "Lauren", "Kyle", "Joan", "Noah", "Evelyn", "Ethan", "Judith",
+    "Yurong", "Chinmay", "Juliana", "Magda", "Sharon", "Otoo",
+)
+
+LAST_NAMES: tuple[str, ...] = (
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+    "Davis", "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez",
+    "Wilson", "Anderson", "Thomas", "Taylor", "Moore", "Jackson", "Martin",
+    "Lee", "Perez", "Thompson", "White", "Harris", "Sanchez", "Clark",
+    "Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King",
+    "Wright", "Scott", "Torres", "Nguyen", "Hill", "Flores", "Green",
+    "Adams", "Nelson", "Baker", "Hall", "Rivera", "Campbell", "Mitchell",
+    "Carter", "Roberts", "Gomez", "Phillips", "Evans", "Turner", "Diaz",
+    "Parker", "Cruz", "Edwards", "Collins", "Reyes", "Stewart", "Morris",
+    "Morales", "Murphy", "Cook", "Rogers", "Gutierrez", "Ortiz", "Morgan",
+    "Cooper", "Peterson", "Bailey", "Reed", "Kelly", "Howard", "Ramos",
+    "Kim", "Cox", "Ward", "Richardson", "Watson", "Brooks", "Chavez",
+    "Wood", "James", "Bennett", "Gray", "Mendoza", "Ruiz", "Hughes",
+    "Price", "Alvarez", "Castillo", "Sanders", "Patel", "Myers", "Long",
+    "Ross", "Foster", "Jimenez", "Feuer", "Hegde", "Freire", "Danysz",
+)
+
+ORGANIZATIONS: tuple[str, ...] = (
+    "National Institutes of Health", "World Health Organization",
+    "Stanford University", "Massachusetts Institute of Technology",
+    "New York University", "University of Oxford", "University of Cambridge",
+    "Max Planck Institute", "CERN", "National Science Foundation",
+    "American Chemical Society", "Royal Society of Chemistry",
+    "Pfizer Inc.", "Novartis AG", "Merck & Co.", "Bayer AG",
+    "Johnson & Johnson", "GlaxoSmithKline", "AstraZeneca", "Sanofi",
+    "Brookhaven National Laboratory", "Argonne National Laboratory",
+    "European Medicines Agency", "Food and Drug Administration",
+    "Centers for Disease Control and Prevention",
+    "United Nations Educational Scientific and Cultural Organization",
+    "International Union of Pure and Applied Chemistry",
+    "Broad Institute", "Scripps Research Institute", "Karolinska Institutet",
+)
+
+COMPANIES: tuple[str, ...] = (
+    "Acme Hardware Ltd.", "Globex Corporation", "Initech LLC",
+    "Umbrella Logistics", "Stark Industries", "Wayne Enterprises",
+    "Wonka Confections", "Tyrell Systems", "Cyberdyne Robotics",
+    "Aperture Optics", "Vandelay Imports", "Hooli Cloud Services",
+    "Pied Piper Software", "Dunder Mifflin Paper Company",
+    "Bluth Construction", "Sterling Cooper Advertising",
+    "Oceanic Airlines", "Soylent Nutrition", "Massive Dynamic",
+    "Gringotts Financial", "Monarch Solutions", "Blue Sun Beverages",
+    "Virtucon Manufacturing", "Prestige Worldwide", "Nakatomi Trading",
+)
+
+SPORTS_TEAMS: tuple[str, ...] = (
+    "New York Yankees", "Boston Red Sox", "Los Angeles Lakers",
+    "Golden State Warriors", "Manchester United", "Real Madrid",
+    "FC Barcelona", "Bayern Munich", "Shakhtar Donetsk", "Atalanta",
+    "Chicago Bulls", "Green Bay Packers", "Dallas Cowboys",
+    "Toronto Maple Leafs", "Montreal Canadiens", "Juventus",
+    "Paris Saint-Germain", "Ajax Amsterdam", "Liverpool FC", "Arsenal FC",
+    "Chelsea FC", "Inter Milan", "AC Milan", "Borussia Dortmund",
+    "Seattle Seahawks", "Denver Broncos", "Miami Heat", "Brooklyn Nets",
+)
+
+NYC_BOROUGHS: tuple[str, ...] = (
+    "Manhattan", "Brooklyn", "Queens", "Bronx", "Staten Island",
+)
+
+MANHATTAN_NEIGHBORHOODS: tuple[str, ...] = (
+    "SoHo", "Tribeca", "Harlem", "East Harlem", "Upper East Side",
+    "Upper West Side", "Chelsea", "Greenwich Village", "East Village",
+    "Lower East Side", "Midtown", "Murray Hill", "Gramercy",
+    "Financial District", "Chinatown", "Little Italy", "Hell's Kitchen",
+    "Washington Heights", "Inwood", "Morningside Heights", "NoHo",
+    "Battery Park City", "Roosevelt Island", "Kips Bay", "Two Bridges",
+)
+
+BROOKLYN_NEIGHBORHOODS: tuple[str, ...] = (
+    "Williamsburg", "Bushwick", "Bedford-Stuyvesant", "Park Slope",
+    "Crown Heights", "Flatbush", "Sunset Park", "Bay Ridge", "Greenpoint",
+    "DUMBO", "Brooklyn Heights", "Red Hook", "Gowanus", "Canarsie",
+    "Brownsville", "East New York", "Sheepshead Bay", "Brighton Beach",
+    "Coney Island", "Bensonhurst", "Borough Park", "Fort Greene",
+    "Clinton Hill", "Prospect Heights", "Cobble Hill",
+)
+
+QUEENS_NEIGHBORHOODS: tuple[str, ...] = (
+    "Astoria", "Long Island City", "Flushing", "Jamaica", "Forest Hills",
+    "Jackson Heights", "Elmhurst", "Corona", "Rego Park", "Kew Gardens",
+    "Ridgewood", "Sunnyside", "Woodside", "Bayside", "Whitestone",
+    "College Point", "Fresh Meadows", "Ozone Park", "Howard Beach",
+    "Richmond Hill", "Far Rockaway", "Rockaway Beach", "Maspeth",
+    "Middle Village", "Glendale",
+)
+
+BRONX_NEIGHBORHOODS: tuple[str, ...] = (
+    "Bathgate", "Crotona Park East", "Mott Haven", "Hunts Point",
+    "Morrisania", "Melrose", "Tremont", "Fordham", "Belmont", "Riverdale",
+    "Kingsbridge", "Pelham Bay", "Throgs Neck", "Soundview", "Castle Hill",
+    "Parkchester", "Morris Park", "Norwood", "Wakefield", "Co-op City",
+    "City Island", "Highbridge", "Concourse", "Longwood", "Port Morris",
+)
+
+STATEN_ISLAND_NEIGHBORHOODS: tuple[str, ...] = (
+    "St. George", "Tompkinsville", "Stapleton", "New Brighton",
+    "West Brighton", "Port Richmond", "Mariners Harbor", "Todt Hill",
+    "New Dorp", "Great Kills", "Eltingville", "Annadale", "Tottenville",
+    "Rossville", "Willowbrook", "Bulls Head", "Castleton Corners",
+    "Dongan Hills", "Midland Beach", "South Beach", "Oakwood",
+    "Huguenot", "Richmondtown", "Graniteville", "Travis",
+)
+
+NYC_AGENCIES: tuple[str, ...] = (
+    "Department of Education (DOE)",
+    "Department of Transportation (DOT)",
+    "Department of Parks and Recreation (DPR)",
+    "Department of Environmental Protection (DEP)",
+    "Department of Health and Mental Hygiene (DOHMH)",
+    "Department of Design and Construction (DDC)",
+    "Department of Buildings (DOB)",
+    "Department of Sanitation (DSNY)",
+    "Department of City Planning (DCP)",
+    "Department of Finance (DOF)",
+    "Department of Housing Preservation and Development (HPD)",
+    "Mayor's Office of Media and Entertainment (MOME)",
+    "Mayor's Office of Management and Budget (OMB)",
+    "New York City Police Department (NYPD)",
+    "Fire Department of New York (FDNY)",
+    "Administration for Children's Services (ACS)",
+    "Department of Consumer and Worker Protection (DCWP)",
+    "Department of Cultural Affairs (DCLA)",
+    "Department of Small Business Services (SBS)",
+    "Taxi and Limousine Commission (TLC)",
+    "Department of Correction (DOC)",
+    "Department of Probation (DOP)",
+    "Office of Emergency Management (OEM)",
+    "Department of Homeless Services (DHS)",
+    "Human Resources Administration (HRA)",
+)
+
+NYC_AGENCY_ABBREVIATIONS: tuple[str, ...] = (
+    "DOE", "DOT", "DPR", "DEP", "DOHMH", "DDC", "DOB", "DSNY", "DCP", "DOF",
+    "HPD", "MOME", "OMB", "NYPD", "FDNY", "ACS", "DCWP", "DCLA", "SBS",
+    "TLC", "DOC", "DOP", "OEM", "DHS", "HRA",
+)
+
+NYC_SCHOOL_NAMES: tuple[str, ...] = (
+    "P.S. 057 Hubert H. Humphrey", "P.S. 011 William T. Harris",
+    "P.S. 321 William Penn", "P.S. 124 Yung Wing",
+    "Stuyvesant High School", "Bronx High School of Science",
+    "Brooklyn Technical High School", "Townsend Harris High School",
+    "The Global Learning Collab", "Bard High School Early College",
+    "LaGuardia High School of Music and Art",
+    "Midwood High School", "Forest Hills High School",
+    "Francis Lewis High School", "Fort Hamilton High School",
+    "Curtis High School", "Tottenville High School",
+    "I.S. 061 Leonardo Da Vinci", "M.S. 051 William Alexander",
+    "J.H.S. 185 Edward Bleeker", "P.S. 032 Samuel Mills Sprole",
+    "Academy of American Studies", "Baccalaureate School for Global Education",
+    "Queens Gateway to Health Sciences Secondary School",
+    "Manhattan Center for Science and Mathematics",
+)
+
+MONTHS: tuple[str, ...] = (
+    "January", "February", "March", "April", "May", "June", "July",
+    "August", "September", "October", "November", "December",
+)
+
+COLORS: tuple[str, ...] = (
+    "Red", "Orange", "Yellow", "Green", "Blue", "Indigo", "Violet",
+    "Black", "White", "Gray", "Brown", "Pink", "Purple", "Teal",
+    "Maroon", "Navy", "Olive", "Cyan", "Magenta", "Beige", "Turquoise",
+    "Crimson", "Gold", "Silver", "Lavender",
+)
+
+ETHNICITIES: tuple[str, ...] = (
+    "Hispanic or Latino", "White", "Black or African American", "Asian",
+    "American Indian or Alaska Native",
+)
+
+PERMIT_TYPES: tuple[str, ...] = (
+    "New Building", "Demolition", "Alteration Type 1", "Alteration Type 2",
+    "Alteration Type 3", "Sign", "Plumbing", "Scaffold", "Sidewalk Shed",
+    "Equipment Work", "Foundation", "Curb Cut", "Place of Assembly",
+    "Electrical", "Boiler", "Elevator", "Street Opening", "Sewer Connection",
+)
+
+PLATE_TYPES: tuple[str, ...] = (
+    "PAS", "COM", "OMT", "OMS", "SRF", "TRC", "MOT", "ORG", "RGL", "TOW",
+    "AMB", "APP", "BOB", "CMB", "DLR", "HIS", "IRP", "ITP", "JCA", "LMA",
+)
+
+SCHOOL_GRADES: tuple[str, ...] = (
+    "PK-05", "K-05", "K-08", "06-08", "06-12", "09-12", "K-12", "PK-08",
+    "PK-12", "01-05", "07-12", "05-08",
+)
+
+ELEVATOR_STAIRCASE: tuple[str, ...] = (
+    "Elevator", "Staircase", "Escalator", "Ramp", "Passenger Elevator",
+    "Freight Elevator", "Stairway A", "Stairway B", "Service Elevator",
+)
+
+NEWSPAPER_NAMES: tuple[str, ...] = (
+    "The Nome nugget.", "The Arizona champion.", "The evening world.",
+    "The sun.", "New-York tribune.", "The Washington times.",
+    "Richmond dispatch.", "The St. Louis Republic.", "Omaha daily bee.",
+    "The San Francisco call.", "Los Angeles herald.", "The Topeka state journal.",
+    "The Princeton union.", "The Abbeville press and banner.",
+    "The Caldwell tribune.", "Deseret evening news.", "The Hawaiian star.",
+    "The Pacific commercial advertiser.", "The Bisbee daily review.",
+    "Albuquerque morning journal.", "Palestine daily herald.",
+    "The Houston daily post.", "The Ocala evening star.",
+    "The Burlington free press.", "The Wilmington morning star.",
+    "The Indianapolis journal.", "The Saint Paul globe.",
+    "The Seattle star.", "The Tacoma times.", "Rock Island Argus.",
+    "The daily morning journal and courier.", "Norwich bulletin.",
+    "The Bridgeport evening farmer.", "Evening capital news.",
+    "Grand Forks daily herald.", "The Bismarck tribune.",
+)
+
+JOURNAL_TITLES: tuple[str, ...] = (
+    "Journal of Medicinal Chemistry", "Journal of the American Chemical Society",
+    "Angewandte Chemie International Edition", "Chemical Reviews",
+    "Nature Chemistry", "Nature Communications", "Science",
+    "Proceedings of the National Academy of Sciences",
+    "Journal of Organic Chemistry", "Organic Letters",
+    "Journal of Chemical Information and Modeling",
+    "Bioorganic & Medicinal Chemistry", "European Journal of Medicinal Chemistry",
+    "ACS Catalysis", "Chemical Science", "Green Chemistry",
+    "Journal of Physical Chemistry B", "Analytical Chemistry",
+    "Tetrahedron Letters", "Chemistry - A European Journal",
+    "Journal of Cheminformatics", "Molecules", "ChemMedChem",
+    "Journal of Biological Chemistry", "Biochemistry",
+)
+
+CHEMICAL_NAMES: tuple[str, ...] = (
+    "acetylsalicylic acid", "ibuprofen", "paracetamol", "caffeine",
+    "benzene", "toluene", "ethanol", "methanol", "acetone", "glucose",
+    "sucrose", "fructose", "cholesterol", "dopamine", "serotonin",
+    "penicillin G", "amoxicillin", "ciprofloxacin", "metformin",
+    "atorvastatin", "omeprazole", "warfarin", "morphine", "codeine",
+    "nicotine", "capsaicin", "quercetin", "resveratrol", "curcumin",
+    "ascorbic acid", "retinol", "tocopherol", "riboflavin", "thiamine",
+    "naproxen", "diclofenac", "ketamine", "lidocaine", "propranolol",
+    "salbutamol", "dexamethasone", "prednisone", "insulin glargine",
+    "sodium chloride", "potassium permanganate", "hydrogen peroxide",
+    "sulfuric acid", "nitric acid", "ammonium nitrate", "calcium carbonate",
+)
+
+DISEASES: tuple[str, ...] = (
+    "Myofibrillar myopathy, filamin C-related", "Type 2 diabetes mellitus",
+    "Alzheimer disease", "Parkinson disease", "Amyotrophic lateral sclerosis",
+    "Cystic fibrosis", "Sickle cell anemia", "Huntington disease",
+    "Duchenne muscular dystrophy", "Marfan syndrome", "Rheumatoid arthritis",
+    "Systemic lupus erythematosus", "Multiple sclerosis", "Crohn disease",
+    "Ulcerative colitis", "Chronic obstructive pulmonary disease",
+    "Hypertrophic cardiomyopathy", "Familial hypercholesterolemia",
+    "Hereditary hemochromatosis", "Phenylketonuria", "Gaucher disease",
+    "Fabry disease", "Wilson disease", "Tay-Sachs disease",
+    "Spinal muscular atrophy", "Retinitis pigmentosa",
+    "Polycystic kidney disease", "Ehlers-Danlos syndrome",
+    "Osteogenesis imperfecta", "Charcot-Marie-Tooth disease",
+)
+
+TAXONOMY_LABELS: tuple[str, ...] = (
+    "Homo sapiens", "Mus musculus", "Rattus norvegicus", "Danio rerio",
+    "Drosophila melanogaster", "Caenorhabditis elegans",
+    "Saccharomyces cerevisiae", "Escherichia coli", "Arabidopsis thaliana",
+    "Zea mays", "Oryza sativa", "Gallus gallus", "Bos taurus",
+    "Sus scrofa", "Canis lupus familiaris", "Felis catus",
+    "Xenopus laevis", "Macaca mulatta", "Pan troglodytes",
+    "Plasmodium falciparum", "Mycobacterium tuberculosis",
+    "Staphylococcus aureus", "Candida albicans", "Aspergillus niger",
+    "Bacillus subtilis", "Pseudomonas aeruginosa",
+)
+
+CELL_LINES: tuple[str, ...] = (
+    "HeLa", "HEK293", "CHO-K1", "MCF-7", "A549", "HepG2", "Jurkat",
+    "K562", "U2OS", "NIH-3T3", "PC-3", "SH-SY5Y", "Caco-2", "MDCK",
+    "HT-29", "U-87 MG", "RAW 264.7", "THP-1", "Vero", "COS-7",
+)
+
+CONCEPT_BROADER_TERMS: tuple[str, ...] = (
+    "chemical compound", "organic compound", "inorganic compound",
+    "pharmaceutical agent", "enzyme inhibitor", "receptor agonist",
+    "receptor antagonist", "natural product", "alkaloid", "flavonoid",
+    "steroid", "terpenoid", "peptide", "carbohydrate", "lipid",
+    "amino acid", "nucleic acid", "polymer", "surfactant", "catalyst",
+)
+
+STREET_SUFFIXES: tuple[str, ...] = (
+    "Street", "Avenue", "Boulevard", "Road", "Lane", "Drive", "Court",
+    "Place", "Terrace", "Parkway", "Way", "Circle",
+)
+
+STREET_BASE_NAMES: tuple[str, ...] = (
+    "Main", "Oak", "Maple", "Cedar", "Elm", "Washington", "Lake", "Hill",
+    "Park", "Pine", "Broadway", "Church", "High", "Center", "Union",
+    "Spring", "Ridge", "Walnut", "Willow", "Madison", "Jefferson",
+    "Franklin", "Lincoln", "Jackson", "Grand", "River", "Sunset",
+    "Chestnut", "Spruce", "Fifth", "Atlantic", "Bedford", "Fulton",
+    "Flatbush", "Metropolitan", "Queens", "Northern", "Victory",
+)
+
+EMAIL_DOMAINS: tuple[str, ...] = (
+    "example.com", "mail.org", "inbox.net", "corp.io", "university.edu",
+    "research.org", "company.co.uk", "startup.dev", "agency.gov",
+)
+
+URL_DOMAINS: tuple[str, ...] = (
+    "example.com", "shop.example.org", "news.site.net", "empirebar.com.au",
+    "store.retailer.co.uk", "blog.writer.io", "data.agency.gov",
+    "catalog.library.edu", "events.venue.com", "recipes.kitchen.net",
+)
+
+PRODUCT_NAMES: tuple[str, ...] = (
+    "SKL-200", "ProMax 3000", "UltraWidget X", "EcoKettle 1.7L",
+    "TrailRunner GTX", "SilentFan Pro", "AquaPure Filter",
+    "PowerDrill 18V", "SmartBulb E27", "ErgoChair Deluxe",
+    "NanoCharge USB-C", "FlexiDesk 140", "CleanBot V8", "ZoomLens 50mm",
+    "ThermoMug 450", "GigaRouter AX6", "PixelFrame 10", "TurboBlender 900",
+    "CozyThrow XL", "StudioMic USB",
+)
+
+CREATIVE_WORKS: tuple[str, ...] = (
+    "What to Expect When You're Expecting (4th Edition)",
+    "The Better Baby Book: How to Have a Healthier, Smarter, Happier Baby",
+    "A Brief History of Time", "The Great Gatsby", "To Kill a Mockingbird",
+    "One Hundred Years of Solitude", "The Catcher in the Rye",
+    "Thinking, Fast and Slow", "Sapiens: A Brief History of Humankind",
+    "The Lord of the Rings: The Fellowship of the Ring",
+    "Pride and Prejudice", "Crime and Punishment", "The Odyssey",
+    "Moby-Dick; or, The Whale", "War and Peace", "Beloved",
+    "The Handmaid's Tale", "Brave New World", "Invisible Man",
+    "The Sound and the Fury", "Symphony No. 9 in D minor",
+    "The Shawshank Redemption", "Spirited Away", "Casablanca",
+)
+
+EVENTS: tuple[str, ...] = (
+    "Annual Charity Gala 2019", "International Jazz Festival",
+    "Partit: Armenia - Liechtenstein", "Partit: Israel - Austria",
+    "Partit: Shakhtar Donetsk - Atalanta", "Marathon de Paris",
+    "TechCrunch Disrupt", "Comic-Con International", "Oktoberfest",
+    "New Year's Eve Fireworks", "Summer Solstice Concert",
+    "Farmers Market Opening Day", "City Hall Open House",
+    "Spring Book Fair", "Harvest Wine Tasting", "Winter Film Screening",
+    "Community Cleanup Day", "Science Fair Finals", "Career Expo 2020",
+    "Holiday Craft Market",
+)
+
+JOB_TITLES: tuple[str, ...] = (
+    "Senior Software Engineer", "Data Analyst", "Registered Nurse",
+    "Project Manager", "Marketing Coordinator", "Customer Success Manager",
+    "Mechanical Engineer", "Financial Analyst", "UX Designer",
+    "Operations Supervisor", "Accountant", "Sales Representative",
+    "Research Scientist", "Administrative Assistant", "Product Manager",
+    "DevOps Engineer", "Technical Writer", "Human Resources Generalist",
+    "Electrician", "Warehouse Associate",
+)
+
+JOB_REQUIREMENTS: tuple[str, ...] = (
+    "Bachelor's degree in Computer Science or related field required",
+    "Minimum 5 years of experience in a similar role",
+    "Strong communication and interpersonal skills",
+    "Proficiency with SQL and data visualization tools",
+    "Ability to lift up to 50 pounds",
+    "Valid driver's license and clean driving record",
+    "Experience with agile development methodologies",
+    "Fluency in English and Spanish preferred",
+    "Willingness to travel up to 25% of the time",
+    "Certification in project management (PMP) is a plus",
+    "Must be authorized to work in the United States",
+    "Excellent organizational and time management skills",
+    "Experience managing cross-functional teams",
+    "Knowledge of OSHA safety regulations",
+    "Comfortable working in a fast-paced environment",
+)
+
+GENDERS: tuple[str, ...] = (
+    "Male", "Female", "male", "female", "M", "F", "Non-binary", "Unisex",
+    "Men", "Women", "Boys", "Girls",
+)
+
+BOOLEAN_VALUES: tuple[str, ...] = (
+    "true", "false", "True", "False", "yes", "no", "Yes", "No", "TRUE",
+    "FALSE", "Y", "N", "0", "1",
+)
+
+CURRENCIES: tuple[str, ...] = (
+    "USD", "EUR", "GBP", "JPY", "CHF", "CAD", "AUD", "CNY", "INR", "BRL",
+    "MXN", "KRW", "SEK", "NOK", "DKK", "PLN", "TRY", "ZAR", "SGD", "HKD",
+)
+
+ARTICLE_SENTENCE_FRAGMENTS: tuple[str, ...] = (
+    "The city council met last evening to discuss the proposed ordinance",
+    "A severe storm swept through the county on Tuesday causing damage to crops",
+    "The new railroad depot was formally opened with a large celebration",
+    "Farmers report that the wheat harvest will exceed expectations this season",
+    "The mayor announced plans for the construction of a new public library",
+    "A large crowd gathered at the opera house for the benefit concert",
+    "The price of cotton advanced two points on the local exchange",
+    "The schooner arrived in port yesterday after a voyage of thirty days",
+    "The annual county fair will be held during the first week of September",
+    "A fire broke out in the warehouse district early Sunday morning",
+    "The hotel was last evening the scene of a brilliant reception",
+    "Delegates from across the state assembled for the party convention",
+    "The new schoolhouse will accommodate two hundred pupils when completed",
+    "Officials of the mining company deny reports of a pending shutdown",
+    "The steamer departed for the northern ports with a full cargo of supplies",
+    "Work on the irrigation canal is progressing rapidly despite the weather",
+    "The jury returned a verdict after deliberating for nearly six hours",
+    "Residents petitioned the legislature for improvements to the post road",
+    "The telephone exchange will extend service to the outlying districts",
+    "A meeting of the chamber of commerce was held at the courthouse",
+)
+
+HEADLINE_FRAGMENTS: tuple[str, ...] = (
+    "LOCAL COUNCIL APPROVES NEW BRIDGE", "WHEAT PRICES RISE SHARPLY",
+    "GOVERNOR TO VISIT COUNTY FAIR", "RAILROAD EXTENSION ANNOUNCED",
+    "FIRE DESTROYS WAREHOUSE DISTRICT", "ELECTION RETURNS NEARLY COMPLETE",
+    "NEW SCHOOLHOUSE OPENS MONDAY", "MINERS REACH WAGE AGREEMENT",
+    "STEAMER DELAYED BY HEAVY SEAS", "HARVEST EXCEEDS ALL EXPECTATIONS",
+    "CITY WATER WORKS TO BE ENLARGED", "BANK DECLARES ANNUAL DIVIDEND",
+    "TELEPHONE LINE REACHES VALLEY TOWNS", "COURTHOUSE CORNERSTONE LAID",
+    "OPERA HOUSE ANNOUNCES WINTER SEASON", "FLOOD WATERS BEGIN TO RECEDE",
+)
+
+WEEKDAYS: tuple[str, ...] = (
+    "Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday",
+    "Sunday",
+)
+
+ELEMENT_SYMBOLS: tuple[str, ...] = (
+    "H", "C", "N", "O", "F", "P", "S", "Cl", "Br", "I", "Na", "K", "Ca",
+    "Mg", "Fe", "Zn", "Cu", "Mn", "Si", "B",
+)
+
+AMINO_ACID_CODES: tuple[str, ...] = (
+    "ALA", "ARG", "ASN", "ASP", "CYS", "GLN", "GLU", "GLY", "HIS", "ILE",
+    "LEU", "LYS", "MET", "PHE", "PRO", "SER", "THR", "TRP", "TYR", "VAL",
+)

@@ -1,0 +1,29 @@
+"""Evaluation: metrics, confusion analysis, the experiment runner and reporting.
+
+The paper reports the weighted micro-F1 score (the weighted average of
+per-class F1 scores, weighted by class support) with 95% normal-approximation
+confidence intervals; per-class accuracies and confusion pairs appear in the
+appendix tables.  This package implements those metrics plus the
+:class:`repro.eval.runner.ExperimentRunner` used by every benchmark harness.
+"""
+
+from repro.eval.metrics import (
+    ClassificationReport,
+    accuracy,
+    confidence_interval,
+    evaluate_predictions,
+    weighted_f1,
+)
+from repro.eval.confusion import ConfusionMatrix
+from repro.eval.runner import EvaluationResult, ExperimentRunner
+
+__all__ = [
+    "ClassificationReport",
+    "ConfusionMatrix",
+    "EvaluationResult",
+    "ExperimentRunner",
+    "accuracy",
+    "confidence_interval",
+    "evaluate_predictions",
+    "weighted_f1",
+]

@@ -1,0 +1,77 @@
+"""Confusion-matrix analysis (Tables 9-11 report "commonly confused classes")."""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass
+class ConfusionMatrix:
+    """A sparse confusion matrix over string labels."""
+
+    counts: dict[str, Counter[str]]
+    labels: list[str]
+
+    @classmethod
+    def from_predictions(
+        cls, truth: Sequence[str], predictions: Sequence[str]
+    ) -> "ConfusionMatrix":
+        if len(truth) != len(predictions):
+            raise ValueError("truth and predictions must have equal length")
+        counts: dict[str, Counter[str]] = defaultdict(Counter)
+        for t, p in zip(truth, predictions):
+            counts[t][p] += 1
+        labels = sorted(set(truth) | set(predictions))
+        return cls(counts=dict(counts), labels=labels)
+
+    def count(self, truth_label: str, predicted_label: str) -> int:
+        """Number of columns of ``truth_label`` predicted as ``predicted_label``."""
+        return self.counts.get(truth_label, Counter()).get(predicted_label, 0)
+
+    def support(self, truth_label: str) -> int:
+        """Number of evaluation columns with this ground-truth label."""
+        return sum(self.counts.get(truth_label, Counter()).values())
+
+    def recall(self, truth_label: str) -> float:
+        """Per-class accuracy for ``truth_label``."""
+        support = self.support(truth_label)
+        if support == 0:
+            return 0.0
+        return self.count(truth_label, truth_label) / support
+
+    def confused_classes(self, truth_label: str, top_k: int = 2) -> list[str]:
+        """The most frequent *incorrect* predictions for ``truth_label``.
+
+        This is the "Conf. Cls." column of Tables 9-11.
+        """
+        row = self.counts.get(truth_label, Counter())
+        wrong = [(label, n) for label, n in row.items() if label != truth_label and n > 0]
+        wrong.sort(key=lambda item: (-item[1], item[0]))
+        return [label for label, _ in wrong[:top_k]]
+
+    def most_biased_predictions(self, top_k: int = 5) -> list[tuple[str, int]]:
+        """Predicted labels ranked by how often they appear (class-bias view).
+
+        Section 5.3 observes that zero-shot failure concentrates the confusion
+        matrix in a few predicted classes; this helper surfaces them.
+        """
+        totals: Counter[str] = Counter()
+        for row in self.counts.values():
+            totals.update(row)
+        return totals.most_common(top_k)
+
+    def as_rows(self) -> list[dict[str, object]]:
+        """Render per-class rows in the style of Tables 9-11."""
+        rows = []
+        for label in sorted(self.counts):
+            rows.append(
+                {
+                    "class": label,
+                    "freq": self.support(label),
+                    "accuracy": round(self.recall(label), 2),
+                    "confused_with": ", ".join(self.confused_classes(label)),
+                }
+            )
+        return rows

@@ -1,0 +1,159 @@
+"""Classification metrics used throughout the paper's evaluation.
+
+Following Section 5.2 (and DoDuo's methodology), the headline metric is the
+*weighted micro-F1* score: the average of per-class F1 scores weighted by each
+class's support.  Confidence intervals use the normal approximation interval
+on the column-level accuracy, matching the ±x.x figures reported in the
+paper's tables.  Unbalanced accuracy (Table 5's TURL comparison) is plain
+column-level accuracy.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+
+def accuracy(truth: Sequence[str], predictions: Sequence[str]) -> float:
+    """Fraction of columns whose predicted label equals the ground truth."""
+    _check_lengths(truth, predictions)
+    if not truth:
+        return 0.0
+    return sum(1 for t, p in zip(truth, predictions) if t == p) / len(truth)
+
+
+def per_class_f1(truth: Sequence[str], predictions: Sequence[str]) -> dict[str, float]:
+    """F1 score for every class present in the ground truth."""
+    _check_lengths(truth, predictions)
+    tp: Counter[str] = Counter()
+    fp: Counter[str] = Counter()
+    fn: Counter[str] = Counter()
+    for t, p in zip(truth, predictions):
+        if t == p:
+            tp[t] += 1
+        else:
+            fp[p] += 1
+            fn[t] += 1
+    scores: dict[str, float] = {}
+    for label in set(truth):
+        precision_den = tp[label] + fp[label]
+        recall_den = tp[label] + fn[label]
+        precision = tp[label] / precision_den if precision_den else 0.0
+        recall = tp[label] / recall_den if recall_den else 0.0
+        if precision + recall == 0.0:
+            scores[label] = 0.0
+        else:
+            scores[label] = 2 * precision * recall / (precision + recall)
+    return scores
+
+
+def per_class_accuracy(truth: Sequence[str], predictions: Sequence[str]) -> dict[str, float]:
+    """Recall (per-class accuracy) for every ground-truth class."""
+    _check_lengths(truth, predictions)
+    correct: Counter[str] = Counter()
+    total: Counter[str] = Counter()
+    for t, p in zip(truth, predictions):
+        total[t] += 1
+        if t == p:
+            correct[t] += 1
+    return {label: correct[label] / total[label] for label in total}
+
+
+def weighted_f1(truth: Sequence[str], predictions: Sequence[str]) -> float:
+    """Support-weighted average of per-class F1 scores (the paper's Micro-F1)."""
+    _check_lengths(truth, predictions)
+    if not truth:
+        return 0.0
+    support = Counter(truth)
+    scores = per_class_f1(truth, predictions)
+    total = sum(support.values())
+    return sum(scores[label] * count for label, count in support.items()) / total
+
+
+def confidence_interval(score: float, n: int, z: float = 1.96) -> float:
+    """Half-width of the normal-approximation interval for a proportion.
+
+    ``score`` is expected on a 0-1 scale; the returned half-width is on the
+    same scale.  The paper reports scores on a 0-100 scale, so callers that
+    format tables multiply both by 100.
+    """
+    if n <= 0:
+        return 0.0
+    p = min(max(score, 0.0), 1.0)
+    return z * math.sqrt(p * (1.0 - p) / n)
+
+
+@dataclass
+class ClassificationReport:
+    """Aggregate evaluation of one method on one benchmark."""
+
+    n_columns: int
+    accuracy: float
+    weighted_f1: float
+    ci95: float
+    per_class_accuracy: dict[str, float] = field(default_factory=dict)
+    per_class_f1: dict[str, float] = field(default_factory=dict)
+    support: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def weighted_f1_pct(self) -> float:
+        """Weighted F1 on the paper's 0-100 scale."""
+        return 100.0 * self.weighted_f1
+
+    @property
+    def ci95_pct(self) -> float:
+        return 100.0 * self.ci95
+
+    def summary(self) -> str:
+        """One-line human-readable summary ("62.5 ±0.8" style)."""
+        return f"{self.weighted_f1_pct:.1f} ±{self.ci95_pct:.1f}"
+
+
+def evaluate_predictions(
+    truth: Sequence[str], predictions: Sequence[str]
+) -> ClassificationReport:
+    """Compute the full report for a list of (truth, prediction) pairs."""
+    _check_lengths(truth, predictions)
+    f1 = weighted_f1(truth, predictions)
+    return ClassificationReport(
+        n_columns=len(truth),
+        accuracy=accuracy(truth, predictions),
+        weighted_f1=f1,
+        ci95=confidence_interval(f1, len(truth)),
+        per_class_accuracy=per_class_accuracy(truth, predictions),
+        per_class_f1=per_class_f1(truth, predictions),
+        support=dict(Counter(truth)),
+    )
+
+
+def macro_average(reports: Sequence[ClassificationReport]) -> float:
+    """Unweighted mean of weighted-F1 scores across several reports."""
+    if not reports:
+        return 0.0
+    return sum(r.weighted_f1 for r in reports) / len(reports)
+
+
+def grouped_accuracy(
+    truth: Sequence[str],
+    predictions: Sequence[str],
+    groups: Mapping[str, str],
+) -> dict[str, float]:
+    """Per-group accuracy where ``groups`` maps each label to a group name."""
+    _check_lengths(truth, predictions)
+    correct: dict[str, int] = defaultdict(int)
+    total: dict[str, int] = defaultdict(int)
+    for t, p in zip(truth, predictions):
+        group = groups.get(t, t)
+        total[group] += 1
+        if t == p:
+            correct[group] += 1
+    return {g: correct[g] / total[g] for g in total}
+
+
+def _check_lengths(truth: Sequence[str], predictions: Sequence[str]) -> None:
+    if len(truth) != len(predictions):
+        raise ValueError(
+            f"truth and predictions must align: {len(truth)} vs {len(predictions)}"
+        )

@@ -1,0 +1,50 @@
+"""Report formatting: render experiment results as paper-style text tables."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render a list of row dictionaries as an aligned plain-text table.
+
+    Missing keys render as empty cells; column order follows ``columns`` when
+    given, otherwise the key order of the first row.
+    """
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    headers = [str(c) for c in columns]
+    rendered_rows = [
+        [_format_cell(row.get(column, "")) for column in columns] for row in rows
+    ]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rendered_rows))
+        for i in range(len(columns))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(columns))))
+    for row in rendered_rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(columns))))
+    return "\n".join(lines)
+
+
+def format_score(score_pct: float, ci_pct: float | None = None) -> str:
+    """Render "62.5 ±0.8" style scores used throughout the paper's tables."""
+    if ci_pct is None:
+        return f"{score_pct:.1f}"
+    return f"{score_pct:.1f} ±{ci_pct:.1f}"
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}" if abs(value) < 100 else f"{value:.1f}"
+    return str(value)

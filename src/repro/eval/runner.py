@@ -1,0 +1,142 @@
+"""Experiment runner: evaluate an annotator over a benchmark.
+
+Every experiment in the paper boils down to "run method M over benchmark B and
+report weighted F1".  :class:`ExperimentRunner` standardises that loop for any
+object exposing ``annotate_column`` (the ArcheType pipeline, the C-/K-
+baselines, or the classical baselines through a small adapter), collects
+predictions and remap/rule statistics, and returns an
+:class:`EvaluationResult` that the per-table experiment modules format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, Sequence
+
+from repro.core.pipeline import AnnotationResult
+from repro.core.remapping import NULL_LABEL
+from repro.core.table import Column, Table
+from repro.datasets.base import Benchmark, BenchmarkColumn
+from repro.eval.confusion import ConfusionMatrix
+from repro.eval.metrics import ClassificationReport, evaluate_predictions
+
+
+class ColumnAnnotator(Protocol):
+    """Anything that can annotate a single column."""
+
+    def annotate_column(
+        self,
+        column: Column,
+        table: Table | None = None,
+        column_index: int | None = None,
+    ) -> AnnotationResult:
+        ...  # pragma: no cover - protocol definition
+
+
+@dataclass
+class EvaluationResult:
+    """Predictions plus aggregate metrics for one (method, benchmark) pair."""
+
+    benchmark_name: str
+    method_name: str
+    truth: list[str]
+    predictions: list[str]
+    report: ClassificationReport
+    confusion: ConfusionMatrix
+    n_remapped: int = 0
+    n_rule_applied: int = 0
+    n_unmapped: int = 0
+    annotations: list[AnnotationResult] = field(default_factory=list)
+
+    @property
+    def weighted_f1_pct(self) -> float:
+        return self.report.weighted_f1_pct
+
+    def summary_row(self) -> dict[str, object]:
+        """A compact dictionary row for report tables."""
+        return {
+            "benchmark": self.benchmark_name,
+            "method": self.method_name,
+            "micro_f1": round(self.report.weighted_f1_pct, 1),
+            "ci95": round(self.report.ci95_pct, 1),
+            "accuracy": round(100.0 * self.report.accuracy, 1),
+            "n_columns": self.report.n_columns,
+            "n_remapped": self.n_remapped,
+            "n_rule_applied": self.n_rule_applied,
+        }
+
+
+@dataclass
+class ExperimentRunner:
+    """Evaluate annotators over benchmarks."""
+
+    keep_annotations: bool = False
+
+    def evaluate(
+        self,
+        annotator: ColumnAnnotator,
+        benchmark: Benchmark,
+        method_name: str,
+        max_columns: int | None = None,
+    ) -> EvaluationResult:
+        """Annotate every benchmark column and compute metrics."""
+        columns: Sequence[BenchmarkColumn] = benchmark.columns
+        if max_columns is not None:
+            columns = columns[:max_columns]
+        truth: list[str] = []
+        predictions: list[str] = []
+        annotations: list[AnnotationResult] = []
+        n_remapped = 0
+        n_rule_applied = 0
+        n_unmapped = 0
+        for bench_column in columns:
+            table = None
+            if bench_column.table_name is not None:
+                table = Table(columns=[bench_column.column], name=bench_column.table_name)
+            result = annotator.annotate_column(
+                bench_column.column, table=table, column_index=0
+            )
+            truth.append(bench_column.label)
+            predictions.append(result.label)
+            n_remapped += int(result.remapped)
+            n_rule_applied += int(result.rule_applied)
+            n_unmapped += int(result.label == NULL_LABEL)
+            if self.keep_annotations:
+                annotations.append(result)
+        report = evaluate_predictions(truth, predictions)
+        confusion = ConfusionMatrix.from_predictions(truth, predictions)
+        return EvaluationResult(
+            benchmark_name=benchmark.name,
+            method_name=method_name,
+            truth=truth,
+            predictions=predictions,
+            report=report,
+            confusion=confusion,
+            n_remapped=n_remapped,
+            n_rule_applied=n_rule_applied,
+            n_unmapped=n_unmapped,
+            annotations=annotations,
+        )
+
+    def evaluate_predictions_only(
+        self,
+        benchmark: Benchmark,
+        predictions: Sequence[str],
+        method_name: str,
+    ) -> EvaluationResult:
+        """Build an :class:`EvaluationResult` from precomputed predictions.
+
+        Used by the classical baselines, which predict in batch rather than
+        through ``annotate_column``.
+        """
+        truth = [bc.label for bc in benchmark.columns[: len(predictions)]]
+        report = evaluate_predictions(truth, list(predictions))
+        confusion = ConfusionMatrix.from_predictions(truth, list(predictions))
+        return EvaluationResult(
+            benchmark_name=benchmark.name,
+            method_name=method_name,
+            truth=truth,
+            predictions=list(predictions),
+            report=report,
+            confusion=confusion,
+        )

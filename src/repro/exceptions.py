@@ -1,0 +1,44 @@
+"""Exception hierarchy for the ArcheType reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch a single base class at API boundaries while still being able
+to distinguish configuration problems from data problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid configuration value was supplied (bad sample size, unknown
+    prompt style, unknown model name, ...)."""
+
+
+class EmptyColumnError(ReproError):
+    """A column with no usable values was passed where values are required."""
+
+
+class UnknownLabelError(ReproError):
+    """A label outside the configured label set was encountered where a
+    member of the label set was required."""
+
+
+class UnknownModelError(ConfigurationError):
+    """A model name was requested that is not present in the model registry."""
+
+
+class UnknownDatasetError(ConfigurationError):
+    """A benchmark name was requested that is not present in the dataset
+    registry."""
+
+
+class SerializationError(ReproError):
+    """A prompt could not be serialized (e.g. the label set alone exceeds the
+    model's context window)."""
+
+
+class RemappingError(ReproError):
+    """A remapping strategy failed in a way that cannot be recovered from."""

@@ -1,0 +1,16 @@
+"""Experiment harnesses: one module per table and figure in the paper.
+
+Each module exposes a ``run_*`` function returning structured rows plus a
+``main()`` entry point that prints a paper-style table, so every artefact can
+be regenerated either programmatically (the ``benchmarks/`` suite does this)
+or from the command line, e.g.::
+
+    python -m repro.experiments.table4_zeroshot --columns 150
+
+The mapping from paper artefact to module is recorded in DESIGN.md
+("Per-experiment index") and the measured-vs-paper numbers in EXPERIMENTS.md.
+"""
+
+from repro.experiments import common
+
+__all__ = ["common"]

@@ -1,0 +1,136 @@
+"""Figure 6 — feature-selection ablation: extended context helps fine-tuned
+ArcheType but hurts zero-shot ArcheType.
+
+The x-axis sweeps feature sets CS, CS+TN, CS+SS, CS+TN+SS, CS+TN+SS+OC.  The
+shape to reproduce: the fine-tuned model's accuracy rises (or at least does
+not fall) as features are added, while the zero-shot models' accuracy falls —
+serializing table names, summary statistics and other-column samples into a
+zero-shot prompt distracts the model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.features import FeatureConfig
+from repro.core.pipeline import ArcheType, ArcheTypeConfig
+from repro.core.serialization import PromptStyle
+from repro.datasets.registry import load_benchmark
+from repro.eval.reporting import format_table
+from repro.eval.runner import ExperimentRunner
+from repro.experiments.common import DEFAULT_COLUMNS, cached_benchmark, standard_argument_parser
+from repro.experiments.table3_finetuned import (
+    FINETUNE_SAMPLE_SIZE,
+    build_finetune_examples,
+)
+from repro.llm.finetune import FineTunedLLM
+
+#: The feature sets on the x-axis of Figure 6.
+FEATURE_SPECS: tuple[str, ...] = ("CS", "CS+TN", "CS+SS", "CS+TN+SS", "CS+TN+SS+OC")
+
+
+@dataclass(frozen=True)
+class FeatureCell:
+    """Micro-F1 of one (feature set, method) pair."""
+
+    features: str
+    method: str
+    micro_f1: float
+
+
+def _zero_shot_annotator(benchmark, model: str, features: FeatureConfig, seed: int) -> ArcheType:
+    return ArcheType(
+        ArcheTypeConfig(
+            model=model,
+            label_set=benchmark.label_set,
+            sample_size=5,
+            sampler="archetype",
+            prompt_style=PromptStyle.S,
+            remapper="contains+resample",
+            features=features,
+            numeric_labels=benchmark.numeric_labels,
+            seed=seed,
+        )
+    )
+
+
+def _finetuned_annotator(benchmark, model: FineTunedLLM, features: FeatureConfig, seed: int) -> ArcheType:
+    return ArcheType(
+        ArcheTypeConfig(
+            model=model,
+            label_set=benchmark.label_set,
+            sample_size=FINETUNE_SAMPLE_SIZE,
+            sampler="archetype",
+            prompt_style=PromptStyle.FINETUNED,
+            remapper="contains+resample",
+            features=features,
+            numeric_labels=None,
+            seed=seed,
+        )
+    )
+
+
+def run_fig6(
+    n_columns: int = DEFAULT_COLUMNS,
+    seed: int = 0,
+    zero_shot_models: tuple[str, ...] = ("ul2", "gpt"),
+    include_finetuned: bool = True,
+    n_train_columns: int = 400,
+) -> list[FeatureCell]:
+    """Sweep the feature sets for zero-shot and fine-tuned ArcheType."""
+    zs_benchmark = cached_benchmark("sotab-27", n_columns, seed)
+    runner = ExperimentRunner()
+    cells: list[FeatureCell] = []
+
+    finetuned_model: FineTunedLLM | None = None
+    ft_benchmark = None
+    if include_finetuned:
+        ft_benchmark = load_benchmark(
+            "sotab-91", n_columns=n_columns, seed=seed, n_train_columns=n_train_columns
+        )
+        finetuned_model = FineTunedLLM(base_profile="llama-7b", seed=seed)
+        finetuned_model.fit(build_finetune_examples(ft_benchmark.train_columns, seed=seed))
+
+    for spec in FEATURE_SPECS:
+        features = FeatureConfig.from_spec(spec)
+        for model in zero_shot_models:
+            result = runner.evaluate(
+                _zero_shot_annotator(zs_benchmark, model, features, seed),
+                zs_benchmark,
+                f"zs-{model}-{spec}",
+            )
+            cells.append(
+                FeatureCell(features=spec, method=f"ArcheType-ZS-{model.upper()}",
+                            micro_f1=result.report.weighted_f1_pct)
+            )
+        if include_finetuned and finetuned_model is not None and ft_benchmark is not None:
+            result = runner.evaluate(
+                _finetuned_annotator(ft_benchmark, finetuned_model, features, seed),
+                ft_benchmark,
+                f"ft-llama-{spec}",
+            )
+            cells.append(
+                FeatureCell(features=spec, method="ArcheType-FT-LLAMA",
+                            micro_f1=result.report.weighted_f1_pct)
+            )
+    return cells
+
+
+def cells_as_rows(cells: list[FeatureCell]) -> list[dict[str, object]]:
+    grouped: dict[str, dict[str, object]] = {}
+    for cell in cells:
+        row = grouped.setdefault(cell.method, {"Method": cell.method})
+        row[cell.features] = round(cell.micro_f1, 1)
+    return list(grouped.values())
+
+
+def main() -> None:
+    parser = standard_argument_parser(__doc__ or "Figure 6")
+    args = parser.parse_args()
+    cells = run_fig6(n_columns=args.columns, seed=args.seed)
+    print(format_table(cells_as_rows(cells),
+                       title="Figure 6: feature-selection ablation"))
+
+
+if __name__ == "__main__":
+    main()

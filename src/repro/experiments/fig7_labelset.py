@@ -1,0 +1,105 @@
+"""Figure 7 — zero-shot performance degrades as the label set grows.
+
+The same SOTAB columns are annotated zero-shot against the 27-class and the
+91-class label sets.  The shape to reproduce: every architecture loses a large
+fraction of its accuracy when moving from 27 to 91 labels, even though the
+columns themselves are unchanged and the prompt still fits in the context
+window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.pipeline import ArcheType, ArcheTypeConfig
+from repro.core.serialization import PromptStyle
+from repro.datasets.base import Benchmark
+from repro.datasets.registry import load_benchmark
+from repro.datasets.sotab import SOTAB_91_TO_27, remap_to_sotab27
+from repro.eval.reporting import format_table
+from repro.eval.runner import ExperimentRunner
+from repro.experiments.common import (
+    DEFAULT_COLUMNS,
+    ZERO_SHOT_ARCHITECTURES,
+    standard_argument_parser,
+)
+
+
+@dataclass(frozen=True)
+class LabelSetCell:
+    """Micro-F1 of one (label-set size, architecture) pair."""
+
+    label_set_size: int
+    model: str
+    micro_f1: float
+
+
+def _views(n_columns: int, seed: int) -> tuple[Benchmark, Benchmark]:
+    """The same generated columns as a 91-class and a 27-class problem."""
+    sotab91 = load_benchmark("sotab-91", n_columns=n_columns, seed=seed,
+                             n_train_columns=0)
+    sotab27_view = Benchmark(
+        name="sotab-27-view",
+        label_set=sorted(set(SOTAB_91_TO_27.values())),
+        columns=remap_to_sotab27(sotab91.columns),
+        numeric_labels=[],
+        rule_covered_labels=[],
+        importance="length",
+        description="SOTAB-91 columns remapped onto the 27-class label space",
+    )
+    return sotab91, sotab27_view
+
+
+def run_fig7(
+    n_columns: int = DEFAULT_COLUMNS,
+    seed: int = 0,
+    models: tuple[str, ...] = ZERO_SHOT_ARCHITECTURES,
+) -> list[LabelSetCell]:
+    """Evaluate the 27- and 91-class problems over the same columns."""
+    sotab91, sotab27_view = _views(n_columns, seed)
+    runner = ExperimentRunner()
+    cells: list[LabelSetCell] = []
+    for benchmark in (sotab27_view, sotab91):
+        for model in models:
+            config = ArcheTypeConfig(
+                model=model,
+                label_set=benchmark.label_set,
+                sample_size=5,
+                sampler="archetype",
+                prompt_style=PromptStyle.S,
+                remapper="contains+resample",
+                numeric_labels=benchmark.numeric_labels,
+                seed=seed,
+            )
+            result = runner.evaluate(
+                ArcheType(config), benchmark,
+                f"{len(benchmark.label_set)}cls-{model}",
+            )
+            cells.append(
+                LabelSetCell(
+                    label_set_size=len(benchmark.label_set),
+                    model=model,
+                    micro_f1=result.report.weighted_f1_pct,
+                )
+            )
+    return cells
+
+
+def cells_as_rows(cells: list[LabelSetCell]) -> list[dict[str, object]]:
+    grouped: dict[str, dict[str, object]] = {}
+    for cell in cells:
+        row = grouped.setdefault(cell.model, {"Model": cell.model})
+        row[f"{cell.label_set_size}-cls"] = round(cell.micro_f1, 1)
+    return list(grouped.values())
+
+
+def main() -> None:
+    parser = standard_argument_parser(__doc__ or "Figure 7")
+    args = parser.parse_args()
+    cells = run_fig7(n_columns=args.columns, seed=args.seed)
+    print(format_table(cells_as_rows(cells),
+                       title="Figure 7: label-set-size degradation (SOTAB)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+"""Tables 9, 10, 11 — per-class accuracy and confusion on the zero-shot benchmarks.
+
+The appendix tables list, for each class of SOTAB-27 (Table 9), D4-20 (Table
+10) and Pubchem-20 (Table 11), its frequency, per-class accuracy under the
+T5/UL2/GPT backbones, and the classes it is most often confused with.  The
+shape to reproduce: a bimodal accuracy profile (many classes near-perfect, a
+few near-zero), regex-like classes (ISSN, MD5, DBN, boolean) at the top, and
+abstract or mutually-subsuming classes (category vs text, us-state vs
+other-states, biological formula vs chemical) at the bottom.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.eval.confusion import ConfusionMatrix
+from repro.eval.reporting import format_table
+from repro.experiments.common import (
+    DEFAULT_COLUMNS,
+    MethodSpec,
+    ZERO_SHOT_ARCHITECTURES,
+    cached_benchmark,
+    evaluate_zero_shot,
+    standard_argument_parser,
+)
+
+#: Paper table number per benchmark.
+PER_CLASS_TABLES: dict[str, str] = {
+    "sotab-27": "Table 9",
+    "d4-20": "Table 10",
+    "pubchem-20": "Table 11",
+}
+
+
+@dataclass(frozen=True)
+class PerClassReport:
+    """Per-class accuracies for one benchmark across architectures."""
+
+    benchmark: str
+    class_frequency: dict[str, int]
+    accuracy_by_model: dict[str, dict[str, float]]
+    confusions: dict[str, list[str]]
+
+    def as_rows(self) -> list[dict[str, object]]:
+        rows = []
+        for label in sorted(self.class_frequency):
+            row: dict[str, object] = {
+                "Class": label,
+                "freq": self.class_frequency[label],
+            }
+            for model, accuracies in self.accuracy_by_model.items():
+                row[model] = round(accuracies.get(label, 0.0), 2)
+            row["Conf. Cls."] = ", ".join(self.confusions.get(label, []))
+            rows.append(row)
+        return rows
+
+
+def run_per_class(
+    benchmark_name: str,
+    n_columns: int = DEFAULT_COLUMNS,
+    seed: int = 0,
+    models: tuple[str, ...] = ZERO_SHOT_ARCHITECTURES,
+) -> PerClassReport:
+    """Compute the per-class accuracy table for one benchmark."""
+    if benchmark_name not in PER_CLASS_TABLES:
+        raise ValueError(
+            f"per-class tables exist for {sorted(PER_CLASS_TABLES)}, got {benchmark_name!r}"
+        )
+    benchmark = cached_benchmark(benchmark_name, n_columns, seed)
+    accuracy_by_model: dict[str, dict[str, float]] = {}
+    confusion_union: ConfusionMatrix | None = None
+    for model in models:
+        result = evaluate_zero_shot(
+            MethodSpec(method="archetype", model=model, use_rules=True),
+            benchmark,
+            seed=seed,
+        )
+        accuracy_by_model[model] = result.report.per_class_accuracy
+        if confusion_union is None:
+            confusion_union = result.confusion
+    assert confusion_union is not None
+    confusions = {
+        label: confusion_union.confused_classes(label)
+        for label in benchmark.label_set
+    }
+    return PerClassReport(
+        benchmark=benchmark_name,
+        class_frequency=dict(benchmark.label_counts()),
+        accuracy_by_model=accuracy_by_model,
+        confusions=confusions,
+    )
+
+
+def main() -> None:
+    parser = standard_argument_parser(__doc__ or "Tables 9-11")
+    parser.add_argument(
+        "--benchmark", default="sotab-27", choices=sorted(PER_CLASS_TABLES),
+    )
+    args = parser.parse_args()
+    report = run_per_class(args.benchmark, n_columns=args.columns, seed=args.seed)
+    title = f"{PER_CLASS_TABLES[args.benchmark]}: per-class accuracy on {args.benchmark}"
+    print(format_table(report.as_rows(), title=title))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,115 @@
+"""Table 1 — cost of CTA benchmarking with a metered (GPT-style) API.
+
+The table reports, for the 15,040-column SOTAB test set, the percentage of
+serialized prompts whose tokenized length exceeds 1k/4k/16k tokens and the
+approximate USD cost, for column-at-once serialization with 3/10/20/100/1000
+samples per column and for table-at-once serialization with 10 samples per
+column.  The shape to reproduce: cost grows mildly with per-column samples,
+explodes for 1000 samples and for table-at-once, and table-at-once pushes a
+large fraction of prompts past real context windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.sampling import FirstKSampler
+from repro.core.serialization import PromptSerializer, PromptStyle
+from repro.datasets.base import Benchmark
+from repro.experiments.common import cached_benchmark, standard_argument_parser
+from repro.eval.reporting import format_table
+from repro.llm.tokenizer import CostEstimate, CostModel
+
+#: Size of the real SOTAB test set that Table 1 refers to.
+SOTAB_TEST_POPULATION = 15_040
+
+#: (method, samples-per-column) rows of Table 1.
+TABLE1_CONFIGURATIONS: tuple[tuple[str, int], ...] = (
+    ("column", 3),
+    ("column", 10),
+    ("column", 20),
+    ("column", 100),
+    ("column", 1000),
+    ("table", 10),
+)
+
+
+@dataclass(frozen=True)
+class CostRow:
+    """One row of Table 1."""
+
+    estimate: CostEstimate
+
+    def as_dict(self) -> dict[str, object]:
+        return self.estimate.as_row()
+
+
+def _column_prompts(
+    benchmark: Benchmark, samples_per_column: int, serializer: PromptSerializer,
+) -> list[str]:
+    sampler = FirstKSampler()
+    rng = np.random.default_rng(0)
+    prompts = []
+    for bench_column in benchmark.columns:
+        sample = sampler.sample(bench_column.column, samples_per_column, rng)
+        prompts.append(serializer.serialize(sample.values, benchmark.label_set).text)
+    return prompts
+
+
+def _table_prompts(
+    benchmark: Benchmark, samples_per_column: int, serializer: PromptSerializer,
+    columns_per_table: int = 16,
+) -> list[str]:
+    sampler = FirstKSampler()
+    rng = np.random.default_rng(0)
+    prompts = []
+    batch: list[list[str]] = []
+    for bench_column in benchmark.columns:
+        sample = sampler.sample(bench_column.column, samples_per_column, rng)
+        batch.append(sample.values)
+        if len(batch) == columns_per_table:
+            prompts.append(
+                serializer.serialize_table_at_once(batch, benchmark.label_set).text
+            )
+            batch = []
+    if batch:
+        prompts.append(
+            serializer.serialize_table_at_once(batch, benchmark.label_set).text
+        )
+    return prompts
+
+
+def run_table1(n_columns: int = 300, seed: int = 0) -> list[dict[str, object]]:
+    """Regenerate Table 1 from a sample of SOTAB columns, scaled to 15,040."""
+    benchmark = cached_benchmark("sotab-27", n_columns, seed)
+    # A very large window so the serializer never truncates: Table 1 measures
+    # how long the prompts *would* be, not what fits.
+    serializer = PromptSerializer(style=PromptStyle.K, context_window=10_000_000)
+    cost_model = CostModel()
+    rows: list[dict[str, object]] = []
+    for method, samples in TABLE1_CONFIGURATIONS:
+        if method == "column":
+            prompts = _column_prompts(benchmark, samples, serializer)
+            population = SOTAB_TEST_POPULATION
+        else:
+            prompts = _table_prompts(benchmark, samples, serializer)
+            # Table-at-once issues one prompt per table, not per column.
+            population = SOTAB_TEST_POPULATION // 16
+        estimate = cost_model.estimate_scaled(
+            prompts, method, samples, population_size=population
+        )
+        rows.append(CostRow(estimate).as_dict())
+    return rows
+
+
+def main() -> None:
+    parser = standard_argument_parser(__doc__ or "Table 1")
+    args = parser.parse_args()
+    rows = run_table1(n_columns=args.columns, seed=args.seed)
+    print(format_table(rows, title="Table 1: cost of CTA benchmarking with GPT"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+"""Table 4 — zero-shot CTA across benchmarks, methods and architectures.
+
+The paper's headline zero-shot result: ArcheType outperforms or matches the
+C-Baseline and K-Baseline on every (benchmark, architecture) pair, with and
+without rule-based remapping ("+").  The shape to reproduce:
+
+* ArcheType >= both baselines on every pairing;
+* D4-20 and Pubchem-20 are the easiest benchmarks, Amstr-56 the hardest;
+* the GPT architecture is generally strongest on SOTAB/D4 but does not
+  dominate Amstr/Pubchem;
+* "+" (rules) adds a moderate number of points on every benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datasets.registry import ZERO_SHOT_BENCHMARKS
+from repro.eval.reporting import format_score, format_table
+from repro.eval.runner import EvaluationResult
+from repro.experiments.common import (
+    DEFAULT_COLUMNS,
+    MethodSpec,
+    ZERO_SHOT_ARCHITECTURES,
+    ZERO_SHOT_METHODS,
+    cached_benchmark,
+    evaluate_zero_shot,
+    standard_argument_parser,
+)
+
+
+@dataclass(frozen=True)
+class ZeroShotCell:
+    """One (benchmark, method, architecture, rules) cell of Table 4."""
+
+    benchmark: str
+    method: str
+    model: str
+    use_rules: bool
+    result: EvaluationResult
+
+    @property
+    def score(self) -> str:
+        return format_score(self.result.report.weighted_f1_pct,
+                            self.result.report.ci95_pct)
+
+
+def run_table4(
+    n_columns: int = DEFAULT_COLUMNS,
+    seed: int = 0,
+    benchmarks: tuple[str, ...] = ZERO_SHOT_BENCHMARKS,
+    models: tuple[str, ...] = ZERO_SHOT_ARCHITECTURES,
+    methods: tuple[str, ...] = ZERO_SHOT_METHODS,
+    sample_size: int = 5,
+    include_rules: bool = True,
+) -> list[ZeroShotCell]:
+    """Evaluate every cell of Table 4 and return the raw results."""
+    cells: list[ZeroShotCell] = []
+    for benchmark_name in benchmarks:
+        benchmark = cached_benchmark(benchmark_name, n_columns, seed)
+        no_rules_view = benchmark.without_rule_labels()
+        for method in methods:
+            for model in models:
+                variants = [(True, benchmark)] if include_rules else []
+                variants.append((False, no_rules_view))
+                for use_rules, bench_view in variants:
+                    spec = MethodSpec(
+                        method=method,
+                        model=model,
+                        sample_size=sample_size,
+                        use_rules=use_rules,
+                    )
+                    result = evaluate_zero_shot(spec, bench_view, seed=seed)
+                    cells.append(
+                        ZeroShotCell(
+                            benchmark=benchmark_name,
+                            method=method,
+                            model=model,
+                            use_rules=use_rules,
+                            result=result,
+                        )
+                    )
+    return cells
+
+
+def cells_as_rows(cells: list[ZeroShotCell]) -> list[dict[str, object]]:
+    """Pivot cells into method-per-row, benchmark-per-column layout."""
+    grouped: dict[tuple[str, str], dict[str, object]] = {}
+    for cell in cells:
+        key = (cell.method, cell.model)
+        row = grouped.setdefault(key, {"Method": cell.method, "Arch.": cell.model})
+        column = cell.benchmark + ("+" if cell.use_rules else "")
+        row[column] = cell.score
+    return list(grouped.values())
+
+
+def main() -> None:
+    parser = standard_argument_parser(__doc__ or "Table 4")
+    args = parser.parse_args()
+    cells = run_table4(n_columns=args.columns, seed=args.seed)
+    print(format_table(cells_as_rows(cells),
+                       title="Table 4: zero-shot CTA (weighted Micro-F1, 0-100)"))
+
+
+if __name__ == "__main__":
+    main()

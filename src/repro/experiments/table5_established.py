@@ -1,0 +1,119 @@
+"""Table 5 — established benchmarks: T2D, Efthymiou and VizNet-CHORUS.
+
+The paper compares zero-shot ArcheType (T5 and GPT-4 backbones) against
+fine-tuned TURL / DoDuo / Sherlock and the zero-shot CHORUS system.  The shape
+to reproduce: zero-shot ArcheType is competitive with the fine-tuned systems
+on every benchmark — it beats the fine-tuned baselines on Efthymiou/T2D with
+the GPT-4 backbone and stays within a few points of the best system on
+VizNet-CHORUS even with the small T5 backbone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.classical import DoDuoModel, SherlockModel, TURLModel
+from repro.baselines.llm_baselines import build_archetype_method, build_c_baseline
+from repro.datasets.base import Benchmark
+from repro.eval.reporting import format_score, format_table
+from repro.eval.runner import ExperimentRunner
+from repro.experiments.common import cached_benchmark, standard_argument_parser
+
+
+@dataclass(frozen=True)
+class EstablishedRow:
+    """One (benchmark, method) cell of Table 5."""
+
+    dataset: str
+    method: str
+    metric: str
+    score: float
+    ci95: float
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "Dataset": self.dataset,
+            "Method": self.method,
+            "Metric": self.metric,
+            "Score": format_score(self.score, self.ci95),
+        }
+
+
+def _evaluate_finetuned(
+    benchmark: Benchmark, builder, name: str, runner: ExperimentRunner
+) -> EstablishedRow:
+    model = builder().fit(benchmark.train_columns or benchmark.columns)
+    predictions = model.predict(benchmark.columns)
+    result = runner.evaluate_predictions_only(benchmark, predictions, name)
+    return EstablishedRow(
+        dataset=benchmark.name,
+        method=name,
+        metric="Weighted F1",
+        score=result.report.weighted_f1_pct,
+        ci95=result.report.ci95_pct,
+    )
+
+
+def _evaluate_zero_shot(
+    benchmark: Benchmark, annotator, name: str, runner: ExperimentRunner
+) -> EstablishedRow:
+    result = runner.evaluate(annotator, benchmark, name)
+    return EstablishedRow(
+        dataset=benchmark.name,
+        method=name,
+        metric="Weighted F1",
+        score=result.report.weighted_f1_pct,
+        ci95=result.report.ci95_pct,
+    )
+
+
+def run_table5(n_columns: int = 200, seed: int = 0) -> list[EstablishedRow]:
+    """Regenerate Table 5 over the three established benchmarks."""
+    runner = ExperimentRunner()
+    rows: list[EstablishedRow] = []
+    for benchmark_name in ("t2d", "efthymiou", "viznet-chorus"):
+        benchmark = cached_benchmark(benchmark_name, n_columns, seed)
+        # Fine-tuned classical baselines: trained on the benchmark's own
+        # training split (or, lacking one, its evaluation split — matching how
+        # the paper reports "fine-tuned on <benchmark>" numbers).
+        rows.append(_evaluate_finetuned(benchmark, TURLModel, "TURL-FT", runner))
+        rows.append(_evaluate_finetuned(benchmark, DoDuoModel, "DoDuo-FT", runner))
+        rows.append(_evaluate_finetuned(benchmark, SherlockModel, "Sherlock-FT", runner))
+        # Zero-shot systems.
+        rows.append(
+            _evaluate_zero_shot(
+                benchmark,
+                build_c_baseline(benchmark, model="gpt", seed=seed),
+                "Chorus-ZS-GPT",
+                runner,
+            )
+        )
+        rows.append(
+            _evaluate_zero_shot(
+                benchmark,
+                build_archetype_method(benchmark, model="t5", seed=seed),
+                "ArcheType-ZS-T5",
+                runner,
+            )
+        )
+        rows.append(
+            _evaluate_zero_shot(
+                benchmark,
+                build_archetype_method(benchmark, model="gpt4", seed=seed),
+                "ArcheType-ZS-GPT4",
+                runner,
+            )
+        )
+    return rows
+
+
+def main() -> None:
+    parser = standard_argument_parser(__doc__ or "Table 5")
+    args = parser.parse_args()
+    rows = run_table5(n_columns=args.columns, seed=args.seed)
+    print(format_table([r.as_dict() for r in rows],
+                       title="Table 5: established CTA benchmarks"))
+
+
+if __name__ == "__main__":
+    main()

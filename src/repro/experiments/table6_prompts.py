@@ -1,0 +1,99 @@
+"""Table 6 — prompt-serialization ablation on SOTAB-27.
+
+Six prompt styles (C, K, I, S, N, B) are evaluated across three architectures
+with every other factor held constant.  The shape to reproduce: all models are
+sensitive to the prompt, no prompt is a top-two performer on all three models,
+which supports treating prompt style as a hyperparameter rather than a
+methodological contribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.pipeline import ArcheType, ArcheTypeConfig
+from repro.core.serialization import PromptStyle
+from repro.eval.reporting import format_table
+from repro.eval.runner import ExperimentRunner
+from repro.experiments.common import (
+    DEFAULT_COLUMNS,
+    ZERO_SHOT_ARCHITECTURES,
+    cached_benchmark,
+    standard_argument_parser,
+)
+
+
+@dataclass(frozen=True)
+class PromptCell:
+    """Micro-F1 of one (prompt style, architecture) pair."""
+
+    prompt: str
+    model: str
+    micro_f1: float
+
+
+def run_table6(
+    n_columns: int = DEFAULT_COLUMNS,
+    seed: int = 0,
+    models: tuple[str, ...] = ZERO_SHOT_ARCHITECTURES,
+    sample_size: int = 5,
+) -> list[PromptCell]:
+    """Evaluate the six prompt styles over the chosen architectures."""
+    benchmark = cached_benchmark("sotab-27", n_columns, seed)
+    runner = ExperimentRunner()
+    cells: list[PromptCell] = []
+    for style in PromptStyle.zero_shot_styles():
+        for model in models:
+            config = ArcheTypeConfig(
+                model=model,
+                label_set=benchmark.label_set,
+                sample_size=sample_size,
+                sampler="archetype",
+                prompt_style=style,
+                remapper="contains+resample",
+                numeric_labels=benchmark.numeric_labels,
+                seed=seed,
+            )
+            result = runner.evaluate(
+                ArcheType(config), benchmark, f"prompt-{style.value}-{model}"
+            )
+            cells.append(
+                PromptCell(
+                    prompt=style.value,
+                    model=model,
+                    micro_f1=result.report.weighted_f1_pct,
+                )
+            )
+    return cells
+
+
+def cells_as_rows(cells: list[PromptCell]) -> list[dict[str, object]]:
+    """Pivot into prompt-per-row, architecture-per-column layout."""
+    grouped: dict[str, dict[str, object]] = {}
+    for cell in cells:
+        row = grouped.setdefault(cell.prompt, {"Prompt": cell.prompt})
+        row[cell.model] = round(cell.micro_f1, 1)
+    return list(grouped.values())
+
+
+def best_prompt_per_model(cells: list[PromptCell]) -> dict[str, str]:
+    """The winning prompt style for each architecture."""
+    best: dict[str, PromptCell] = {}
+    for cell in cells:
+        current = best.get(cell.model)
+        if current is None or cell.micro_f1 > current.micro_f1:
+            best[cell.model] = cell
+    return {model: cell.prompt for model, cell in best.items()}
+
+
+def main() -> None:
+    parser = standard_argument_parser(__doc__ or "Table 6")
+    args = parser.parse_args()
+    cells = run_table6(n_columns=args.columns, seed=args.seed)
+    print(format_table(cells_as_rows(cells),
+                       title="Table 6: prompt serialization ablation (SOTAB-27)"))
+    print("best prompt per model:", best_prompt_per_model(cells))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""Simulated LLM substrate.
+
+The paper queries real language models (GPT-3.5/4, T5-XXL, UL2, LLAMA-7B,
+OPT-IML).  This environment has no network access or GPU, so the substrate is
+replaced by a deterministic simulator that exposes the same
+``generate(prompt) -> text`` interface and reproduces the failure modes the
+paper documents: class bias towards confusable types, out-of-label
+generations that require remapping, sensitivity to prompt style and label-set
+size, and degradation when extra (other-column) context is serialized into a
+zero-shot prompt.  See DESIGN.md ("Substitutions") for the full rationale.
+
+Public entry points:
+
+* :func:`get_model` / :func:`list_models` — the model registry.
+* :class:`repro.llm.base.LanguageModel` — the interface every backend obeys.
+* :class:`repro.llm.tokenizer.SimpleTokenizer` and
+  :class:`repro.llm.tokenizer.CostModel` — token counting and the Table 1
+  cost analysis.
+* :class:`repro.llm.embeddings.HashingEmbedder` — the embedding model used by
+  similarity-based label remapping.
+* :class:`repro.llm.finetune.FineTunedLLM` — the fine-tuned (Alpaca-style)
+  model used for the SOTAB-91 experiments.
+"""
+
+from repro.llm.base import GenerationParams, LanguageModel
+from repro.llm.registry import get_model, list_models, register_model
+from repro.llm.tokenizer import CostModel, SimpleTokenizer
+
+__all__ = [
+    "CostModel",
+    "GenerationParams",
+    "LanguageModel",
+    "SimpleTokenizer",
+    "get_model",
+    "list_models",
+    "register_model",
+]

@@ -1,0 +1,76 @@
+"""Language-model interface shared by every backend.
+
+The ArcheType pipeline only ever interacts with a model through
+:meth:`LanguageModel.generate`: a prompt string goes in, a completion string
+comes out.  Generation hyperparameters (temperature, top-p, repetition
+penalty) are carried in :class:`GenerationParams`; the remap-resample strategy
+(Algorithm 3) permutes them between retries via :meth:`GenerationParams.permuted`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class GenerationParams:
+    """Decoding hyperparameters passed along with every query.
+
+    ``resample_index`` tracks how many remap-resample retries preceded this
+    call; backends may use it (together with the other fields) to vary their
+    output between retries, which is exactly what calling a stochastic LLM
+    with permuted hyperparameters achieves.
+    """
+
+    temperature: float = 0.0
+    top_p: float = 1.0
+    repetition_penalty: float = 1.0
+    seed: int = 0
+    resample_index: int = 0
+
+    def permuted(self, k: int, temperature_factor: float = 1.5,
+                 top_p_step: float = -0.05,
+                 repetition_step: float = 0.05) -> "GenerationParams":
+        """Return the parameters for the ``k``-th resample attempt.
+
+        Following Section 3.5, ``k`` acts multiplicatively on temperature and
+        additively on top-p and repetition penalty.
+        """
+        if k <= 0:
+            return self
+        new_temperature = max(self.temperature, 0.2) * (temperature_factor ** k)
+        new_top_p = min(1.0, max(0.1, self.top_p + top_p_step * k))
+        new_rep = max(1.0, self.repetition_penalty + repetition_step * k)
+        return replace(
+            self,
+            temperature=min(new_temperature, 2.0),
+            top_p=new_top_p,
+            repetition_penalty=new_rep,
+            resample_index=k,
+        )
+
+
+class LanguageModel(ABC):
+    """Abstract LLM backend.
+
+    Concrete implementations in this package are simulators (see
+    :mod:`repro.llm.simulated` and :mod:`repro.llm.finetune`); a user with API
+    access could drop in a real backend by implementing this interface.
+    """
+
+    #: Human-readable model name, e.g. ``"archetype-zs-t5"``.
+    name: str = "abstract"
+    #: Maximum prompt length in (approximate) tokens.
+    context_window: int = 2048
+    #: Architecture family, e.g. ``"encoder-decoder"`` or ``"decoder-only"``.
+    architecture: str = "unknown"
+    #: Whether the model weights/pre-training data are open (Section 2.3).
+    open_source: bool = True
+
+    @abstractmethod
+    def generate(self, prompt: str, params: GenerationParams | None = None) -> str:
+        """Produce a completion for ``prompt``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r} ctx={self.context_window}>"

@@ -1,0 +1,124 @@
+"""Resolving free-form label strings to world-knowledge concepts.
+
+A zero-shot label set is chosen at test time and can contain anything
+("Newspaper or Publication", "region in the bronx", "author family name").
+The simulated LLM needs to connect each candidate label to the concept
+detectors in :mod:`repro.llm.knowledge` — just as a real LLM connects a label
+token to its internal representation of that semantic type.
+
+Resolution proceeds from most to least precise:
+
+1. exact match against a concept's canonical name or alias;
+2. normalized match (punctuation and stop-words removed);
+3. token-overlap match against concept names, aliases and descriptions;
+4. no match — the label is still usable (it can be picked through lexical
+   overlap with the sampled values) but it has no detector behind it, which
+   is exactly the situation where a real LLM has to guess.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.llm.knowledge import CONCEPTS, Concept, alias_index
+
+_STOPWORDS = frozenset(
+    {
+        "a", "an", "the", "of", "in", "for", "from", "or", "and", "to",
+        "name", "names", "value", "values", "column",
+    }
+)
+
+_NON_WORD_RE = re.compile(r"[^a-z0-9\s-]")
+
+
+def normalize_label(label: str) -> str:
+    """Lower-case a label and strip punctuation, collapsing whitespace."""
+    lowered = _NON_WORD_RE.sub(" ", label.strip().lower())
+    return " ".join(lowered.split())
+
+
+def label_tokens(label: str) -> frozenset[str]:
+    """Tokenize a normalized label, dropping stop-words."""
+    tokens = normalize_label(label).replace("-", " ").split()
+    return frozenset(t for t in tokens if t not in _STOPWORDS)
+
+
+@dataclass(frozen=True)
+class ResolvedLabel:
+    """A candidate label together with the concept (if any) that backs it."""
+
+    label: str
+    concept: Concept | None
+    match_quality: float  # 1.0 exact, 0.0 unresolved
+
+    @property
+    def resolved(self) -> bool:
+        return self.concept is not None
+
+
+class LabelResolver:
+    """Resolve label strings to concepts with caching.
+
+    The resolver is stateless apart from its cache, so a single module-level
+    instance (:data:`DEFAULT_RESOLVER`) is shared by the simulated models.
+    """
+
+    def __init__(self) -> None:
+        self._aliases = alias_index()
+        self._concept_tokens: dict[str, frozenset[str]] = {}
+        for name, concept in CONCEPTS.items():
+            token_pool = set(label_tokens(name))
+            for alias in concept.aliases:
+                token_pool.update(label_tokens(alias))
+            token_pool.update(label_tokens(concept.description))
+            self._concept_tokens[name] = frozenset(token_pool)
+
+    @lru_cache(maxsize=4096)
+    def resolve(self, label: str) -> ResolvedLabel:
+        """Resolve one label string to its best-matching concept."""
+        normalized = normalize_label(label)
+        if not normalized:
+            return ResolvedLabel(label=label, concept=None, match_quality=0.0)
+
+        # 1/2. exact or normalized alias match
+        direct = self._aliases.get(normalized)
+        if direct is not None:
+            return ResolvedLabel(label, CONCEPTS[direct], 1.0)
+
+        # de-parenthesised match, e.g. "smiles (simplified ...)" -> "smiles"
+        head = normalized.split("(")[0].strip()
+        if head and head in self._aliases:
+            return ResolvedLabel(label, CONCEPTS[self._aliases[head]], 0.95)
+
+        # 3. token-overlap match
+        tokens = label_tokens(label)
+        if not tokens:
+            return ResolvedLabel(label=label, concept=None, match_quality=0.0)
+        best_name: str | None = None
+        best_score = 0.0
+        for name, concept_tokens in self._concept_tokens.items():
+            if not concept_tokens:
+                continue
+            overlap = len(tokens & concept_tokens)
+            if overlap == 0:
+                continue
+            score = overlap / max(len(tokens), 1)
+            # Prefer matches that also cover most of the concept's own tokens
+            coverage = overlap / len(concept_tokens)
+            combined = 0.7 * score + 0.3 * coverage
+            if combined > best_score:
+                best_score = combined
+                best_name = name
+        if best_name is not None and best_score >= 0.35:
+            return ResolvedLabel(label, CONCEPTS[best_name], min(best_score, 0.9))
+        return ResolvedLabel(label=label, concept=None, match_quality=0.0)
+
+    def resolve_all(self, labels: tuple[str, ...] | list[str]) -> list[ResolvedLabel]:
+        """Resolve every label in a label set."""
+        return [self.resolve(label) for label in labels]
+
+
+DEFAULT_RESOLVER = LabelResolver()

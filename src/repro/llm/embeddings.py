@@ -1,0 +1,137 @@
+"""Deterministic text embeddings for similarity-based label remapping.
+
+The paper's remap-similarity strategy (Algorithm 4) embeds the LLM's free-form
+answer and every label in the label set with a sentence-embedding model
+(S3BERT) and picks the label with the highest cosine similarity.  Offline we
+replace the sentence encoder with a hashed character-n-gram + word-unigram
+embedder: deterministic, dependency-free, and good enough that lexically and
+morphologically related strings ("High School in New York City" vs
+"educational organization" vs "school name") land near each other.
+
+The embedding dimension and hashing scheme are fixed so embeddings are stable
+across processes and test runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from typing import Iterable, Sequence
+
+import numpy as np
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+#: Small curated synonym groups so that semantically equivalent but lexically
+#: disjoint strings share some embedding mass.  A sentence encoder learns this
+#: from data; here it is encoded explicitly and sparsely.
+_SYNONYM_GROUPS: tuple[tuple[str, ...], ...] = (
+    ("school", "educational", "education", "academy", "college"),
+    ("person", "people", "name", "author", "byline"),
+    ("organization", "organisation", "institution", "agency", "company",
+     "corporation", "business"),
+    ("location", "place", "region", "neighborhood", "neighbourhood", "town",
+     "city", "borough", "area"),
+    ("number", "numeric", "integer", "quantity", "count", "amount"),
+    ("state", "province"),
+    ("newspaper", "publication", "journal", "press"),
+    ("chemical", "compound", "molecule", "drug"),
+    ("url", "link", "website", "address"),
+    ("date", "day", "time", "year", "month"),
+    ("price", "cost", "currency", "money"),
+    ("event", "match", "game", "festival"),
+    ("product", "item", "model"),
+    ("job", "position", "occupation", "role"),
+    ("article", "story", "text", "document"),
+    ("title", "headline", "heading", "caption"),
+    ("disease", "disorder", "condition", "syndrome", "illness"),
+    ("weight", "mass", "measurement"),
+    ("phone", "telephone"),
+    ("zip", "zipcode", "postal"),
+    ("boolean", "flag", "true", "false"),
+    ("gender", "sex"),
+)
+
+_SYNONYM_CANONICAL: dict[str, str] = {}
+for _group in _SYNONYM_GROUPS:
+    _canon = _group[0]
+    for _word in _group:
+        _SYNONYM_CANONICAL[_word] = _canon
+
+
+def _stable_hash(text: str) -> int:
+    """A process-stable 64-bit hash (Python's ``hash`` is salted per process)."""
+    digest = hashlib.blake2b(text.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "little")
+
+
+class HashingEmbedder:
+    """Hashed character-n-gram and word-unigram embeddings with cosine similarity."""
+
+    #: Relative weights of the three feature families.  Word identity and
+    #: synonym-group features carry most of the semantic signal; character
+    #: n-grams only provide a morphological fallback for out-of-vocabulary
+    #: strings, so they are down-weighted to keep hash-collision noise small.
+    WORD_WEIGHT = 3.0
+    SYNONYM_WEIGHT = 4.0
+    NGRAM_WEIGHT = 0.5
+
+    def __init__(self, dimension: int = 512, ngram_sizes: Sequence[int] = (3, 4)) -> None:
+        if dimension <= 0:
+            raise ValueError("dimension must be positive")
+        self.dimension = dimension
+        self.ngram_sizes = tuple(ngram_sizes)
+
+    # -- feature extraction -------------------------------------------------
+    def _features(self, text: str) -> Iterable[tuple[str, float]]:
+        lowered = text.lower()
+        words = _TOKEN_RE.findall(lowered)
+        for word in words:
+            yield f"w:{word}", self.WORD_WEIGHT
+            canon = _SYNONYM_CANONICAL.get(word)
+            if canon is not None:
+                yield f"s:{canon}", self.SYNONYM_WEIGHT
+        padded = " " + " ".join(words) + " "
+        for n in self.ngram_sizes:
+            for start in range(max(len(padded) - n + 1, 0)):
+                yield f"g{n}:{padded[start:start + n]}", self.NGRAM_WEIGHT
+
+    def embed(self, text: str) -> np.ndarray:
+        """Embed ``text`` into a unit-norm vector (zero vector for empty text)."""
+        vector = np.zeros(self.dimension, dtype=np.float64)
+        for feature, weight in self._features(text):
+            h = _stable_hash(feature)
+            index = h % self.dimension
+            sign = 1.0 if (h >> 32) % 2 == 0 else -1.0
+            vector[index] += sign * weight
+        norm = float(np.linalg.norm(vector))
+        if norm > 0.0:
+            vector /= norm
+        return vector
+
+    def embed_many(self, texts: Sequence[str]) -> np.ndarray:
+        """Embed a batch of strings into a ``(len(texts), dimension)`` matrix."""
+        if not texts:
+            return np.zeros((0, self.dimension), dtype=np.float64)
+        return np.vstack([self.embed(t) for t in texts])
+
+    # -- similarity ----------------------------------------------------------
+    def similarity(self, left: str, right: str) -> float:
+        """Cosine similarity between two strings (0.0 when either is empty)."""
+        return float(np.dot(self.embed(left), self.embed(right)))
+
+    def most_similar(self, query: str, candidates: Sequence[str]) -> tuple[int, float]:
+        """Index and similarity of the candidate closest to ``query``.
+
+        Raises ValueError when ``candidates`` is empty.
+        """
+        if not candidates:
+            raise ValueError("candidates must be non-empty")
+        query_vec = self.embed(query)
+        matrix = self.embed_many(candidates)
+        scores = matrix @ query_vec
+        best = int(np.argmax(scores))
+        return best, float(scores[best])
+
+
+DEFAULT_EMBEDDER = HashingEmbedder()

@@ -1,0 +1,728 @@
+"""World knowledge for the simulated LLM: semantic-concept detectors.
+
+A real LLM classifies a column by recognising its values — state names, SMILES
+strings, URLs, newspaper prose, NYC agencies — from its pre-training corpus.
+The simulator reproduces that capability with an explicit library of
+*concept detectors*.  Each :class:`Concept` scores a single cell value in
+``[0, 1]``; :func:`score_concept` aggregates scores over a context sample.
+
+The detectors deliberately overlap (an ISSN also looks like a number, a
+newspaper article also looks like generic text, a NYC agency is also an
+organization).  This overlap is what produces the confusion structure the
+paper reports in Tables 9-11 — the model profiles then modulate *how well*
+each architecture resolves those ambiguities.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro.datasets import vocab
+
+# ---------------------------------------------------------------------------
+# helper predicates
+# ---------------------------------------------------------------------------
+
+_URL_RE = re.compile(r"^(https?://|www\.)[\w.-]+(\.[a-z]{2,})(/\S*)?$", re.I)
+_EMAIL_RE = re.compile(r"^[\w.+-]+@[\w-]+\.[\w.-]+$")
+_ZIP_RE = re.compile(r"^\d{5}(-\d{4})?$")
+_PHONE_RE = re.compile(
+    r"^(\+?\d{1,3}[\s.-]?)?(\(\d{3}\)|\d{3})[\s.-]?\d{3}[\s.-]?\d{4}$"
+)
+_DATE_RE = re.compile(
+    r"^(\d{4}-\d{2}-\d{2}|\d{1,2}/\d{1,2}/\d{2,4}|"
+    r"(January|February|March|April|May|June|July|August|September|October|"
+    r"November|December)\s+\d{1,2},?\s+\d{4})",
+    re.I,
+)
+_TIME_RE = re.compile(r"^\d{1,2}:\d{2}(:\d{2})?\s*(AM|PM|am|pm)?$")
+_COORD_RE = re.compile(r"^-?\d{1,3}\.\d{3,},?\s*-?\d{1,3}\.\d{3,}$")
+_SINGLE_COORD_RE = re.compile(r"^-?\d{1,3}\.\d{4,}$")
+_PRICE_RE = re.compile(r"^[$€£¥]\s?\d[\d,]*(\.\d{1,2})?$|^\d[\d,]*(\.\d{1,2})?\s?(USD|EUR|GBP|dollars?|euros?)$", re.I)
+_NUMBER_RE = re.compile(r"^[-+]?\d[\d,]*\.?\d*$")
+_WEIGHT_RE = re.compile(r"^\d+(\.\d+)?\s?(kg|g|mg|lb|lbs|oz|kilograms?|grams?|pounds?|ounces?|mm|cm|m)$", re.I)
+_ISBN_RE = re.compile(r"^(97[89][- ]?)?\d{1,5}[- ]?\d{1,7}[- ]?\d{1,7}[- ]?[\dX]$")
+_ISSN_RE = re.compile(r"^\d{4}-\d{3}[\dX]$")
+_MD5_RE = re.compile(r"^[a-f0-9]{32}$", re.I)
+_INCHI_RE = re.compile(r"^InChI=1S?/")
+_SMILES_RE = re.compile(r"^[A-Za-z0-9@+\-\[\]\(\)=#$\\/%.]{3,}$")
+_SMILES_HINT_RE = re.compile(r"[\[\]=#]|\(.*\)|c1|C1|N1|O1")
+_MOLFORMULA_RE = re.compile(r"^([A-Z][a-z]?\d*){2,}$")
+_DBN_RE = re.compile(r"^\d{2}[A-Z]\d{3}$")
+_SCHOOL_NUMBER_RE = re.compile(r"^[KPMQXR]?\d{3}$")
+_GRADES_RE = re.compile(r"^(PK|K|\d{1,2})-(\d{1,2}|K)$", re.I)
+_AGE_RE = re.compile(r"^\d{1,3}$")
+_YEAR_RE = re.compile(r"^(1[6-9]\d{2}|20\d{2})$")
+_STREET_RE = re.compile(r"^\d{1,5}\s+\w[\w\s.'-]*\s(Street|St\.?|Avenue|Ave\.?|Boulevard|Blvd\.?|Road|Rd\.?|Lane|Ln\.?|Drive|Dr\.?|Court|Ct\.?|Place|Pl\.?|Terrace|Parkway|Way|Circle)\b", re.I)
+_PATENT_ID_RE = re.compile(r"^(US|EP|WO)[-\s]?\d{7,}", re.I)
+_CAPITALIZED_PHRASE_RE = re.compile(r"^([A-Z][\w'.-]*)(\s+[A-Za-z][\w'.-]*){0,6}$")
+
+
+def _lexicon(values: Iterable[str]) -> frozenset[str]:
+    return frozenset(v.lower() for v in values)
+
+
+_STATE_SET = _lexicon(vocab.US_STATES)
+_STATE_ABBREV_SET = frozenset(vocab.US_STATE_ABBREVIATIONS)
+_COUNTRY_SET = _lexicon(vocab.COUNTRIES)
+_COUNTRY_CODE_SET = frozenset(vocab.COUNTRY_CODES)
+_LANGUAGE_SET = _lexicon(vocab.LANGUAGES) | frozenset(vocab.LANGUAGE_CODES)
+_FIRST_NAME_SET = _lexicon(vocab.FIRST_NAMES)
+_LAST_NAME_SET = _lexicon(vocab.LAST_NAMES)
+_MONTH_SET = _lexicon(vocab.MONTHS)
+_COLOR_SET = _lexicon(vocab.COLORS)
+_ETHNICITY_SET = _lexicon(vocab.ETHNICITIES)
+_BOROUGH_SET = _lexicon(vocab.NYC_BOROUGHS)
+_GENDER_SET = _lexicon(vocab.GENDERS)
+_BOOLEAN_SET = _lexicon(vocab.BOOLEAN_VALUES)
+_CURRENCY_SET = frozenset(vocab.CURRENCIES)
+_ORG_SET = _lexicon(vocab.ORGANIZATIONS)
+_COMPANY_SET = _lexicon(vocab.COMPANIES)
+_SPORTS_SET = _lexicon(vocab.SPORTS_TEAMS)
+_NEWSPAPER_SET = _lexicon(vocab.NEWSPAPER_NAMES)
+_JOURNAL_SET = _lexicon(vocab.JOURNAL_TITLES)
+_CHEMICAL_SET = _lexicon(vocab.CHEMICAL_NAMES)
+_DISEASE_SET = _lexicon(vocab.DISEASES)
+_TAXONOMY_SET = _lexicon(vocab.TAXONOMY_LABELS)
+_CELL_SET = _lexicon(vocab.CELL_LINES)
+_BROADER_SET = _lexicon(vocab.CONCEPT_BROADER_TERMS)
+_AGENCY_SET = _lexicon(vocab.NYC_AGENCIES)
+_AGENCY_ABBREV_SET = frozenset(vocab.NYC_AGENCY_ABBREVIATIONS)
+_SCHOOL_SET = _lexicon(vocab.NYC_SCHOOL_NAMES)
+_PERMIT_SET = _lexicon(vocab.PERMIT_TYPES)
+_PLATE_SET = frozenset(vocab.PLATE_TYPES)
+_ELEVATOR_SET = _lexicon(vocab.ELEVATOR_STAIRCASE)
+_PRODUCT_SET = _lexicon(vocab.PRODUCT_NAMES)
+_CREATIVE_SET = _lexicon(vocab.CREATIVE_WORKS)
+_EVENT_SET = _lexicon(vocab.EVENTS)
+_JOB_TITLE_SET = _lexicon(vocab.JOB_TITLES)
+_JOB_REQ_SET = _lexicon(vocab.JOB_REQUIREMENTS)
+_NEIGHBORHOODS = {
+    "bronx": _lexicon(vocab.BRONX_NEIGHBORHOODS),
+    "brooklyn": _lexicon(vocab.BROOKLYN_NEIGHBORHOODS),
+    "queens": _lexicon(vocab.QUEENS_NEIGHBORHOODS),
+    "manhattan": _lexicon(vocab.MANHATTAN_NEIGHBORHOODS),
+    "staten island": _lexicon(vocab.STATEN_ISLAND_NEIGHBORHOODS),
+}
+
+
+def _in_lexicon(value: str, lexicon: frozenset[str]) -> float:
+    return 1.0 if value.strip().lower() in lexicon else 0.0
+
+
+def _in_lexicon_cased(value: str, lexicon: frozenset[str]) -> float:
+    return 1.0 if value.strip() in lexicon else 0.0
+
+
+def _regex_score(value: str, pattern: re.Pattern[str]) -> float:
+    return 1.0 if pattern.match(value.strip()) else 0.0
+
+
+# ---------------------------------------------------------------------------
+# concept definitions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Concept:
+    """One unit of world knowledge: a named semantic type with a value scorer.
+
+    ``specificity`` breaks ties between overlapping concepts: a value that is
+    both a valid ISSN and a generic "number" should prefer the more specific
+    concept, just as an LLM with good world knowledge would.
+    """
+
+    name: str
+    scorer: Callable[[str], float]
+    specificity: float = 1.0
+    description: str = ""
+    aliases: tuple[str, ...] = field(default_factory=tuple)
+
+    def score_value(self, value: str) -> float:
+        if not value.strip():
+            return 0.0
+        return max(0.0, min(1.0, self.scorer(value)))
+
+
+def _article_score(value: str) -> float:
+    words = value.split()
+    if len(words) < 12:
+        return 0.0
+    # Prose: mostly lowercase words, sentence punctuation, few digits.
+    alpha = sum(1 for w in words if any(c.isalpha() for c in w))
+    return min(1.0, 0.3 + 0.7 * alpha / len(words)) if len(words) >= 12 else 0.0
+
+
+def _headline_score(value: str) -> float:
+    stripped = value.strip()
+    if not stripped or len(stripped.split()) < 3 or len(stripped.split()) > 12:
+        return 0.0
+    letters = [c for c in stripped if c.isalpha()]
+    if not letters:
+        return 0.0
+    upper_ratio = sum(1 for c in letters if c.isupper()) / len(letters)
+    return 1.0 if upper_ratio > 0.85 else 0.0
+
+
+def _byline_score(value: str) -> float:
+    stripped = value.strip()
+    if stripped.lower().startswith("by "):
+        return 1.0
+    parts = stripped.replace(",", " ").split()
+    if 2 <= len(parts) <= 4 and all(p[:1].isupper() for p in parts if p):
+        known = sum(
+            1
+            for p in parts
+            if p.lower() in _FIRST_NAME_SET or p.lower() in _LAST_NAME_SET
+        )
+        return 0.6 if known >= 1 else 0.0
+    return 0.0
+
+
+def _full_name_score(value: str) -> float:
+    parts = value.replace(",", " ").split()
+    if len(parts) < 2 or len(parts) > 4:
+        return 0.0
+    first_hit = any(p.lower() in _FIRST_NAME_SET for p in parts)
+    last_hit = any(p.lower() in _LAST_NAME_SET for p in parts)
+    if first_hit and last_hit:
+        return 1.0
+    if first_hit or last_hit:
+        return 0.55
+    if all(p[:1].isupper() and p[1:].islower() for p in parts if p):
+        return 0.3
+    return 0.0
+
+
+def _first_name_score(value: str) -> float:
+    stripped = value.strip().rstrip(".")
+    parts = stripped.split()
+    if not parts or len(parts) > 2:
+        return 0.0
+    head = parts[0].lower()
+    if head in _FIRST_NAME_SET:
+        # "John Q." style middle initial still counts as a first-name value.
+        if len(parts) == 1 or (len(parts[1]) <= 2):
+            return 1.0
+        return 0.4
+    return 0.0
+
+
+def _last_name_score(value: str) -> float:
+    stripped = value.strip()
+    if " " in stripped:
+        return 0.0
+    return 1.0 if stripped.lower() in _LAST_NAME_SET else 0.0
+
+
+def _organization_score(value: str) -> float:
+    lowered = value.strip().lower()
+    if lowered in _ORG_SET:
+        return 1.0
+    keywords = (
+        "university", "institute", "laboratory", "agency", "administration",
+        "organization", "organisation", "foundation", "society", "center",
+        "centre", "department", "ministry", "college", "hospital",
+    )
+    if any(k in lowered for k in keywords):
+        return 0.8
+    return 0.0
+
+
+def _company_score(value: str) -> float:
+    lowered = value.strip().lower()
+    if lowered in _COMPANY_SET:
+        return 1.0
+    suffixes = (" inc", " inc.", " llc", " ltd", " ltd.", " corp", " corp.",
+                " corporation", " co.", " gmbh", " ag", " plc", " s.a.")
+    if any(lowered.endswith(s) or s + " " in lowered for s in suffixes):
+        return 0.85
+    words = ("systems", "industries", "logistics", "enterprises", "software",
+             "services", "solutions", "manufacturing", "trading", "imports")
+    if any(w in lowered for w in words):
+        return 0.5
+    return 0.0
+
+
+def _nyc_agency_score(value: str) -> float:
+    lowered = value.strip().lower()
+    if lowered in _AGENCY_SET:
+        return 1.0
+    if ("department of" in lowered or "mayor's office" in lowered
+            or "administration for" in lowered or "commission" in lowered):
+        return 0.75
+    return 0.0
+
+
+def _school_score(value: str) -> float:
+    lowered = value.strip().lower()
+    if lowered in _SCHOOL_SET:
+        return 1.0
+    markers = ("p.s. ", "i.s. ", "m.s. ", "j.h.s. ", "high school", "academy",
+               "school for", "secondary school", "early college")
+    if any(m in lowered for m in markers):
+        return 0.9
+    return 0.0
+
+
+def _newspaper_score(value: str) -> float:
+    lowered = value.strip().lower()
+    if lowered in _NEWSPAPER_SET:
+        return 1.0
+    words = ("gazette", "tribune", "herald", "daily", "journal", "times",
+             "chronicle", "dispatch", "bulletin", "courier", "nugget",
+             "champion", "republic", "bee", "star", "argus")
+    if lowered.startswith("the ") and any(w in lowered for w in words):
+        return 0.9
+    if any(w in lowered for w in words) and len(lowered.split()) <= 6:
+        return 0.7
+    return 0.0
+
+
+def _journal_score(value: str) -> float:
+    lowered = value.strip().lower()
+    if lowered in _JOURNAL_SET:
+        return 1.0
+    words = ("journal of", "chemistry", "chemical", "nature", "acs ",
+             "proceedings of", "letters", "reviews")
+    if any(w in lowered for w in words):
+        return 0.7
+    return 0.0
+
+
+def _chemical_score(value: str) -> float:
+    lowered = value.strip().lower()
+    if lowered in _CHEMICAL_SET:
+        return 1.0
+    suffixes = ("ine", "ol", "one", "ate", "ide", "acid", "amide", "azole",
+                "illin", "micin", "mycin", "statin", "profen")
+    if len(lowered.split()) <= 3 and any(lowered.endswith(s) for s in suffixes):
+        return 0.6
+    return 0.0
+
+
+def _disease_score(value: str) -> float:
+    lowered = value.strip().lower()
+    if lowered in _DISEASE_SET:
+        return 1.0
+    words = ("syndrome", "disease", "disorder", "myopathy", "dystrophy",
+             "deficiency", "carcinoma", "anemia", "itis", "osis", "emia")
+    if any(w in lowered for w in words):
+        return 0.85
+    return 0.0
+
+
+def _taxonomy_score(value: str) -> float:
+    lowered = value.strip().lower()
+    if lowered in _TAXONOMY_SET:
+        return 1.0
+    parts = value.strip().split()
+    if len(parts) == 2 and parts[0][:1].isupper() and parts[1].islower():
+        return 0.45
+    return 0.0
+
+
+def _smiles_score(value: str) -> float:
+    stripped = value.strip()
+    if " " in stripped or len(stripped) < 4:
+        return 0.0
+    if not _SMILES_RE.match(stripped):
+        return 0.0
+    if _INCHI_RE.match(stripped):
+        return 0.0
+    hints = len(_SMILES_HINT_RE.findall(stripped))
+    ring_digits = sum(1 for c in stripped if c.isdigit())
+    if hints >= 1 and (ring_digits >= 1 or "(" in stripped or "=" in stripped):
+        return 0.95
+    return 0.0
+
+
+def _molformula_score(value: str) -> float:
+    stripped = value.strip()
+    if not _MOLFORMULA_RE.match(stripped):
+        return 0.0
+    if not any(c.isdigit() for c in stripped):
+        return 0.2
+    known = sum(
+        1 for sym in vocab.ELEMENT_SYMBOLS if sym in stripped
+    )
+    return 0.95 if known >= 2 else 0.3
+
+
+def _patent_abstract_score(value: str) -> float:
+    lowered = value.strip().lower()
+    words = len(lowered.split())
+    if words < 15:
+        return 0.0
+    markers = ("the present invention", "disclosed herein", "an embodiment",
+               "a method for", "the invention relates", "comprising",
+               "an apparatus")
+    if any(m in lowered for m in markers):
+        return 1.0
+    return 0.25 if words >= 25 else 0.0
+
+
+def _patent_title_score(value: str) -> float:
+    lowered = value.strip().lower()
+    words = len(lowered.split())
+    if words < 3 or words > 20:
+        return 0.0
+    markers = ("method for", "method of", "apparatus", "composition",
+               "system for", "device for", "process for", "derivatives",
+               "and uses thereof", "treatment of")
+    if any(m in lowered for m in markers):
+        return 0.95
+    return 0.0
+
+
+def _book_title_score(value: str) -> float:
+    lowered = value.strip().lower()
+    if lowered in _CREATIVE_SET:
+        return 0.7
+    words = len(value.split())
+    if 2 <= words <= 12 and value[:1].isupper() and ":" in value:
+        return 0.5
+    if 2 <= words <= 12 and value[:1].isupper():
+        return 0.3
+    return 0.0
+
+
+def _event_score(value: str) -> float:
+    lowered = value.strip().lower()
+    if lowered in _EVENT_SET:
+        return 1.0
+    words = ("festival", "gala", "concert", "partit:", "marathon", "expo",
+             "fair", "vs", "vs.", " - ", "match", "tournament", "screening",
+             "opening day", "conference")
+    if any(w in lowered for w in words):
+        return 0.8
+    return 0.0
+
+
+def _job_posting_score(value: str) -> float:
+    lowered = value.strip().lower()
+    if lowered in _JOB_TITLE_SET:
+        return 0.9
+    words = ("engineer", "manager", "analyst", "designer", "developer",
+             "coordinator", "assistant", "nurse", "accountant", "supervisor",
+             "scientist", "representative", "specialist", "technician")
+    if any(lowered.endswith(w) or f" {w}" in lowered for w in words) and len(lowered.split()) <= 5:
+        return 0.7
+    return 0.0
+
+
+def _job_requirements_score(value: str) -> float:
+    lowered = value.strip().lower()
+    if lowered in _JOB_REQ_SET:
+        return 1.0
+    words = ("experience", "required", "preferred", "degree", "ability to",
+             "proficiency", "skills", "must be", "certification",
+             "willingness", "years of")
+    hits = sum(1 for w in words if w in lowered)
+    return min(1.0, 0.4 * hits) if len(lowered.split()) >= 5 else 0.0
+
+
+def _product_score(value: str) -> float:
+    lowered = value.strip().lower()
+    if lowered in _PRODUCT_SET:
+        return 1.0
+    stripped = value.strip()
+    # Model-number style: letters and digits mixed, short.
+    if (len(stripped) <= 20 and any(c.isdigit() for c in stripped)
+            and any(c.isalpha() for c in stripped)
+            and "-" in stripped or stripped.isupper()):
+        if any(c.isdigit() for c in stripped) and len(stripped.split()) <= 3:
+            return 0.45
+    return 0.0
+
+
+def _creative_work_score(value: str) -> float:
+    lowered = value.strip().lower()
+    if lowered in _CREATIVE_SET:
+        return 1.0
+    if "(" in value and ("edition" in lowered or "vol" in lowered):
+        return 0.8
+    words = len(value.split())
+    if 3 <= words <= 15 and value[:1].isupper() and ":" in value:
+        return 0.45
+    return 0.0
+
+
+def _street_address_score(value: str) -> float:
+    if _STREET_RE.match(value.strip()):
+        return 1.0
+    lowered = value.strip().lower()
+    suffix_hit = any(
+        lowered.endswith(" " + s.lower()) for s in vocab.STREET_SUFFIXES
+    )
+    if suffix_hit and any(c.isdigit() for c in lowered):
+        return 0.8
+    if suffix_hit:
+        return 0.45
+    return 0.0
+
+
+def _region_score(value: str, borough: str) -> float:
+    lexicon = _NEIGHBORHOODS[borough]
+    return 1.0 if value.strip().lower() in lexicon else 0.0
+
+
+def _any_region_score(value: str) -> float:
+    return max(
+        _region_score(value, borough) for borough in _NEIGHBORHOODS
+    )
+
+
+def _text_score(value: str) -> float:
+    words = len(value.split())
+    if words >= 4 and any(c.isalpha() for c in value):
+        return 0.4
+    if words >= 1 and any(c.isalpha() for c in value):
+        return 0.2
+    return 0.0
+
+
+def _category_score(value: str) -> float:
+    stripped = value.strip()
+    words = len(stripped.split())
+    if words <= 3 and stripped and stripped[0].isalpha() and not any(
+        c.isdigit() for c in stripped
+    ):
+        return 0.35
+    return 0.0
+
+
+def _number_score(value: str) -> float:
+    return 1.0 if _NUMBER_RE.match(value.strip()) else 0.0
+
+
+def _numeric_id_score(value: str) -> float:
+    stripped = value.strip()
+    if stripped.isdigit() and len(stripped) >= 4:
+        return 0.8
+    return 0.0
+
+
+def _age_score(value: str) -> float:
+    stripped = value.strip()
+    if _AGE_RE.match(stripped):
+        try:
+            n = int(stripped)
+        except ValueError:
+            return 0.0
+        if 0 <= n <= 120:
+            return 0.9
+    return 0.0
+
+
+def _weight_score(value: str) -> float:
+    if _WEIGHT_RE.match(value.strip()):
+        return 1.0
+    return 0.0
+
+
+def _year_score(value: str) -> float:
+    return 1.0 if _YEAR_RE.match(value.strip()) else 0.0
+
+
+CONCEPTS: dict[str, Concept] = {}
+
+
+def _register(concept: Concept) -> Concept:
+    CONCEPTS[concept.name] = concept
+    return concept
+
+
+# -- structural / pattern concepts -----------------------------------------
+_register(Concept("url", lambda v: _regex_score(v, _URL_RE), 3.0,
+                  "web address", ("link", "website", "web address")))
+_register(Concept("email", lambda v: _regex_score(v, _EMAIL_RE), 3.0,
+                  "email address", ("e-mail",)))
+_register(Concept("zipcode", lambda v: _regex_score(v, _ZIP_RE), 2.6,
+                  "US postal code", ("postal code", "zip")))
+_register(Concept("telephone", lambda v: _regex_score(v, _PHONE_RE), 2.8,
+                  "phone number", ("phone", "phone number")))
+_register(Concept("date", lambda v: _regex_score(v, _DATE_RE), 2.5,
+                  "calendar date", ("day", "calendar date")))
+_register(Concept("time", lambda v: _regex_score(v, _TIME_RE), 2.5,
+                  "time of day", ("hour",)))
+_register(Concept("coordinates",
+                  lambda v: max(_regex_score(v, _COORD_RE),
+                                _regex_score(v, _SINGLE_COORD_RE) * 0.8),
+                  2.4, "geographic coordinates", ("latitude", "longitude", "geo")))
+_register(Concept("price", lambda v: _regex_score(v, _PRICE_RE), 2.4,
+                  "monetary amount", ("cost", "amount")))
+_register(Concept("currency", lambda v: _in_lexicon_cased(v, _CURRENCY_SET), 2.4,
+                  "ISO currency code", ("currency code",)))
+_register(Concept("boolean", lambda v: _in_lexicon(v, _BOOLEAN_SET), 2.2,
+                  "true/false flag", ("flag", "yes/no")))
+_register(Concept("number", _number_score, 1.0, "plain number",
+                  ("integer", "numeric", "quantity", "float")))
+_register(Concept("numeric identifier", _numeric_id_score, 1.4,
+                  "opaque numeric id", ("identifier", "id")))
+_register(Concept("age", _age_score, 1.6, "age in years"))
+_register(Concept("weight", _weight_score, 2.2, "weight or measurement with unit",
+                  ("measurement", "mass")))
+_register(Concept("year", _year_score, 1.8, "calendar year"))
+_register(Concept("isbn", lambda v: _regex_score(v, _ISBN_RE) if len(v.strip()) >= 10 else 0.0,
+                  2.8, "book ISBN", ("book isbn",)))
+_register(Concept("issn", lambda v: _regex_score(v, _ISSN_RE), 3.0,
+                  "journal ISSN", ("journal issn",)))
+_register(Concept("md5", lambda v: _regex_score(v, _MD5_RE), 3.0,
+                  "MD5 hash", ("md5 hash", "hash")))
+_register(Concept("inchi", lambda v: _regex_score(v, _INCHI_RE), 3.2,
+                  "InChI chemical identifier",
+                  ("inchi (international chemical identifier)",)))
+_register(Concept("smiles", _smiles_score, 2.9,
+                  "SMILES molecular line notation",
+                  ("smiles (simplified molecular input line entry system)",)))
+_register(Concept("molecular formula", _molformula_score, 2.7,
+                  "chemical molecular formula", ("formula", "biological formula")))
+_register(Concept("street address", _street_address_score, 2.3,
+                  "street address", ("address", "streetaddress")))
+_register(Concept("patent identifier", lambda v: _regex_score(v, _PATENT_ID_RE),
+                  2.6, "patent number"))
+
+# -- lexicon concepts --------------------------------------------------------
+_register(Concept("us-state", lambda v: max(_in_lexicon(v, _STATE_SET),
+                                            _in_lexicon_cased(v, _STATE_ABBREV_SET) * 0.8),
+                  2.2, "US state name", ("state", "us state", "state name")))
+_register(Concept("country", lambda v: max(_in_lexicon(v, _COUNTRY_SET),
+                                           _in_lexicon_cased(v, _COUNTRY_CODE_SET) * 0.7),
+                  2.0, "country name", ("nation",)))
+_register(Concept("language", lambda v: _in_lexicon(v, _LANGUAGE_SET), 2.0,
+                  "natural language name"))
+_register(Concept("gender", lambda v: _in_lexicon(v, _GENDER_SET), 2.2,
+                  "gender value", ("sex",)))
+_register(Concept("month", lambda v: _in_lexicon(v, _MONTH_SET), 2.3,
+                  "month name"))
+_register(Concept("color", lambda v: _in_lexicon(v, _COLOR_SET), 2.3,
+                  "color name", ("colour",)))
+_register(Concept("ethnicity", lambda v: _in_lexicon(v, _ETHNICITY_SET), 2.4,
+                  "ethnicity category"))
+_register(Concept("borough", lambda v: _in_lexicon(v, _BOROUGH_SET), 2.5,
+                  "NYC borough"))
+_register(Concept("person full name", _full_name_score, 1.8,
+                  "person's full name", ("person", "person's full name",
+                                         "author full name", "full name")))
+_register(Concept("person first name", _first_name_score, 1.9,
+                  "person's first name",
+                  ("person's first name and middle initials",
+                   "author first name", "first name")))
+_register(Concept("person last name", _last_name_score, 1.9,
+                  "person's last name", ("author family name", "last name",
+                                         "family name", "surname")))
+_register(Concept("author byline", _byline_score, 1.7, "article author byline",
+                  ("byline",)))
+_register(Concept("organization", _organization_score, 1.6,
+                  "organization name", ("organisation", "institution")))
+_register(Concept("company", _company_score, 1.7, "company name",
+                  ("business", "corporation")))
+_register(Concept("sportsteam", lambda v: _in_lexicon(v, _SPORTS_SET), 2.2,
+                  "sports team", ("sports team", "team")))
+_register(Concept("nyc agency", _nyc_agency_score, 2.2,
+                  "NYC agency full name", ("nyc agency name", "city agency",
+                                           "city agency (full)", "agency")))
+_register(Concept("nyc agency abbreviation",
+                  lambda v: _in_lexicon_cased(v, _AGENCY_ABBREV_SET), 2.3,
+                  "NYC agency abbreviation", ("abbreviation of agency",)))
+_register(Concept("school name", _school_score, 2.2,
+                  "public school name", ("school", "educational organization",
+                                         "educational institution")))
+_register(Concept("school-dbn", lambda v: _regex_score(v, _DBN_RE), 2.9,
+                  "NYC school DBN code", ("dbn",)))
+_register(Concept("school-number", lambda v: _regex_score(v, _SCHOOL_NUMBER_RE),
+                  1.6, "school number"))
+_register(Concept("school-grades", lambda v: _regex_score(v, _GRADES_RE), 2.5,
+                  "school grade range", ("grades",)))
+_register(Concept("permit-types", lambda v: _in_lexicon(v, _PERMIT_SET), 2.2,
+                  "construction permit type", ("permit type",)))
+_register(Concept("plate-type", lambda v: _in_lexicon_cased(v, _PLATE_SET), 2.2,
+                  "license plate type", ("plate type",)))
+_register(Concept("elevator or staircase", lambda v: _in_lexicon(v, _ELEVATOR_SET),
+                  2.3, "elevator or staircase"))
+_register(Concept("newspaper", _newspaper_score, 2.0, "newspaper name",
+                  ("newspaper name", "newspaper or publication", "publication")))
+_register(Concept("journal title", _journal_score, 2.0,
+                  "scientific journal title"))
+_register(Concept("chemical", _chemical_score, 1.8, "chemical name",
+                  ("compound", "chemical name", "drug")))
+_register(Concept("disease", _disease_score, 2.0, "disease name",
+                  ("disease alternative label", "disease label", "condition")))
+_register(Concept("taxonomy", _taxonomy_score, 1.9, "species / taxonomy label",
+                  ("taxonomy label", "species", "organism")))
+_register(Concept("cell line", lambda v: _in_lexicon(v, _CELL_SET), 2.2,
+                  "biological cell line", ("cell alternative label", "cell label",
+                                           "cell")))
+_register(Concept("concept broader term", lambda v: _in_lexicon(v, _BROADER_SET),
+                  1.7, "broader ontology term",
+                  ("concept preferred label", "broader term")))
+_register(Concept("patent abstract", _patent_abstract_score, 2.0,
+                  "patent abstract text", ("abstract for patent", "abstract")))
+_register(Concept("patent title", _patent_title_score, 1.9, "patent title"))
+_register(Concept("book title", _book_title_score, 1.5, "book title"))
+_register(Concept("creativework", _creative_work_score, 1.5,
+                  "creative work title",
+                  ("creative work", "film", "movie", "song", "album")))
+_register(Concept("event", _event_score, 1.7, "event name",
+                  ("sporting event",)))
+_register(Concept("product", _product_score, 1.4, "product name or model"))
+_register(Concept("jobposting", _job_posting_score, 1.7, "job posting title",
+                  ("job posting", "job title")))
+_register(Concept("jobrequirements", _job_requirements_score, 1.7,
+                  "job requirements text", ("job requirements",)))
+_register(Concept("article", _article_score, 1.3, "newspaper article text",
+                  ("article text", "news article")))
+_register(Concept("headline", _headline_score, 1.8, "newspaper headline",
+                  ("subheading", "heading")))
+_register(Concept("region in bronx", lambda v: _region_score(v, "bronx"), 2.1,
+                  "neighbourhood in the Bronx"))
+_register(Concept("region in brooklyn", lambda v: _region_score(v, "brooklyn"),
+                  2.1, "neighbourhood in Brooklyn"))
+_register(Concept("region in queens", lambda v: _region_score(v, "queens"), 2.1,
+                  "neighbourhood in Queens"))
+_register(Concept("region in manhattan", lambda v: _region_score(v, "manhattan"),
+                  2.1, "neighbourhood in Manhattan"))
+_register(Concept("region in staten island",
+                  lambda v: _region_score(v, "staten island"), 2.1,
+                  "neighbourhood in Staten Island"))
+_register(Concept("neighborhood", _any_region_score, 1.6,
+                  "city neighbourhood",
+                  ("location", "region", "place", "town", "city", "locality")))
+_register(Concept("other-states", lambda v: max(_in_lexicon(v, _STATE_SET),
+                                                _in_lexicon_cased(v, _STATE_ABBREV_SET) * 0.8),
+                  1.9, "state name (other states column)", ("other states",)))
+_register(Concept("text", _text_score, 0.6, "free text",
+                  ("description", "string")))
+_register(Concept("category", _category_score, 0.7, "generic category label",
+                  ("type", "class", "label")))
+
+
+def get_concept(name: str) -> Concept | None:
+    """Look up a concept by canonical name (case-insensitive)."""
+    return CONCEPTS.get(name.strip().lower())
+
+
+def score_concept(concept: Concept, values: Sequence[str]) -> float:
+    """Aggregate a concept's per-value scores over a context sample.
+
+    The aggregate is the mean score over non-empty values; empty samples score
+    zero.  The mean (rather than max) means a single lucky value cannot carry
+    a column, which mirrors how an LLM weighs all the serialized evidence.
+    """
+    usable = [v for v in values if v.strip()]
+    if not usable:
+        return 0.0
+    return sum(concept.score_value(v) for v in usable) / len(usable)
+
+
+def alias_index() -> dict[str, str]:
+    """Map every alias (and canonical name) to its canonical concept name."""
+    index: dict[str, str] = {}
+    for name, concept in CONCEPTS.items():
+        index[name] = name
+        for alias in concept.aliases:
+            index.setdefault(alias.strip().lower(), name)
+    return index

@@ -1,0 +1,282 @@
+"""Model profiles: how each simulated architecture differs.
+
+The paper evaluates several LLM architectures (T5-XXL, UL2, GPT-3.5-Turbo,
+GPT-4-Turbo, LLAMA-7B, OPT-IML) and finds that no model dominates, that
+encoder-decoder models outperform decoder-only models on CTA, and that each
+architecture has its own characteristic confusions (Tables 9-11).  A
+:class:`ModelProfile` captures those differences as a small set of calibrated
+knobs; the :class:`repro.llm.simulated.SimulatedLLM` turns a profile into a
+concrete backend.
+
+Calibration targets (qualitative, from the paper):
+
+* GPT-4 > GPT-3.5 ≳ T5 ≳ UL2 ≫ LLAMA-7B zero-shot.
+* Open-source models under-use abstract classes (category, text) and over-use
+  concrete ones; GPT does better on abstract classes but worse on company /
+  country / event.
+* Small decoder-only models frequently answer outside the label set.
+* All models degrade as the label set grows (Figure 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import UnknownModelError
+
+
+@dataclass(frozen=True)
+class ModelProfile:
+    """Calibration knobs for one simulated architecture.
+
+    Attributes
+    ----------
+    base_skill:
+        Overall world-knowledge competence in ``[0, 1]``; scales how sharply
+        the model separates the correct concept from distractors.
+    knowledge_noise:
+        Standard deviation of the per-option score noise.  Higher values blur
+        decisions, especially in large label sets.
+    out_of_label_rate:
+        Base probability of answering with free-form text instead of one of
+        the provided options (the behaviour label remapping must correct).
+    verbosity:
+        Probability that even an in-label decision is phrased verbosely
+        ("a High School in New York City"), again requiring remapping.
+    label_size_sensitivity:
+        How quickly noise grows with the number of candidate labels
+        (Figure 7).
+    clutter_sensitivity:
+        Additional noise applied when the serialized context contains
+        extended-context markers (table name, summary statistics, other
+        columns) — the zero-shot degradation of Figure 6.
+    prompt_style_affinity:
+        Additive skill modifier per prompt style letter (Table 6: every model
+        prefers different prompts).
+    class_adjustments:
+        Additive score adjustment per resolved concept name — encodes the
+        per-architecture class biases of Tables 9-11.
+    """
+
+    name: str
+    architecture: str = "encoder-decoder"
+    context_window: int = 2048
+    open_source: bool = True
+    base_skill: float = 0.8
+    knowledge_noise: float = 0.12
+    out_of_label_rate: float = 0.08
+    verbosity: float = 0.05
+    label_size_sensitivity: float = 0.5
+    clutter_sensitivity: float = 0.15
+    prompt_style_affinity: dict[str, float] = field(default_factory=dict)
+    class_adjustments: dict[str, float] = field(default_factory=dict)
+    lexical_affinity_weight: float = 0.9
+
+    def style_modifier(self, style_letter: str) -> float:
+        """Additive skill modifier for a given prompt style letter."""
+        return self.prompt_style_affinity.get(style_letter.upper(), 0.0)
+
+
+#: Encoder-decoder open-source model (FLAN-T5-XXL stand-in).
+T5_PROFILE = ModelProfile(
+    name="t5",
+    architecture="encoder-decoder",
+    context_window=2048,
+    open_source=True,
+    base_skill=0.84,
+    knowledge_noise=0.13,
+    out_of_label_rate=0.07,
+    verbosity=0.04,
+    label_size_sensitivity=0.55,
+    clutter_sensitivity=0.18,
+    prompt_style_affinity={
+        "C": -0.04, "K": 0.01, "I": -0.01, "S": 0.00, "N": -0.05, "B": -0.06,
+    },
+    class_adjustments={
+        "category": -0.30,
+        "text": -0.18,
+        "coordinates": -0.55,
+        "jobrequirements": -0.50,
+        "organization": -0.18,
+        "company": -0.10,
+        "price": -0.20,
+        "book title": -0.45,
+        "person first name": -0.40,
+        "region in staten island": -0.45,
+        "region in brooklyn": -0.30,
+    },
+)
+
+#: Encoder-decoder open-source model (UL2 stand-in).
+UL2_PROFILE = ModelProfile(
+    name="ul2",
+    architecture="encoder-decoder",
+    context_window=2048,
+    open_source=True,
+    base_skill=0.81,
+    knowledge_noise=0.14,
+    out_of_label_rate=0.09,
+    verbosity=0.05,
+    label_size_sensitivity=0.55,
+    clutter_sensitivity=0.18,
+    prompt_style_affinity={
+        "C": 0.01, "K": -0.01, "I": 0.00, "S": -0.01, "N": -0.07, "B": -0.03,
+    },
+    class_adjustments={
+        "category": -0.30,
+        "text": -0.22,
+        "zipcode": -0.45,
+        "gender": -0.28,
+        "email": -0.35,
+        "jobrequirements": -0.55,
+        "creativework": -0.25,
+        "organization": -0.15,
+        "smiles": -0.50,
+        "person full name": -0.45,
+        "region in bronx": -0.35,
+        "region in queens": -0.35,
+        "region in staten island": -0.45,
+    },
+)
+
+#: Closed-source GPT-3.5-Turbo stand-in.
+GPT_PROFILE = ModelProfile(
+    name="gpt-3.5",
+    architecture="decoder-only",
+    context_window=16384,
+    open_source=False,
+    base_skill=0.85,
+    knowledge_noise=0.11,
+    out_of_label_rate=0.06,
+    verbosity=0.07,
+    label_size_sensitivity=0.45,
+    clutter_sensitivity=0.12,
+    prompt_style_affinity={
+        "C": -0.03, "K": -0.05, "I": 0.00, "S": 0.01, "N": -0.01, "B": 0.00,
+    },
+    class_adjustments={
+        "category": 0.10,
+        "text": -0.10,
+        "company": -0.35,
+        "country": -0.25,
+        "age": -0.25,
+        "event": -0.22,
+        "gender": -0.15,
+        "sportsteam": -0.12,
+        "patent title": -0.30,
+        "smiles": -0.35,
+        "person first name": -0.45,
+        "book title": -0.35,
+        "abbreviation of agency": -0.50,
+        "nyc agency abbreviation": -0.55,
+        "elevator or staircase": -0.30,
+    },
+)
+
+#: Closed-source GPT-4-Turbo stand-in (Table 5 only).
+GPT4_PROFILE = ModelProfile(
+    name="gpt-4",
+    architecture="decoder-only",
+    context_window=128000,
+    open_source=False,
+    base_skill=0.93,
+    knowledge_noise=0.08,
+    out_of_label_rate=0.04,
+    verbosity=0.05,
+    label_size_sensitivity=0.35,
+    clutter_sensitivity=0.08,
+    prompt_style_affinity={
+        "C": 0.0, "K": -0.01, "I": 0.01, "S": 0.01, "N": 0.0, "B": 0.0,
+    },
+    class_adjustments={
+        "company": -0.12,
+        "text": -0.05,
+    },
+)
+
+#: Small decoder-only open-source model, *zero-shot* (LLAMA-7B before
+#: instruction fine-tuning) — weak, frequently off-label.
+LLAMA_ZS_PROFILE = ModelProfile(
+    name="llama-7b",
+    architecture="decoder-only",
+    context_window=2048,
+    open_source=True,
+    base_skill=0.55,
+    knowledge_noise=0.22,
+    out_of_label_rate=0.30,
+    verbosity=0.15,
+    label_size_sensitivity=0.75,
+    clutter_sensitivity=0.25,
+    prompt_style_affinity={
+        "C": -0.05, "K": -0.03, "I": -0.02, "S": 0.00, "N": -0.08, "B": -0.02,
+    },
+    class_adjustments={
+        "category": -0.25,
+        "text": -0.20,
+    },
+)
+
+#: OPT-IML stand-in: decoder-only, instruction-tuned, mid-pack.
+OPT_IML_PROFILE = ModelProfile(
+    name="opt-iml",
+    architecture="decoder-only",
+    context_window=2048,
+    open_source=True,
+    base_skill=0.68,
+    knowledge_noise=0.17,
+    out_of_label_rate=0.14,
+    verbosity=0.08,
+    label_size_sensitivity=0.65,
+    clutter_sensitivity=0.20,
+    prompt_style_affinity={
+        "C": -0.02, "K": 0.00, "I": -0.03, "S": -0.01, "N": -0.06, "B": -0.01,
+    },
+    class_adjustments={
+        "category": -0.22,
+        "text": -0.15,
+    },
+)
+
+PROFILES: dict[str, ModelProfile] = {
+    profile.name: profile
+    for profile in (
+        T5_PROFILE,
+        UL2_PROFILE,
+        GPT_PROFILE,
+        GPT4_PROFILE,
+        LLAMA_ZS_PROFILE,
+        OPT_IML_PROFILE,
+    )
+}
+
+_ALIASES: dict[str, str] = {
+    "t5": "t5",
+    "flan-t5": "t5",
+    "ul2": "ul2",
+    "flan-ul2": "ul2",
+    "gpt": "gpt-3.5",
+    "gpt-3.5": "gpt-3.5",
+    "gpt-3.5-turbo": "gpt-3.5",
+    "gpt4": "gpt-4",
+    "gpt-4": "gpt-4",
+    "gpt-4-turbo": "gpt-4",
+    "llama": "llama-7b",
+    "llama-7b": "llama-7b",
+    "llama-2": "llama-7b",
+    "opt-iml": "opt-iml",
+}
+
+
+def get_profile(name: str) -> ModelProfile:
+    """Look up a profile by model name or alias."""
+    key = _ALIASES.get(name.strip().lower())
+    if key is None:
+        raise UnknownModelError(
+            f"unknown model profile {name!r}; known: {sorted(_ALIASES)}"
+        )
+    return PROFILES[key]
+
+
+def list_profiles() -> list[str]:
+    """Canonical profile names."""
+    return sorted(PROFILES)

@@ -1,0 +1,109 @@
+"""Parsing serialized prompts back into (context values, candidate labels).
+
+A real LLM reads the prompt text; the simulator must do the same, so it
+re-extracts the context sample and the label options from the raw prompt
+string rather than receiving them through a side channel.  This keeps the
+prompt-serialization stage honest: if the serializer drops the label set or
+truncates the context, the simulated model genuinely sees less information.
+
+The parser recognises the six zero-shot templates of Figure 3 plus the
+fine-tuned Alpaca-style template of Figure 2.  Unknown prompt formats fall
+back to a best-effort extraction (everything before the final cue is treated
+as context, with no options), which mirrors how a real model would still
+respond to an unfamiliar prompt.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ParsedPrompt:
+    """The information the simulator recovers from a prompt string."""
+
+    context_values: tuple[str, ...] = field(default_factory=tuple)
+    options: tuple[str, ...] = field(default_factory=tuple)
+    style_letter: str = "?"
+    has_options: bool = False
+    raw: str = ""
+
+
+#: (style letter, context-segment regex, options-segment regex) per template.
+#: The regexes capture the text between the template's fixed markers.
+_TEMPLATE_PATTERNS: tuple[tuple[str, re.Pattern[str], re.Pattern[str] | None], ...] = (
+    (
+        "C",
+        re.compile(r"Input column:\s*(?P<context>.*?)\.\s*Output:", re.S),
+        re.compile(r"type annotation\s+from\s+(?P<options>.*?)\.\s*Input column:", re.S),
+    ),
+    (
+        "K",
+        re.compile(r"Input column:\s*(?P<context>.*?)\.\s*Type:", re.S),
+        re.compile(r"only one of these types:\s*(?P<options>.*?)\.\s*Input column:", re.S),
+    ),
+    (
+        "I",
+        re.compile(r"Here is a column from a table:\s*(?P<context>.*?)\.\s*Please select", re.S),
+        re.compile(r"Options:\s*(?P<options>.*?)\s*Response:", re.S),
+    ),
+    (
+        "S",
+        re.compile(r"Column:\s*(?P<context>.*?)\.\s*Classes:", re.S),
+        re.compile(r"Classes:\s*(?P<options>.*?)\.\s*Output:", re.S),
+    ),
+    (
+        "N",
+        re.compile(r"Here's the column itself!\s*(?P<context>.*?)\.\s*And, um,", re.S),
+        re.compile(r"you could pick from\s*\.\.\.\s*(?P<options>.*?)\.\s*Ok, go ahead!", re.S),
+    ),
+    (
+        "B",
+        re.compile(r"INPUT:\s*(?P<context>.*?)\s*OPTIONS:", re.S),
+        re.compile(r"OPTIONS:\s*(?P<options>.*?)\s*ANSWER:", re.S),
+    ),
+    (
+        "FT",
+        re.compile(r"INPUT:\s*(?P<context>.*?)\s*CATEGORY:", re.S),
+        None,
+    ),
+)
+
+
+def _split_list(text: str) -> tuple[str, ...]:
+    """Split a comma-separated segment into trimmed, non-empty items."""
+    items = [piece.strip().strip("'\"") for piece in text.split(",")]
+    return tuple(item for item in items if item)
+
+
+def parse_prompt(prompt: str) -> ParsedPrompt:
+    """Extract context values and options from a serialized prompt."""
+    for letter, context_re, options_re in _TEMPLATE_PATTERNS:
+        context_match = context_re.search(prompt)
+        if context_match is None:
+            continue
+        options: tuple[str, ...] = ()
+        if options_re is not None:
+            options_match = options_re.search(prompt)
+            if options_match is None:
+                continue
+            options = _split_list(options_match.group("options"))
+        context = _split_list(context_match.group("context"))
+        return ParsedPrompt(
+            context_values=context,
+            options=options,
+            style_letter=letter,
+            has_options=bool(options),
+            raw=prompt,
+        )
+    # Unknown format: best effort — treat the final colon-terminated cue as
+    # the answer marker and everything before it as context.
+    head = prompt.rsplit(":", 1)[0] if ":" in prompt else prompt
+    return ParsedPrompt(
+        context_values=_split_list(head),
+        options=(),
+        style_letter="?",
+        has_options=False,
+        raw=prompt,
+    )

@@ -1,0 +1,54 @@
+"""Model registry: construct LLM backends by name.
+
+The experiment harness refers to models by short names ("t5", "ul2", "gpt",
+"gpt4", "llama"); this registry turns a name into a ready-to-query
+:class:`repro.llm.base.LanguageModel`.  Custom backends (for example a real
+API-backed model) can be added with :func:`register_model`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.exceptions import UnknownModelError
+from repro.llm.base import LanguageModel
+from repro.llm.profiles import get_profile, list_profiles
+from repro.llm.simulated import SimulatedLLM
+
+ModelFactory = Callable[[int], LanguageModel]
+
+_CUSTOM_FACTORIES: dict[str, ModelFactory] = {}
+
+
+def register_model(name: str, factory: ModelFactory) -> None:
+    """Register a custom model factory under ``name``.
+
+    The factory receives a seed and must return a :class:`LanguageModel`.
+    Registered names shadow the built-in simulated profiles.
+    """
+    _CUSTOM_FACTORIES[name.strip().lower()] = factory
+
+
+def get_model(name: str, seed: int = 0) -> LanguageModel:
+    """Construct a model backend by name.
+
+    Built-in names map onto simulated profiles ("t5", "ul2", "gpt", "gpt4",
+    "llama", "opt-iml" and their aliases); anything added through
+    :func:`register_model` takes precedence.
+    """
+    key = name.strip().lower()
+    if key in _CUSTOM_FACTORIES:
+        return _CUSTOM_FACTORIES[key](seed)
+    try:
+        profile = get_profile(key)
+    except UnknownModelError:
+        raise UnknownModelError(
+            f"unknown model {name!r}; built-ins: {list_profiles()}, "
+            f"registered: {sorted(_CUSTOM_FACTORIES)}"
+        ) from None
+    return SimulatedLLM(profile, seed=seed)
+
+
+def list_models() -> list[str]:
+    """All names resolvable by :func:`get_model`."""
+    return sorted(set(list_profiles()) | set(_CUSTOM_FACTORIES))

@@ -1,0 +1,69 @@
+"""Unit tests for the simulated DoDuo / TURL / Sherlock baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.classical import ClassicalCTAModel, DoDuoModel, SherlockModel, TURLModel
+from repro.datasets.registry import load_benchmark
+from repro.eval.metrics import weighted_f1
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def viznet():
+    return load_benchmark("viznet-chorus", n_columns=150, seed=3)
+
+
+class TestClassicalModel:
+    def test_unfitted_model_refuses_to_predict(self):
+        with pytest.raises(ConfigurationError):
+            DoDuoModel().predict_column(["a", "b"])
+
+    def test_fit_requires_data(self):
+        with pytest.raises(ConfigurationError):
+            DoDuoModel().fit([])
+
+    def test_fit_predict_round_trip(self, viznet):
+        model = DoDuoModel().fit(viznet.train_columns)
+        assert model.is_fitted
+        predictions = model.predict(viznet.columns)
+        assert len(predictions) == len(viznet.columns)
+        assert set(predictions) <= set(viznet.label_set)
+
+    def test_in_distribution_accuracy_is_high(self, viznet):
+        model = DoDuoModel().fit(viznet.train_columns)
+        predictions = model.predict(viznet.columns)
+        truth = [bc.label for bc in viznet.columns]
+        assert weighted_f1(truth, predictions) > 0.55
+
+    def test_doduo_beats_turl_in_distribution(self, viznet):
+        truth = [bc.label for bc in viznet.columns]
+        doduo = DoDuoModel().fit(viznet.train_columns).predict(viznet.columns)
+        turl = TURLModel().fit(viznet.train_columns).predict(viznet.columns)
+        assert weighted_f1(truth, doduo) >= weighted_f1(truth, turl) - 0.02
+
+    def test_sherlock_uses_only_dense_features(self):
+        model = SherlockModel()
+        assert model.feature_mask is not None
+        assert model.feature_mask[:18].sum() == 18
+        assert model.feature_mask[18:].sum() == 0
+
+    def test_label_map_applied_on_benchmark_prediction(self, viznet):
+        model = DoDuoModel().fit(viznet.train_columns)
+        mapped = model.predict_benchmark(viznet, label_map={l: "X" for l in viznet.label_set})
+        assert set(mapped) == {"X"}
+
+    def test_distribution_shift_degrades_accuracy(self, viznet):
+        """A model trained on shifted VizNet formatting loses accuracy on SOTAB."""
+        from repro.datasets.established import VIZNET_TO_SOTAB27
+
+        sotab = load_benchmark("sotab-27", n_columns=150, seed=3)
+        model = DoDuoModel().fit(viznet.train_columns)
+
+        in_dist = weighted_f1(
+            [bc.label for bc in viznet.columns], model.predict(viznet.columns)
+        )
+        shifted_predictions = model.predict_benchmark(sotab, label_map=VIZNET_TO_SOTAB27)
+        out_dist = weighted_f1([bc.label for bc in sotab.columns], shifted_predictions)
+        assert out_dist < in_dist - 0.15

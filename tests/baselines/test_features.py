@@ -1,0 +1,46 @@
+"""Unit tests for the classical baselines' feature extraction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.features import FEATURE_DIMENSION, column_features, features_matrix
+
+
+class TestColumnFeatures:
+    def test_fixed_dimension(self):
+        assert column_features(["a", "b"]).shape == (FEATURE_DIMENSION,)
+
+    def test_empty_column_is_zero_vector(self):
+        assert np.allclose(column_features(["", "  "]), 0.0)
+        assert np.allclose(column_features([]), 0.0)
+
+    def test_numeric_fraction_feature(self):
+        numeric = column_features(["1", "2", "3"])
+        text = column_features(["a", "b", "c"])
+        # Feature index 10 is the numeric fraction.
+        assert numeric[10] == pytest.approx(1.0)
+        assert text[10] == pytest.approx(0.0)
+
+    def test_url_fraction_feature(self):
+        urls = column_features(["http://a.com", "https://b.org"])
+        assert urls[11] == pytest.approx(1.0)
+
+    def test_ngram_block_is_normalised(self):
+        vector = column_features(["hello world", "hello there"])
+        assert np.linalg.norm(vector[18:]) == pytest.approx(1.0)
+
+    def test_features_are_deterministic(self):
+        values = ["Alaska", "Colorado", "Kentucky"]
+        assert np.allclose(column_features(values), column_features(values))
+
+    def test_different_types_produce_different_features(self):
+        urls = column_features(["http://a.com/x", "http://b.org/y"])
+        states = column_features(["Alaska", "Colorado"])
+        assert not np.allclose(urls, states)
+
+    def test_features_matrix_shape(self):
+        matrix = features_matrix([["a"], ["b", "c"], ["1", "2"]])
+        assert matrix.shape == (3, FEATURE_DIMENSION)
+        assert features_matrix([]).shape == (0, FEATURE_DIMENSION)

@@ -1,0 +1,71 @@
+"""Unit tests for the zero-shot method factories (ArcheType, C-, K-Baseline)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.llm_baselines import (
+    build_archetype_method,
+    build_c_baseline,
+    build_k_baseline,
+    get_zero_shot_method,
+)
+from repro.core.sampling import ArcheTypeSampler, FirstKSampler, SimpleRandomSampler
+from repro.core.serialization import PromptStyle
+from repro.exceptions import ConfigurationError
+
+
+class TestFactories:
+    def test_archetype_method_configuration(self, d4_small):
+        annotator = build_archetype_method(d4_small, model="t5", use_rules=True)
+        assert isinstance(annotator.sampler, ArcheTypeSampler)
+        assert annotator.remapper.name == "contains+resample"
+        assert annotator.config.ruleset is not None
+        assert annotator.label_set == d4_small.label_set
+
+    def test_c_baseline_configuration(self, d4_small):
+        annotator = build_c_baseline(d4_small, model="t5")
+        assert isinstance(annotator.sampler, SimpleRandomSampler)
+        assert annotator.serializer.style is PromptStyle.C
+        assert annotator.remapper.name == "similarity"
+        assert annotator.config.ruleset is None
+
+    def test_k_baseline_configuration(self, d4_small):
+        annotator = build_k_baseline(d4_small, model="gpt")
+        assert isinstance(annotator.sampler, FirstKSampler)
+        assert annotator.serializer.style is PromptStyle.K
+        assert annotator.remapper.name == "none"
+
+    def test_archetype_prompt_style_follows_architecture(self, d4_small):
+        t5 = build_archetype_method(d4_small, model="t5")
+        gpt = build_archetype_method(d4_small, model="gpt")
+        assert t5.serializer.style is PromptStyle.K
+        assert gpt.serializer.style is PromptStyle.S
+
+    def test_explicit_prompt_style_override(self, d4_small):
+        annotator = build_archetype_method(d4_small, model="t5", prompt_style=PromptStyle.N)
+        assert annotator.serializer.style is PromptStyle.N
+
+    def test_get_zero_shot_method_dispatch(self, d4_small):
+        for name in ("archetype", "c-baseline", "k-baseline"):
+            annotator = get_zero_shot_method(name, d4_small, model="t5")
+            assert annotator.label_set == d4_small.label_set
+
+    def test_get_zero_shot_method_unknown(self, d4_small):
+        with pytest.raises(ConfigurationError):
+            get_zero_shot_method("chorus-original", d4_small)
+
+    def test_rules_only_attach_when_requested(self, pubchem_small):
+        with_rules = build_archetype_method(pubchem_small, use_rules=True)
+        without_rules = build_archetype_method(pubchem_small, use_rules=False)
+        assert with_rules.config.ruleset is not None
+        assert without_rules.config.ruleset is None
+
+    def test_amstr_uses_label_containment_importance(self, amstr_small):
+        annotator = build_archetype_method(amstr_small, model="t5")
+        # The importance function is baked into the sampler; verify it boosts
+        # values containing a state name from the label set.
+        sampler = annotator.sampler
+        assert isinstance(sampler, ArcheTypeSampler)
+        assert sampler.importance("HARRISBURG, PENNSYLVANIA, Feb. 6.-Council met") == 1.0
+        assert sampler.importance("the council met last evening") == pytest.approx(0.1)

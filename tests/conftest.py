@@ -1,0 +1,88 @@
+"""Shared fixtures: small cached benchmarks and models for fast tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.table import Column, Table
+from repro.datasets.registry import load_benchmark
+from repro.llm.registry import get_model
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture()
+def fresh_rng() -> np.random.Generator:
+    return np.random.default_rng(99)
+
+
+@pytest.fixture(scope="session")
+def state_column() -> Column:
+    return Column(
+        values=["Alaska", "Colorado", "Kentucky", "Arizona", "Nevada",
+                "New Jersey", "Texas", "Ohio", "Maine", "Utah"],
+        name="state",
+    )
+
+
+@pytest.fixture(scope="session")
+def url_column() -> Column:
+    return Column(
+        values=[
+            "http://example.com/page1.html",
+            "http://shop.example.org/item?id=4421",
+            "http://news.site.net/2020/archive",
+            "http://empirebar.com.au/8.6.19/file.html?is_for_sharing=true",
+            "http://catalog.library.edu/view/88",
+        ],
+        name="links",
+    )
+
+
+@pytest.fixture(scope="session")
+def numeric_column() -> Column:
+    return Column(values=["550", "608", "600", "520", "595", "610", "580"], name="width")
+
+
+@pytest.fixture(scope="session")
+def small_table(state_column, url_column, numeric_column) -> Table:
+    return Table(columns=[state_column, url_column, numeric_column], name="demo_table.csv")
+
+
+@pytest.fixture(scope="session")
+def sotab27_small():
+    return load_benchmark("sotab-27", n_columns=60, seed=7)
+
+
+@pytest.fixture(scope="session")
+def d4_small():
+    return load_benchmark("d4-20", n_columns=60, seed=7)
+
+
+@pytest.fixture(scope="session")
+def pubchem_small():
+    return load_benchmark("pubchem-20", n_columns=60, seed=7)
+
+
+@pytest.fixture(scope="session")
+def amstr_small():
+    return load_benchmark("amstr-56", n_columns=60, seed=7)
+
+
+@pytest.fixture(scope="session")
+def sotab91_small():
+    return load_benchmark("sotab-91", n_columns=80, seed=7, n_train_columns=160)
+
+
+@pytest.fixture(scope="session")
+def t5_model():
+    return get_model("t5")
+
+
+@pytest.fixture(scope="session")
+def gpt_model():
+    return get_model("gpt")

@@ -1,0 +1,149 @@
+"""Unit tests for label remapping (no-op, contains, resample, similarity)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.remapping import (
+    NULL_LABEL,
+    ContainsRemapper,
+    ContainsResampleRemapper,
+    NoOpRemapper,
+    ResampleRemapper,
+    SimilarityRemapper,
+    contains_match,
+    exact_match,
+    get_remapper,
+    list_remappers,
+    normalize,
+)
+from repro.exceptions import ConfigurationError
+
+LABELS = ["state", "person", "url", "number", "educational organization"]
+
+
+class TestMatchingHelpers:
+    def test_normalize_strips_case_and_punctuation(self):
+        assert normalize("  State. ") == "state"
+        assert normalize("Street_Address") == "street address"
+
+    def test_exact_match_is_case_insensitive(self):
+        assert exact_match("STATE", LABELS) == "state"
+        assert exact_match("region", LABELS) is None
+
+    def test_contains_match_prefers_longest_label(self):
+        answer = "an educational organization in new york"
+        assert contains_match(answer, LABELS) == "educational organization"
+
+    def test_contains_match_bidirectional(self):
+        # Response contained in a label.
+        assert contains_match("organization", LABELS) == "educational organization"
+        assert contains_match("", LABELS) is None
+
+
+class TestNoOpRemapper:
+    def test_accepts_exact_matches_only(self):
+        remapper = NoOpRemapper()
+        assert remapper.remap("url", LABELS).label == "url"
+        result = remapper.remap("a url column", LABELS)
+        assert result.label == NULL_LABEL
+        assert not result.recovered
+
+
+class TestContainsRemapper:
+    def test_recovers_verbose_answers(self):
+        remapper = ContainsRemapper()
+        result = remapper.remap("The column appears to contain url entries", LABELS)
+        assert result.label == "url"
+        assert result.remapped
+
+    def test_returns_null_when_nothing_matches(self):
+        result = ContainsRemapper().remap("wibble wobble", LABELS)
+        assert result.label == NULL_LABEL
+
+
+class TestResampleRemapper:
+    def test_requeries_until_valid(self):
+        answers = iter(["still wrong", "person"])
+        remapper = ResampleRemapper(k=3)
+        result = remapper.remap("not a label", LABELS, requery=lambda k: next(answers))
+        assert result.label == "person"
+        assert result.attempts == 2
+
+    def test_gives_up_after_k_attempts(self):
+        remapper = ResampleRemapper(k=2)
+        result = remapper.remap("nope", LABELS, requery=lambda k: "still nope")
+        assert result.label == NULL_LABEL
+        assert result.attempts == 2
+
+    def test_without_requery_callback_returns_null(self):
+        assert ResampleRemapper(k=2).remap("nope", LABELS).label == NULL_LABEL
+
+    def test_rejects_invalid_k(self):
+        with pytest.raises(ConfigurationError):
+            ResampleRemapper(k=0)
+
+    def test_exact_answer_needs_no_requery(self):
+        calls = []
+        result = ResampleRemapper(k=3).remap(
+            "number", LABELS, requery=lambda k: calls.append(k) or "number"
+        )
+        assert result.label == "number"
+        assert calls == []
+
+
+class TestSimilarityRemapper:
+    def test_maps_synonyms_to_nearest_label(self):
+        remapper = SimilarityRemapper()
+        result = remapper.remap("a high school in new york city", LABELS)
+        assert result.label == "educational organization"
+        assert result.remapped
+
+    def test_always_returns_some_label(self):
+        result = SimilarityRemapper().remap("completely unrelated text", LABELS)
+        assert result.label in LABELS
+
+    def test_empty_response_maps_to_null(self):
+        assert SimilarityRemapper().remap("   ", LABELS).label == NULL_LABEL
+
+    def test_min_similarity_threshold(self):
+        remapper = SimilarityRemapper(min_similarity=0.99)
+        assert remapper.remap("zzzz qqqq", LABELS).label == NULL_LABEL
+
+
+class TestContainsResample:
+    def test_contains_handles_verbose_answer_without_requery(self):
+        calls = []
+        remapper = ContainsResampleRemapper(k=3)
+        result = remapper.remap(
+            "the answer is url", LABELS, requery=lambda k: calls.append(k) or "url"
+        )
+        assert result.label == "url"
+        assert calls == []
+
+    def test_falls_back_to_resampling(self):
+        answers = iter(["gibberish again", "this is a state column"])
+        remapper = ContainsResampleRemapper(k=3)
+        result = remapper.remap("gibberish", LABELS, requery=lambda k: next(answers))
+        assert result.label == "state"
+        assert result.strategy == "contains+resample"
+
+
+class TestFactory:
+    def test_list_remappers(self):
+        assert set(list_remappers()) == {
+            "none", "contains", "resample", "similarity", "contains+resample",
+        }
+
+    def test_get_remapper_constructs_each(self):
+        for name in list_remappers():
+            assert get_remapper(name).remap is not None
+
+    def test_get_remapper_unknown(self):
+        with pytest.raises(ConfigurationError):
+            get_remapper("magic")
+
+    def test_get_remapper_passes_kwargs(self):
+        remapper = get_remapper("resample", k=7)
+        assert isinstance(remapper, ResampleRemapper)
+        assert remapper.k == 7

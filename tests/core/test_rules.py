@@ -1,0 +1,100 @@
+"""Unit tests for rule-based label remapping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.rules import (
+    AMSTR_RULES,
+    D4_RULES,
+    PUBCHEM_RULES,
+    SOTAB_27_RULES,
+    ColumnRule,
+    RuleSet,
+    get_ruleset,
+    list_rulesets,
+)
+from repro.core.table import Column
+
+
+class TestColumnRule:
+    def test_matches_when_fraction_met(self):
+        rule = ColumnRule("digits", lambda v: v.isdigit(), min_fraction=0.6)
+        assert rule.matches(Column(values=["1", "2", "3", "x"]))
+        assert not rule.matches(Column(values=["1", "x", "y", "z"]))
+
+    def test_empty_column_never_matches(self):
+        rule = ColumnRule("digits", lambda v: True)
+        assert not rule.matches(Column(values=["", "  "]))
+
+
+class TestRuleSet:
+    def test_apply_respects_label_set(self):
+        ruleset = RuleSet(
+            name="demo",
+            rules=[ColumnRule("digits", lambda v: v.isdigit(), min_fraction=0.9)],
+        )
+        column = Column(values=["1", "2", "3"])
+        assert ruleset.apply(column, ["digits", "other"]) == "digits"
+        # The rule's label is outside the provided label set -> no assignment.
+        assert ruleset.apply(column, ["other"]) is None
+
+    def test_covered_labels_deduplicated(self):
+        ruleset = RuleSet(
+            name="demo",
+            rules=[
+                ColumnRule("a", lambda v: True),
+                ColumnRule("a", lambda v: False),
+                ColumnRule("b", lambda v: True),
+            ],
+        )
+        assert ruleset.covered_labels == ["a", "b"]
+
+
+class TestBenchmarkRuleSets:
+    def test_registry_names(self):
+        assert set(list_rulesets()) == {
+            "sotab-27", "sotab-91", "d4-20", "amstr-56", "pubchem-20",
+        }
+        assert get_ruleset("sotab-27") is SOTAB_27_RULES
+        assert get_ruleset("unknown-benchmark") is None
+
+    def test_rule_label_counts_match_table2(self):
+        # Table 2: SOTAB 5 labels, D4 9, Amstr 2, Pubchem 5.
+        assert len(SOTAB_27_RULES.covered_labels) == 5
+        assert len(D4_RULES.covered_labels) == 9
+        assert len(AMSTR_RULES.covered_labels) == 2
+        assert len(PUBCHEM_RULES.covered_labels) == 5
+
+    def test_sotab_url_rule(self, url_column):
+        assert SOTAB_27_RULES.apply(url_column, ["url", "text"]) == "url"
+
+    def test_sotab_boolean_rule(self):
+        column = Column(values=["true", "false", "true", "yes"])
+        assert SOTAB_27_RULES.apply(column, ["boolean", "text"]) == "boolean"
+
+    def test_d4_dbn_rule(self):
+        column = Column(values=["01M539", "13K430", "28Q440"])
+        assert D4_RULES.apply(column, list(column.values) + ["school-dbn"]) == "school-dbn"
+
+    def test_d4_month_rule(self):
+        column = Column(values=["January", "March", "July", "October"])
+        assert D4_RULES.apply(column, ["month", "color"]) == "month"
+
+    def test_pubchem_issn_and_inchi_rules(self):
+        issn = Column(values=["1234-5678", "0001-123X", "4567-8901"])
+        assert PUBCHEM_RULES.apply(issn, ["journal issn", "chemical"]) == "journal issn"
+        inchi = Column(values=["InChI=1S/C9H8O4/c1-6(10)13-8", "InChI=1S/C2H6O/c1-2-3"])
+        assert (
+            PUBCHEM_RULES.apply(inchi, ["inchi (international chemical identifier)", "smiles"])
+            == "inchi (international chemical identifier)"
+        )
+
+    def test_amstr_headline_rule(self):
+        column = Column(values=["WHEAT PRICES RISE SHARPLY", "FIRE DESTROYS WAREHOUSE DISTRICT"])
+        assert AMSTR_RULES.apply(column, ["headline", "newspaper"]) == "headline"
+
+    def test_rules_do_not_fire_on_prose(self):
+        column = Column(values=["the meeting was adjourned after a long debate"])
+        assert SOTAB_27_RULES.apply(column, ["url", "boolean"]) is None
+        assert PUBCHEM_RULES.apply(column, ["journal issn"]) is None

@@ -1,0 +1,123 @@
+"""Unit tests for context sampling (Algorithm 1 and the baseline strategies)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.sampling import (
+    ArcheTypeSampler,
+    FirstKSampler,
+    SimpleRandomSampler,
+    get_sampler,
+    length_importance,
+    list_samplers,
+    make_label_containment_importance,
+)
+from repro.core.table import Column
+from repro.exceptions import ConfigurationError, EmptyColumnError
+
+
+@pytest.fixture()
+def long_short_column() -> Column:
+    # One long, highly informative value among many one-character values.
+    return Column(values=["x"] * 30 + ["a very long and informative cell value"] * 2)
+
+
+class TestImportanceFunctions:
+    def test_length_importance_scales_with_length(self):
+        assert length_importance("abcdef") > length_importance("ab")
+
+    def test_length_importance_gives_blank_values_tiny_weight(self):
+        assert length_importance("   ") == pytest.approx(0.01)
+
+    def test_label_containment_matches_full_label(self):
+        importance = make_label_containment_importance(["state", "person"])
+        assert importance("the state of Alaska") == 1.0
+        assert importance("something else entirely") == pytest.approx(0.1)
+
+    def test_label_containment_matches_distinctive_tokens(self):
+        importance = make_label_containment_importance(["article from Pennsylvania"])
+        assert importance("HARRISBURG, PENNSYLVANIA, Feb. 6.-The council met") == 1.0
+        assert importance("generic article body with no dateline") == pytest.approx(0.1)
+
+
+class TestSamplers:
+    def test_srs_draws_requested_count(self, state_column, fresh_rng):
+        result = SimpleRandomSampler().sample(state_column, 4, fresh_rng)
+        assert len(result.values) == 4
+        assert set(result.values) <= set(state_column.values)
+
+    def test_firstk_returns_prefix(self, state_column, fresh_rng):
+        result = FirstKSampler().sample(state_column, 3, fresh_rng)
+        assert result.values == state_column.values[:3]
+        assert not result.with_replacement
+
+    def test_firstk_wraps_when_short(self, fresh_rng):
+        column = Column(values=["a", "b"])
+        result = FirstKSampler().sample(column, 5, fresh_rng)
+        assert result.values == ["a", "b", "a", "b", "a"]
+        assert result.with_replacement
+
+    def test_archetype_without_replacement_when_enough_uniques(self, state_column, fresh_rng):
+        result = ArcheTypeSampler().sample(state_column, 5, fresh_rng)
+        assert len(result.values) == 5
+        assert len(set(result.values)) == 5
+        assert not result.with_replacement
+
+    def test_archetype_with_replacement_when_few_uniques(self, fresh_rng):
+        column = Column(values=["yes", "no"])
+        result = ArcheTypeSampler().sample(column, 6, fresh_rng)
+        assert len(result.values) == 6
+        assert result.with_replacement
+
+    def test_archetype_prefers_long_values(self, long_short_column):
+        rng = np.random.default_rng(0)
+        hits = 0
+        for _ in range(50):
+            result = ArcheTypeSampler().sample(long_short_column, 2, rng)
+            if any("informative" in v for v in result.values):
+                hits += 1
+        # The long value is a single unique entry among two, but its length
+        # weight should make it appear in almost every sample.
+        assert hits >= 45
+
+    def test_samplers_reject_empty_columns(self, fresh_rng):
+        for sampler in (SimpleRandomSampler(), FirstKSampler(), ArcheTypeSampler()):
+            with pytest.raises(EmptyColumnError):
+                sampler.sample(Column(values=["", " "]), 3, fresh_rng)
+
+    def test_samplers_reject_nonpositive_sample_size(self, state_column, fresh_rng):
+        with pytest.raises(ConfigurationError):
+            SimpleRandomSampler().sample(state_column, 0, fresh_rng)
+
+    def test_sampling_is_deterministic_given_seed(self, state_column):
+        a = ArcheTypeSampler().sample(state_column, 5, np.random.default_rng(3))
+        b = ArcheTypeSampler().sample(state_column, 5, np.random.default_rng(3))
+        assert a.values == b.values
+
+
+class TestSamplerFactory:
+    def test_list_samplers(self):
+        assert set(list_samplers()) == {"archetype", "firstk", "srs"}
+
+    def test_get_sampler_by_name(self):
+        assert isinstance(get_sampler("srs"), SimpleRandomSampler)
+        assert isinstance(get_sampler("firstk"), FirstKSampler)
+        assert isinstance(get_sampler("archetype"), ArcheTypeSampler)
+
+    def test_get_sampler_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            get_sampler("stratified")
+
+    def test_label_containment_requires_label_set(self):
+        with pytest.raises(ConfigurationError):
+            get_sampler("archetype", importance="label-containment")
+        sampler = get_sampler(
+            "archetype", label_set=["article from Texas"], importance="label-containment"
+        )
+        assert isinstance(sampler, ArcheTypeSampler)
+
+    def test_unknown_importance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_sampler("archetype", importance="tfidf")

@@ -1,0 +1,115 @@
+"""Unit tests for prompt serialization (styles, overflow, numeric restriction)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.serialization import (
+    PromptSerializer,
+    PromptStyle,
+    detect_numeric_context,
+    join_classnames,
+    join_context,
+    prompt_style_from_name,
+)
+from repro.exceptions import ConfigurationError, SerializationError
+
+LABELS = ["state", "person", "url", "number"]
+CONTEXT = ["Alaska", "Colorado", "Kentucky"]
+
+
+class TestHelpers:
+    def test_join_context_skips_blanks(self):
+        assert join_context(["a", " ", "b"]) == "a, b"
+
+    def test_join_classnames(self):
+        assert join_classnames(["a", "b"]) == "a, b"
+
+    def test_detect_numeric_context(self):
+        assert detect_numeric_context(["550mm", "608mm"])
+        assert detect_numeric_context(["1", "2.5"])
+        assert not detect_numeric_context(["Alaska", "42"])
+        assert not detect_numeric_context([])
+
+    def test_prompt_style_from_name(self):
+        assert prompt_style_from_name("s") is PromptStyle.S
+        with pytest.raises(ConfigurationError):
+            prompt_style_from_name("Z")
+
+
+class TestSerialization:
+    @pytest.mark.parametrize("style", PromptStyle.zero_shot_styles())
+    def test_every_style_includes_context_and_labels(self, style):
+        serializer = PromptSerializer(style=style, context_window=2048)
+        prompt = serializer.serialize(CONTEXT, LABELS)
+        assert "Alaska" in prompt.text
+        for label in LABELS:
+            assert label in prompt.text
+        assert prompt.style is style
+        assert not prompt.truncated
+
+    def test_labels_are_sorted_by_default(self):
+        serializer = PromptSerializer(style=PromptStyle.S)
+        prompt = serializer.serialize(CONTEXT, ["zebra", "apple"])
+        assert prompt.label_set == ("apple", "zebra")
+        assert prompt.text.index("apple") < prompt.text.index("zebra")
+
+    def test_label_order_preserved_when_sorting_disabled(self):
+        serializer = PromptSerializer(style=PromptStyle.S, sort_labels=False)
+        prompt = serializer.serialize(CONTEXT, ["zebra", "apple"])
+        assert prompt.label_set == ("zebra", "apple")
+
+    def test_finetuned_style_omits_label_set(self):
+        serializer = PromptSerializer(style=PromptStyle.FINETUNED)
+        prompt = serializer.serialize(CONTEXT, LABELS)
+        assert "state" not in prompt.text
+        assert prompt.text.startswith("INSTRUCTION:")
+        assert prompt.text.rstrip().endswith("CATEGORY:")
+
+    def test_numeric_restriction_applies_only_to_numeric_context(self):
+        serializer = PromptSerializer(
+            style=PromptStyle.S, numeric_labels=["number"],
+        )
+        numeric_prompt = serializer.serialize(["550mm", "608mm"], LABELS)
+        assert numeric_prompt.numeric_restricted
+        assert numeric_prompt.label_set == ("number",)
+        text_prompt = serializer.serialize(CONTEXT, LABELS)
+        assert not text_prompt.numeric_restricted
+        assert set(text_prompt.label_set) == set(LABELS)
+
+    def test_overflow_truncates_context_but_keeps_labels(self):
+        serializer = PromptSerializer(style=PromptStyle.S, context_window=120)
+        long_context = [f"value number {i} with some extra words" for i in range(200)]
+        prompt = serializer.serialize(long_context, LABELS)
+        assert prompt.truncated
+        assert prompt.token_count <= 120
+        for label in LABELS:
+            assert label in prompt.text
+
+    def test_impossible_window_raises(self):
+        serializer = PromptSerializer(style=PromptStyle.K, context_window=10)
+        with pytest.raises(SerializationError):
+            serializer.serialize(CONTEXT, LABELS)
+
+    def test_invalid_context_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PromptSerializer(context_window=0)
+
+    def test_style_accepts_string_names(self):
+        serializer = PromptSerializer(style="b")
+        assert serializer.style is PromptStyle.B
+        with pytest.raises(ConfigurationError):
+            PromptSerializer(style="nonsense")
+
+    def test_table_at_once_serialization_mentions_every_column(self):
+        serializer = PromptSerializer(style=PromptStyle.K, context_window=100000)
+        prompt = serializer.serialize_table_at_once(
+            [["a", "b"], ["1", "2"], ["x", "y"]], LABELS
+        )
+        assert "column 0" in prompt.text
+        assert "column 2" in prompt.text
+
+    def test_token_count_reported(self):
+        serializer = PromptSerializer(style=PromptStyle.S)
+        prompt = serializer.serialize(CONTEXT, LABELS)
+        assert prompt.token_count > 0

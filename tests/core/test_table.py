@@ -1,0 +1,113 @@
+"""Unit tests for the tabular substrate (Column / Table / type testing)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.table import Column, Table, is_numeric_like, is_numeric_string
+from repro.exceptions import EmptyColumnError
+
+
+class TestNumericDetection:
+    def test_plain_integers_are_numeric(self):
+        assert is_numeric_string("42")
+        assert is_numeric_string("-17")
+        assert is_numeric_string("+3")
+
+    def test_floats_and_exponents_are_numeric(self):
+        assert is_numeric_string("3.14")
+        assert is_numeric_string(".5")
+        assert is_numeric_string("6.02e23")
+
+    def test_thousands_separators_are_numeric(self):
+        assert is_numeric_string("1,234,567")
+
+    def test_words_are_not_numeric(self):
+        assert not is_numeric_string("Alaska")
+        assert not is_numeric_string("12 apples")
+        assert not is_numeric_string("")
+
+    def test_numeric_like_accepts_unit_suffixes(self):
+        assert is_numeric_like("550mm")
+        assert is_numeric_like("4.5 kg")
+        assert is_numeric_like("99%")
+
+    def test_numeric_like_rejects_prose(self):
+        assert not is_numeric_like("about 550 millimetres wide")
+
+
+class TestColumn:
+    def test_values_are_coerced_to_strings(self):
+        column = Column(values=[1, 2.5, "three"])
+        assert column.values == ["1", "2.5", "three"]
+
+    def test_len_iter_and_getitem(self):
+        column = Column(values=["a", "b", "c"])
+        assert len(column) == 3
+        assert list(column) == ["a", "b", "c"]
+        assert column[1] == "b"
+
+    def test_unique_values_preserve_first_seen_order(self):
+        column = Column(values=["b", "a", "b", "c", "a"])
+        assert column.unique_values() == ["b", "a", "c"]
+
+    def test_non_empty_values_filters_whitespace(self):
+        column = Column(values=["x", "", "  ", "y"])
+        assert column.non_empty_values() == ["x", "y"]
+
+    def test_degenerate_detection(self):
+        assert Column(values=["0", "0", "0"]).is_degenerate()
+        assert Column(values=["", "  "]).is_degenerate()
+        assert not Column(values=["0", "1"]).is_degenerate()
+
+    def test_numeric_fraction_and_is_numeric(self):
+        column = Column(values=["1", "2", "3", "x"])
+        assert column.numeric_fraction() == pytest.approx(0.75)
+        assert not column.is_numeric()
+        assert Column(values=["1", "2", "3"]).is_numeric()
+
+    def test_numeric_fraction_of_empty_column_is_zero(self):
+        assert Column(values=[]).numeric_fraction() == 0.0
+        assert not Column(values=[]).is_numeric()
+
+    def test_require_values_raises_for_empty_columns(self):
+        with pytest.raises(EmptyColumnError):
+            Column(values=["", "  "]).require_values()
+        assert Column(values=["x"]).require_values() == ["x"]
+
+
+class TestTable:
+    def test_from_rows_transposes(self):
+        table = Table.from_rows(
+            [["a", "1"], ["b", "2"], ["c", "3"]], column_names=["letter", "digit"],
+        )
+        assert len(table) == 2
+        assert table[0].values == ["a", "b", "c"]
+        assert table.column_by_name("digit").values == ["1", "2", "3"]
+
+    def test_from_rows_pads_ragged_rows(self):
+        table = Table.from_rows([["a", "1"], ["b"]])
+        assert table[1].values == ["1", ""]
+
+    def test_from_columns(self):
+        table = Table.from_columns([["a", "b"], [1, 2]], column_names=["x", "y"])
+        assert table.column_by_name("y").values == ["1", "2"]
+
+    def test_column_by_name_raises_keyerror(self):
+        table = Table.from_columns([["a"]], column_names=["x"])
+        with pytest.raises(KeyError):
+            table.column_by_name("missing")
+
+    def test_other_columns(self, small_table):
+        others = small_table.other_columns(1)
+        assert len(others) == 2
+        assert all(c.name != "links" for c in others)
+
+    def test_other_columns_rejects_bad_index(self, small_table):
+        with pytest.raises(IndexError):
+            small_table.other_columns(10)
+
+    def test_n_rows_is_longest_column(self):
+        table = Table(columns=[Column(values=["a"]), Column(values=["x", "y", "z"])])
+        assert table.n_rows == 3
+        assert Table().n_rows == 0

@@ -1,0 +1,97 @@
+"""Unit tests for benchmark construction primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.base import (
+    Benchmark,
+    BenchmarkColumn,
+    ClassSpec,
+    JUNK_VALUES,
+    build_benchmark_columns,
+    build_column,
+)
+from repro.core.table import Column
+from repro.datasets.generators import get_generator
+
+
+@pytest.fixture()
+def url_spec() -> ClassSpec:
+    return ClassSpec(label="url", generator=get_generator("url"),
+                     min_length=10, max_length=20)
+
+
+class TestBuildColumn:
+    def test_column_length_within_bounds(self, url_spec, fresh_rng):
+        bc = build_column(url_spec, fresh_rng)
+        assert 10 <= len(bc.column) <= 20
+        assert bc.label == "url"
+        assert bc.column.label == "url"
+
+    def test_junk_and_empties_present_but_minority(self, url_spec):
+        rng = np.random.default_rng(5)
+        values = []
+        for _ in range(30):
+            values.extend(build_column(url_spec, rng).column.values)
+        junk = sum(1 for v in values if v in JUNK_VALUES or not v.strip())
+        assert 0 < junk < 0.3 * len(values)
+
+    def test_low_variance_spec_limits_unique_values(self):
+        spec = ClassSpec(label="ethnicity", generator=get_generator("ethnicity"),
+                         min_length=20, max_length=20, low_variance=True, junk_rate=0.0,
+                         empty_rate=0.0)
+        bc = build_column(spec, np.random.default_rng(0))
+        assert len(set(bc.column.values)) <= 3
+
+    def test_table_name_attached(self, url_spec, fresh_rng):
+        bc = build_column(url_spec, fresh_rng, table_name="listings.csv")
+        assert bc.table_name == "listings.csv"
+
+    def test_build_benchmark_columns_respects_weights(self):
+        specs = [
+            ClassSpec(label="a", generator=lambda rng: "a-value", weight=100.0),
+            ClassSpec(label="b", generator=lambda rng: "b-value", weight=0.01),
+        ]
+        columns = build_benchmark_columns(specs, 50, np.random.default_rng(1))
+        labels = [c.label for c in columns]
+        assert labels.count("a") > labels.count("b")
+
+
+class TestBenchmark:
+    def _benchmark(self) -> Benchmark:
+        columns = [
+            BenchmarkColumn(column=Column(values=["x"]), label="a"),
+            BenchmarkColumn(column=Column(values=["y"]), label="b"),
+            BenchmarkColumn(column=Column(values=["z"]), label="a"),
+        ]
+        return Benchmark(
+            name="demo", label_set=["a", "b"], columns=columns,
+            rule_covered_labels=["b"],
+        )
+
+    def test_len_iter_and_counts(self):
+        benchmark = self._benchmark()
+        assert len(benchmark) == 3
+        assert sum(1 for _ in benchmark) == 3
+        assert benchmark.label_counts() == {"a": 2, "b": 1}
+
+    def test_subset_is_reproducible(self):
+        benchmark = self._benchmark()
+        first = [bc.label for bc in benchmark.subset(2, seed=1).columns]
+        second = [bc.label for bc in benchmark.subset(2, seed=1).columns]
+        assert first == second
+        assert len(first) == 2
+        # Requesting more columns than exist returns the benchmark unchanged.
+        assert benchmark.subset(100) is benchmark
+
+    def test_without_rule_labels_removes_covered_classes(self):
+        stripped = self._benchmark().without_rule_labels()
+        assert stripped.label_set == ["a"]
+        assert all(bc.label == "a" for bc in stripped.columns)
+        assert stripped.rule_covered_labels == []
+
+    def test_benchmark_column_values_proxy(self):
+        bc = BenchmarkColumn(column=Column(values=["v1", "v2"]), label="a")
+        assert bc.values == ["v1", "v2"]

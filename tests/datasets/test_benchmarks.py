@@ -1,0 +1,175 @@
+"""Tests for the concrete benchmark generators (SOTAB, D4, Amstr, Pubchem,
+established) and the registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.amstr import ARTICLE_STATE_MENTION_RATE, amstr_label_set
+from repro.datasets.d4 import D4_LABELS
+from repro.datasets.established import VIZNET_TO_SOTAB27, shifted
+from repro.datasets.pubchem import (
+    PUBCHEM_LABELS_A,
+    PUBCHEM_LABEL_A_TO_B,
+    pubchem_label_set_b,
+    relabel_to_set_b,
+)
+from repro.datasets.registry import BENCHMARK_NAMES, ZERO_SHOT_BENCHMARKS, load_benchmark
+from repro.datasets.sotab import (
+    SOTAB27_CLASS_FREQUENCIES,
+    SOTAB91_CLASSES,
+    SOTAB_91_TO_27,
+    remap_to_sotab27,
+)
+from repro.exceptions import UnknownDatasetError
+
+
+class TestRegistry:
+    def test_all_benchmarks_listed(self):
+        assert set(ZERO_SHOT_BENCHMARKS) <= set(BENCHMARK_NAMES)
+        assert {"sotab-27", "sotab-91", "d4-20", "amstr-56", "pubchem-20",
+                "t2d", "efthymiou", "viznet-chorus"} == set(BENCHMARK_NAMES)
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(UnknownDatasetError):
+            load_benchmark("imaginary-benchmark")
+
+    def test_generation_is_reproducible(self):
+        a = load_benchmark("d4-20", n_columns=20, seed=3)
+        b = load_benchmark("d4-20", n_columns=20, seed=3)
+        assert [c.label for c in a.columns] == [c.label for c in b.columns]
+        assert a.columns[0].column.values == b.columns[0].column.values
+
+    def test_different_seeds_differ(self):
+        a = load_benchmark("d4-20", n_columns=20, seed=3)
+        b = load_benchmark("d4-20", n_columns=20, seed=4)
+        assert [c.column.values for c in a.columns] != [c.column.values for c in b.columns]
+
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_every_benchmark_loads_and_is_well_formed(self, name):
+        benchmark = load_benchmark(name, n_columns=30, seed=1)
+        assert len(benchmark.columns) == 30
+        assert benchmark.label_set
+        label_set = set(benchmark.label_set)
+        for bench_column in benchmark.columns:
+            assert bench_column.label in label_set
+            assert len(bench_column.column) > 0
+        assert set(benchmark.rule_covered_labels) <= label_set
+        assert set(benchmark.numeric_labels) <= label_set
+
+
+class TestSotab:
+    def test_class_inventories(self):
+        assert len(SOTAB27_CLASS_FREQUENCIES) == 28  # Table 9 lists 28 classes
+        assert len(SOTAB91_CLASSES) == 91
+        labels = [label for label, _, _ in SOTAB91_CLASSES]
+        assert len(labels) == len(set(labels)), "SOTAB-91 labels must be unique"
+
+    def test_91_to_27_mapping_targets_valid_parents(self):
+        parents = set(SOTAB27_CLASS_FREQUENCIES)
+        assert set(SOTAB_91_TO_27.values()) <= parents
+
+    def test_sotab91_has_train_split(self, sotab91_small):
+        assert len(sotab91_small.train_columns) > 0
+        assert all(bc.label in set(sotab91_small.label_set)
+                   for bc in sotab91_small.train_columns)
+
+    def test_remap_to_sotab27(self, sotab91_small):
+        remapped = remap_to_sotab27(sotab91_small.columns)
+        assert len(remapped) == len(sotab91_small.columns)
+        assert all(bc.label in SOTAB27_CLASS_FREQUENCIES for bc in remapped)
+
+    def test_class_imbalance_follows_frequencies(self):
+        benchmark = load_benchmark("sotab-27", n_columns=800, seed=2)
+        counts = benchmark.label_counts()
+        # The most frequent paper classes should dominate the rare ones.
+        assert counts.get("category", 0) > counts.get("jobposting", 0)
+        assert counts.get("number", 0) > counts.get("age", 0)
+
+
+class TestD4:
+    def test_twenty_classes(self):
+        assert len(D4_LABELS) == 20
+
+    def test_ethnicity_is_low_variance(self, d4_small):
+        ethnicity_columns = [c for c in d4_small.columns if c.label == "ethnicity"]
+        for bench_column in ethnicity_columns:
+            uniques = {v for v in bench_column.column.values if v.strip()}
+            assert len(uniques) <= 5
+
+    def test_us_state_subsumed_by_other_states(self):
+        benchmark = load_benchmark("d4-20", n_columns=300, seed=5)
+        us_state_values = {
+            v
+            for bc in benchmark.columns
+            if bc.label == "us-state"
+            for v in bc.column.values
+            if v.strip() and v not in ("n/a", "N/A", "-", "--", "null", "NULL",
+                                        ".", "unknown", "0", "none", "TBD", "?")
+        }
+        other_state_values = {
+            v
+            for bc in benchmark.columns
+            if bc.label == "other-states"
+            for v in bc.column.values
+            if v.strip()
+        }
+        # Both classes draw from the same pool of US state names (Section 4).
+        assert us_state_values <= other_state_values | us_state_values
+        from repro.datasets import vocab
+
+        assert us_state_values <= set(vocab.US_STATES)
+
+
+class TestAmstr:
+    def test_fifty_six_classes(self):
+        assert len(amstr_label_set()) == 56
+
+    def test_mostly_article_classes(self, amstr_small):
+        article_labels = [l for l in amstr_small.label_set if l.startswith("article from ")]
+        assert len(article_labels) == 52
+
+    def test_importance_hint_is_label_containment(self, amstr_small):
+        assert amstr_small.importance == "label-containment"
+
+    def test_state_mention_rate_is_low(self):
+        # The datelines must be rare for Amstr to stay the hardest benchmark.
+        assert ARTICLE_STATE_MENTION_RATE <= 0.25
+
+
+class TestPubchem:
+    def test_twenty_classes(self):
+        assert len(PUBCHEM_LABELS_A) == 20
+
+    def test_label_set_b_renames_documented_classes(self):
+        set_b = pubchem_label_set_b()
+        assert len(set_b) == 20
+        assert "iupac" in set_b
+        assert "biological formula" not in set_b
+        for original, renamed in PUBCHEM_LABEL_A_TO_B.items():
+            assert original in PUBCHEM_LABELS_A
+            assert renamed in set_b
+
+    def test_relabel_to_set_b(self, pubchem_small):
+        relabelled = relabel_to_set_b(pubchem_small)
+        assert len(relabelled.columns) == len(pubchem_small.columns)
+        assert set(bc.label for bc in relabelled.columns) <= set(relabelled.label_set)
+
+
+class TestEstablished:
+    def test_viznet_label_map_targets_sotab27(self):
+        assert set(VIZNET_TO_SOTAB27.values()) <= set(SOTAB27_CLASS_FREQUENCIES)
+
+    def test_viznet_has_train_split(self):
+        benchmark = load_benchmark("viznet-chorus", n_columns=40, seed=1)
+        assert len(benchmark.train_columns) == 40
+
+    def test_shifted_wrapper_preserves_semantics(self):
+        import numpy as np
+
+        base = lambda rng: "Hello World"
+        wrapped = shifted(base, intensity=1.0)
+        rng = np.random.default_rng(0)
+        values = {wrapped(rng) for _ in range(20)}
+        assert all(v.strip().lower().replace("_", " ") == "hello world" for v in values)
+        assert len(values) > 1  # formatting actually varies

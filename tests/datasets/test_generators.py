@@ -1,0 +1,109 @@
+"""Unit tests for the synthetic value generators."""
+
+from __future__ import annotations
+
+import re
+
+import numpy as np
+import pytest
+
+from repro.datasets.generators import (
+    GENERATORS,
+    available_generators,
+    get_generator,
+    make_article_generator,
+)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestGeneratorRegistry:
+    def test_registry_is_non_trivial(self):
+        assert len(available_generators()) >= 60
+
+    def test_get_generator_raises_for_unknown(self):
+        with pytest.raises(KeyError):
+            get_generator("does-not-exist")
+
+    def test_every_generator_produces_non_empty_strings(self, rng):
+        for name in available_generators():
+            generator = GENERATORS[name]
+            for _ in range(5):
+                value = generator(rng)
+                assert isinstance(value, str) and value.strip(), name
+
+    def test_generators_are_deterministic_given_seed(self):
+        for name in ("url", "chemical", "person full name", "date"):
+            a = get_generator(name)(np.random.default_rng(7))
+            b = get_generator(name)(np.random.default_rng(7))
+            assert a == b
+
+
+class TestValueShapes:
+    def test_url_shape(self, rng):
+        assert all(
+            get_generator("url")(rng).startswith("http://") for _ in range(10)
+        )
+
+    def test_email_shape(self, rng):
+        pattern = re.compile(r"^[\w.]+@[\w.-]+$")
+        assert all(pattern.match(get_generator("email")(rng)) for _ in range(10))
+
+    def test_zipcode_shape(self, rng):
+        pattern = re.compile(r"^\d{5}(-\d{4})?$")
+        assert all(pattern.match(get_generator("zipcode")(rng)) for _ in range(20))
+
+    def test_issn_and_isbn_shapes(self, rng):
+        assert re.match(r"^\d{4}-\d{3}[\dX]$", get_generator("issn")(rng))
+        assert get_generator("isbn")(rng).startswith("978-")
+
+    def test_md5_shape(self, rng):
+        assert re.match(r"^[0-9a-f]{32}$", get_generator("md5")(rng))
+
+    def test_inchi_prefix(self, rng):
+        assert get_generator("inchi")(rng).startswith("InChI=1S/")
+
+    def test_molecular_formula_contains_elements(self, rng):
+        value = get_generator("molecular formula")(rng)
+        assert value.startswith("C") and "H" in value
+
+    def test_school_dbn_shape(self, rng):
+        assert re.match(r"^\d{2}[KMQXR]\d{3}$", get_generator("school-dbn")(rng))
+
+    def test_street_address_shape(self, rng):
+        value = get_generator("street address")(rng)
+        assert value.split()[0].isdigit()
+
+    def test_person_names_capitalised(self, rng):
+        value = get_generator("person full name")(rng)
+        assert value[0].isupper()
+
+    def test_patent_abstract_is_long_prose(self, rng):
+        value = get_generator("patent abstract")(rng)
+        assert len(value.split()) > 15
+        assert "invention" in value.lower()
+
+    def test_schema_enumeration_urls(self, rng):
+        assert get_generator("schema enumeration")(rng).startswith("http://schema.org/")
+
+
+class TestArticleGenerator:
+    def test_articles_are_prose(self, rng):
+        generator = make_article_generator("Kentucky", mention_probability=0.0)
+        value = generator(rng)
+        assert len(value.split()) > 10
+        assert "KENTUCKY" not in value
+
+    def test_state_mentions_appear_at_requested_rate(self):
+        generator = make_article_generator("Kentucky", mention_probability=1.0)
+        rng = np.random.default_rng(0)
+        values = [generator(rng) for _ in range(10)]
+        assert all("KENTUCKY" in v for v in values)
+
+    def test_zero_mention_rate_never_names_the_state(self):
+        generator = make_article_generator("Kentucky", mention_probability=0.0)
+        rng = np.random.default_rng(0)
+        assert not any("KENTUCKY" in generator(rng) for _ in range(20))

@@ -1,0 +1,50 @@
+"""Sanity tests for the shared vocabulary lists."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import vocab
+
+_LEXICONS = {
+    name: value
+    for name, value in vars(vocab).items()
+    if name.isupper() and isinstance(value, tuple)
+}
+
+
+class TestVocabulary:
+    def test_all_lexicons_are_nonempty_string_tuples(self):
+        assert len(_LEXICONS) >= 30
+        for name, values in _LEXICONS.items():
+            assert values, name
+            assert all(isinstance(v, str) and v.strip() for v in values), name
+
+    def test_key_lexicon_sizes(self):
+        assert len(vocab.US_STATES) == 50
+        assert len(vocab.US_STATE_ABBREVIATIONS) == 50
+        assert len(vocab.MONTHS) == 12
+        assert len(vocab.ETHNICITIES) == 5  # the D4 low-variance class
+        assert len(vocab.NYC_BOROUGHS) == 5
+        assert len(vocab.NYC_AGENCIES) == len(vocab.NYC_AGENCY_ABBREVIATIONS)
+
+    @pytest.mark.parametrize(
+        "name",
+        ["US_STATES", "MONTHS", "NYC_BOROUGHS", "NYC_AGENCIES", "COLORS",
+         "NEWSPAPER_NAMES", "CHEMICAL_NAMES", "DISEASES", "TAXONOMY_LABELS"],
+    )
+    def test_no_duplicates_in_core_lexicons(self, name):
+        values = _LEXICONS[name]
+        assert len(values) == len(set(values)), name
+
+    def test_borough_neighbourhood_lists_are_disjoint_from_boroughs(self):
+        boroughs = {b.lower() for b in vocab.NYC_BOROUGHS}
+        for pool in (vocab.BRONX_NEIGHBORHOODS, vocab.BROOKLYN_NEIGHBORHOODS,
+                     vocab.QUEENS_NEIGHBORHOODS, vocab.MANHATTAN_NEIGHBORHOODS,
+                     vocab.STATEN_ISLAND_NEIGHBORHOODS):
+            assert not ({p.lower() for p in pool} & boroughs)
+
+    def test_agency_abbreviations_appear_in_full_names(self):
+        joined = " ".join(vocab.NYC_AGENCIES)
+        for abbreviation in vocab.NYC_AGENCY_ABBREVIATIONS:
+            assert f"({abbreviation})" in joined

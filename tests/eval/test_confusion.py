@@ -1,0 +1,47 @@
+"""Unit tests for the confusion-matrix analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.confusion import ConfusionMatrix
+
+TRUTH = ["state", "state", "state", "person", "person", "url"]
+PRED = ["state", "person", "person", "person", "person", "state"]
+
+
+class TestConfusionMatrix:
+    def setup_method(self):
+        self.matrix = ConfusionMatrix.from_predictions(TRUTH, PRED)
+
+    def test_counts(self):
+        assert self.matrix.count("state", "state") == 1
+        assert self.matrix.count("state", "person") == 2
+        assert self.matrix.count("url", "state") == 1
+        assert self.matrix.count("url", "url") == 0
+
+    def test_support_and_recall(self):
+        assert self.matrix.support("state") == 3
+        assert self.matrix.recall("state") == pytest.approx(1 / 3)
+        assert self.matrix.recall("person") == 1.0
+        assert self.matrix.recall("url") == 0.0
+        assert self.matrix.recall("never-seen") == 0.0
+
+    def test_confused_classes_excludes_correct_label(self):
+        assert self.matrix.confused_classes("state") == ["person"]
+        assert self.matrix.confused_classes("person") == []
+
+    def test_most_biased_predictions(self):
+        top = dict(self.matrix.most_biased_predictions(top_k=1))
+        assert top == {"person": 4}
+
+    def test_as_rows_structure(self):
+        rows = self.matrix.as_rows()
+        assert {row["class"] for row in rows} == {"state", "person", "url"}
+        state_row = next(row for row in rows if row["class"] == "state")
+        assert state_row["freq"] == 3
+        assert state_row["confused_with"] == "person"
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            ConfusionMatrix.from_predictions(["a"], ["a", "b"])

@@ -1,0 +1,100 @@
+"""Unit tests for classification metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.metrics import (
+    ClassificationReport,
+    accuracy,
+    confidence_interval,
+    evaluate_predictions,
+    grouped_accuracy,
+    macro_average,
+    per_class_accuracy,
+    per_class_f1,
+    weighted_f1,
+)
+
+
+class TestAccuracy:
+    def test_perfect_and_zero(self):
+        assert accuracy(["a", "b"], ["a", "b"]) == 1.0
+        assert accuracy(["a", "b"], ["b", "a"]) == 0.0
+
+    def test_partial(self):
+        assert accuracy(["a", "b", "c", "d"], ["a", "b", "x", "y"]) == 0.5
+
+    def test_empty_inputs(self):
+        assert accuracy([], []) == 0.0
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            accuracy(["a"], ["a", "b"])
+
+
+class TestF1:
+    def test_perfect_predictions(self):
+        truth = ["a", "a", "b", "c"]
+        assert weighted_f1(truth, truth) == pytest.approx(1.0)
+        assert per_class_f1(truth, truth) == {"a": 1.0, "b": 1.0, "c": 1.0}
+
+    def test_all_wrong(self):
+        assert weighted_f1(["a", "b"], ["b", "a"]) == 0.0
+
+    def test_weighting_by_support(self):
+        # Class "a" has 3x the support of "b": getting "a" right matters more.
+        truth = ["a", "a", "a", "b"]
+        mostly_a_right = ["a", "a", "a", "x"]
+        mostly_b_right = ["x", "x", "x", "b"]
+        assert weighted_f1(truth, mostly_a_right) > weighted_f1(truth, mostly_b_right)
+
+    def test_known_value(self):
+        truth = ["a", "a", "b", "b"]
+        predictions = ["a", "b", "b", "b"]
+        # class a: precision 1, recall 0.5 -> F1 = 2/3; class b: precision 2/3,
+        # recall 1 -> F1 = 0.8.  Weighted mean = (2/3 + 0.8) / 2.
+        assert weighted_f1(truth, predictions) == pytest.approx((2 / 3 + 0.8) / 2)
+
+    def test_per_class_accuracy(self):
+        truth = ["a", "a", "b"]
+        predictions = ["a", "x", "b"]
+        assert per_class_accuracy(truth, predictions) == {"a": 0.5, "b": 1.0}
+
+
+class TestConfidenceInterval:
+    def test_zero_for_empty_sample(self):
+        assert confidence_interval(0.5, 0) == 0.0
+
+    def test_shrinks_with_sample_size(self):
+        assert confidence_interval(0.6, 100) > confidence_interval(0.6, 10000)
+
+    def test_matches_normal_approximation(self):
+        assert confidence_interval(0.5, 100) == pytest.approx(1.96 * 0.05)
+
+    def test_clamps_score_to_unit_interval(self):
+        assert confidence_interval(1.5, 100) == 0.0
+
+
+class TestReports:
+    def test_evaluate_predictions_full_report(self):
+        truth = ["a", "a", "b", "b", "c"]
+        predictions = ["a", "b", "b", "b", "c"]
+        report = evaluate_predictions(truth, predictions)
+        assert isinstance(report, ClassificationReport)
+        assert report.n_columns == 5
+        assert report.support == {"a": 2, "b": 2, "c": 1}
+        assert 0.0 < report.weighted_f1 < 1.0
+        assert report.weighted_f1_pct == pytest.approx(100 * report.weighted_f1)
+        assert "±" in report.summary()
+
+    def test_macro_average(self):
+        reports = [evaluate_predictions(["a"], ["a"]), evaluate_predictions(["a"], ["b"])]
+        assert macro_average(reports) == pytest.approx(0.5)
+        assert macro_average([]) == 0.0
+
+    def test_grouped_accuracy(self):
+        truth = ["x1", "x2", "y1"]
+        predictions = ["x1", "wrong", "y1"]
+        groups = {"x1": "x", "x2": "x", "y1": "y"}
+        assert grouped_accuracy(truth, predictions, groups) == {"x": 0.5, "y": 1.0}

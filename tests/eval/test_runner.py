@@ -1,0 +1,108 @@
+"""Unit tests for the experiment runner and report formatting."""
+
+from __future__ import annotations
+
+from repro.baselines.llm_baselines import build_archetype_method
+from repro.core.pipeline import AnnotationResult
+from repro.core.remapping import NULL_LABEL
+from repro.core.table import Column, Table
+from repro.datasets.base import Benchmark, BenchmarkColumn
+from repro.eval.reporting import format_score, format_table
+from repro.eval.runner import EvaluationResult, ExperimentRunner
+
+
+class FixedAnnotator:
+    """Test double that always predicts the same label."""
+
+    def __init__(self, label: str) -> None:
+        self.label = label
+        self.seen_tables: list[Table | None] = []
+
+    def annotate_column(self, column: Column, table=None, column_index=None):
+        self.seen_tables.append(table)
+        return AnnotationResult(
+            label=self.label, raw_response=self.label, prompt=None,
+            remapped=False, rule_applied=False, strategy="fixed",
+        )
+
+
+def _tiny_benchmark() -> Benchmark:
+    columns = [
+        BenchmarkColumn(column=Column(values=["a"]), label="x", table_name="t.csv"),
+        BenchmarkColumn(column=Column(values=["b"]), label="y"),
+        BenchmarkColumn(column=Column(values=["c"]), label="x"),
+    ]
+    return Benchmark(name="tiny", label_set=["x", "y"], columns=columns)
+
+
+class TestExperimentRunner:
+    def test_evaluate_with_fixed_annotator(self):
+        benchmark = _tiny_benchmark()
+        result = ExperimentRunner().evaluate(FixedAnnotator("x"), benchmark, "always-x")
+        assert isinstance(result, EvaluationResult)
+        assert result.report.accuracy == 2 / 3
+        assert result.method_name == "always-x"
+        assert result.benchmark_name == "tiny"
+        assert result.n_unmapped == 0
+
+    def test_table_context_passed_when_available(self):
+        annotator = FixedAnnotator("x")
+        ExperimentRunner().evaluate(annotator, _tiny_benchmark(), "always-x")
+        assert annotator.seen_tables[0] is not None
+        assert annotator.seen_tables[0].name == "t.csv"
+        assert annotator.seen_tables[1] is None
+
+    def test_max_columns_limits_evaluation(self):
+        result = ExperimentRunner().evaluate(
+            FixedAnnotator("x"), _tiny_benchmark(), "always-x", max_columns=2
+        )
+        assert result.report.n_columns == 2
+
+    def test_unmapped_counter(self):
+        result = ExperimentRunner().evaluate(
+            FixedAnnotator(NULL_LABEL), _tiny_benchmark(), "always-null"
+        )
+        assert result.n_unmapped == 3
+        assert result.report.accuracy == 0.0
+
+    def test_keep_annotations_flag(self):
+        runner = ExperimentRunner(keep_annotations=True)
+        result = runner.evaluate(FixedAnnotator("x"), _tiny_benchmark(), "always-x")
+        assert len(result.annotations) == 3
+
+    def test_evaluate_predictions_only(self):
+        benchmark = _tiny_benchmark()
+        result = ExperimentRunner().evaluate_predictions_only(
+            benchmark, ["x", "y", "x"], "oracle"
+        )
+        assert result.report.accuracy == 1.0
+        assert result.summary_row()["micro_f1"] == 100.0
+
+    def test_summary_row_keys(self):
+        result = ExperimentRunner().evaluate(FixedAnnotator("x"), _tiny_benchmark(), "m")
+        row = result.summary_row()
+        assert {"benchmark", "method", "micro_f1", "ci95", "accuracy",
+                "n_columns", "n_remapped", "n_rule_applied"} <= set(row)
+
+    def test_end_to_end_with_real_annotator(self, d4_small):
+        annotator = build_archetype_method(d4_small, model="gpt", use_rules=True)
+        result = ExperimentRunner().evaluate(annotator, d4_small, "archetype-gpt+")
+        assert result.report.n_columns == len(d4_small.columns)
+        assert result.report.weighted_f1 > 0.4
+
+
+class TestReporting:
+    def test_format_table_alignment_and_missing_cells(self):
+        rows = [{"a": 1, "b": "x"}, {"a": 22}]
+        rendered = format_table(rows, title="demo")
+        lines = rendered.splitlines()
+        assert lines[0] == "demo"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([])
+
+    def test_format_score(self):
+        assert format_score(62.54, 0.84) == "62.5 ±0.8"
+        assert format_score(62.54) == "62.5"

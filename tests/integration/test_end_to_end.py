@@ -1,0 +1,69 @@
+"""End-to-end smoke tests exercising the public API the README documents."""
+
+from __future__ import annotations
+
+import repro
+from repro import ArcheType, ArcheTypeConfig, Column, Table, get_model, list_models
+from repro.datasets import BENCHMARK_NAMES, load_benchmark
+from repro.eval import ExperimentRunner
+
+
+class TestPublicApi:
+    def test_package_exports(self):
+        assert repro.__version__
+        assert "t5" in list_models()
+        assert callable(get_model)
+        assert len(BENCHMARK_NAMES) == 8
+
+    def test_quickstart_flow(self):
+        annotator = ArcheType(
+            ArcheTypeConfig(
+                model="gpt",
+                label_set=["state", "person", "url", "number", "organization"],
+                sample_size=5,
+            )
+        )
+        column = Column(["Alaska", "Colorado", "Kentucky", "Arizona", "Nevada", "New Jersey"])
+        result = annotator.annotate_column(column)
+        assert result.label == "state"
+
+    def test_table_annotation_flow(self):
+        table = Table.from_columns(
+            [
+                ["Alaska", "Texas", "Ohio", "Maine"],
+                ["http://a.com/x", "http://b.org/y", "http://c.net/z", "http://d.io/w"],
+                ["(212) 555-0100", "646-555-0101", "718-555-0102", "+1 917 555 0103"],
+            ],
+            column_names=["state", "website", "phone"],
+            name="contacts.csv",
+        )
+        annotator = ArcheType(
+            ArcheTypeConfig(model="gpt", label_set=["state", "url", "telephone", "person"])
+        )
+        labels = [r.label for r in annotator.annotate_table(table)]
+        assert labels == ["state", "url", "telephone"]
+
+    def test_custom_label_set_with_rare_types(self):
+        # The paper's motivating NYC example: domain-specific labels defined at
+        # inference time.
+        annotator = ArcheType(
+            ArcheTypeConfig(
+                model="gpt",
+                label_set=["nyc public school", "city agency", "borough", "zip code"],
+                sample_size=4,
+            )
+        )
+        schools = Column(["Stuyvesant High School", "P.S. 321 William Penn",
+                          "Bronx High School of Science", "Townsend Harris High School"])
+        boroughs = Column(["Brooklyn", "Queens", "Manhattan", "Bronx"])
+        assert annotator.annotate_column(schools).label == "nyc public school"
+        assert annotator.annotate_column(boroughs).label == "borough"
+
+    def test_benchmark_evaluation_flow(self):
+        benchmark = load_benchmark("pubchem-20", n_columns=40, seed=2)
+        annotator = ArcheType(
+            ArcheTypeConfig(model="t5", label_set=benchmark.label_set, sample_size=5)
+        )
+        result = ExperimentRunner().evaluate(annotator, benchmark, "quick")
+        assert 0.0 <= result.report.weighted_f1 <= 1.0
+        assert result.report.n_columns == 40

@@ -1,0 +1,60 @@
+"""Integration tests for the fine-tuned regime (Table 3 machinery)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.classical import DoDuoModel, TURLModel
+from repro.eval.metrics import weighted_f1
+from repro.eval.runner import ExperimentRunner
+from repro.experiments.table3_finetuned import (
+    build_finetune_examples,
+    run_table3,
+    train_archetype_llama,
+    _archetype_llama_annotator,
+)
+
+
+@pytest.mark.slow
+class TestFineTunedPipeline:
+    def test_finetune_examples_are_well_formed(self, sotab91_small):
+        examples = build_finetune_examples(sotab91_small.train_columns[:40])
+        assert len(examples) == 40
+        assert all(ex.prompt.startswith("INSTRUCTION:") for ex in examples)
+        assert all(ex.label in set(sotab91_small.label_set) for ex in examples)
+
+    def test_finetuned_model_beats_zero_shot_base(self, sotab91_small):
+        model = train_archetype_llama(sotab91_small, seed=0)
+        runner = ExperimentRunner()
+        finetuned = runner.evaluate(
+            _archetype_llama_annotator(sotab91_small, model, use_rules=False),
+            sotab91_small, "ft",
+        ).report.weighted_f1
+        # Zero-shot LLAMA on a 91-class problem is weak; fine-tuning must give
+        # a large improvement.
+        from repro.baselines.llm_baselines import build_archetype_method
+
+        zero_shot = runner.evaluate(
+            build_archetype_method(sotab91_small, model="llama"), sotab91_small, "zs",
+        ).report.weighted_f1
+        assert finetuned > zero_shot + 0.15
+
+    def test_classical_baselines_learn_sotab(self, sotab91_small):
+        truth = [bc.label for bc in sotab91_small.columns]
+        doduo = DoDuoModel().fit(sotab91_small.train_columns).predict(sotab91_small.columns)
+        turl = TURLModel().fit(sotab91_small.train_columns).predict(sotab91_small.columns)
+        # Many SOTAB-91 sibling classes share a value distribution (model vs
+        # sku, keywords vs genre), which caps what any model can reach on the
+        # synthetic regeneration; 0.35 is well above the 91-class chance level.
+        assert weighted_f1(truth, doduo) > 0.35
+        assert weighted_f1(truth, doduo) >= weighted_f1(truth, turl) - 0.02
+
+    def test_run_table3_ordering(self):
+        rows = run_table3(n_columns=150, n_train_columns=400, seed=0)
+        by_name = {row.model_name: row.micro_f1 for row in rows}
+        assert set(by_name) == {"ArcheType-LLAMA+", "ArcheType-LLAMA", "DoDuo", "TURL"}
+        # The paper's ordering: rules help ArcheType-LLAMA, DoDuo beats TURL,
+        # and ArcheType-LLAMA is competitive with DoDuo.
+        assert by_name["ArcheType-LLAMA+"] >= by_name["ArcheType-LLAMA"] - 1.0
+        assert by_name["DoDuo"] > by_name["TURL"] - 2.0
+        assert abs(by_name["ArcheType-LLAMA"] - by_name["DoDuo"]) < 25.0

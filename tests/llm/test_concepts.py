@@ -1,0 +1,80 @@
+"""Unit tests for label -> concept resolution."""
+
+from __future__ import annotations
+
+from repro.llm.concepts import DEFAULT_RESOLVER, LabelResolver, label_tokens, normalize_label
+
+
+class TestNormalization:
+    def test_normalize_label(self):
+        assert normalize_label("  Journal ISSN! ") == "journal issn"
+        assert normalize_label("person's full name") == "person s full name"
+
+    def test_label_tokens_drop_stopwords(self):
+        assert label_tokens("abbreviation of agency") == {"abbreviation", "agency"}
+        assert "the" not in label_tokens("the state")
+
+
+class TestResolution:
+    def setup_method(self):
+        self.resolver = LabelResolver()
+
+    def test_exact_name_match(self):
+        resolved = self.resolver.resolve("url")
+        assert resolved.resolved and resolved.concept.name == "url"
+        assert resolved.match_quality == 1.0
+
+    def test_alias_match(self):
+        resolved = self.resolver.resolve("streetaddress")
+        assert resolved.concept.name == "street address"
+        resolved = self.resolver.resolve("sports team")
+        assert resolved.concept.name == "sportsteam"
+
+    def test_parenthetical_labels(self):
+        resolved = self.resolver.resolve(
+            "smiles (simplified molecular input line entry system)"
+        )
+        assert resolved.concept.name == "smiles"
+
+    def test_token_overlap_match(self):
+        resolved = self.resolver.resolve("name of the newspaper or publication")
+        assert resolved.resolved
+        assert resolved.concept.name == "newspaper"
+
+    def test_paper_specific_labels_resolve(self):
+        cases = {
+            "abbreviation of agency": "nyc agency abbreviation",
+            "nyc agency name": "nyc agency",
+            "person's full name": "person full name",
+            "abstract for patent": "patent abstract",
+            "journal issn": "issn",
+            "region in staten island": "region in staten island",
+            "disease alternative label": "disease",
+        }
+        for label, expected in cases.items():
+            resolved = self.resolver.resolve(label)
+            assert resolved.resolved, label
+            assert resolved.concept.name == expected, label
+
+    def test_unknown_label_is_unresolved_but_usable(self):
+        resolved = self.resolver.resolve("zorblat frequency")
+        assert not resolved.resolved
+        assert resolved.match_quality == 0.0
+        assert resolved.label == "zorblat frequency"
+
+    def test_empty_label(self):
+        assert not self.resolver.resolve("  ").resolved
+
+    def test_resolution_is_cached_and_stable(self):
+        first = self.resolver.resolve("url")
+        second = self.resolver.resolve("url")
+        assert first is second  # lru_cache returns the same object
+
+    def test_resolve_all(self):
+        results = self.resolver.resolve_all(["url", "state", "zorblat"])
+        assert len(results) == 3
+        assert results[0].resolved and not results[2].resolved
+
+    def test_default_resolver_is_shared_instance(self):
+        assert isinstance(DEFAULT_RESOLVER, LabelResolver)
+        assert DEFAULT_RESOLVER.resolve("url").resolved

@@ -1,0 +1,59 @@
+"""Unit tests for the hashing embedder used by similarity remapping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.llm.embeddings import DEFAULT_EMBEDDER, HashingEmbedder
+
+
+class TestEmbedding:
+    def setup_method(self):
+        self.embedder = HashingEmbedder()
+
+    def test_vectors_are_unit_norm(self):
+        vector = self.embedder.embed("column type annotation")
+        assert np.linalg.norm(vector) == pytest.approx(1.0)
+
+    def test_empty_text_embeds_to_zero_vector(self):
+        assert np.allclose(self.embedder.embed(""), 0.0)
+
+    def test_embeddings_are_deterministic(self):
+        a = self.embedder.embed("semantic type")
+        b = HashingEmbedder().embed("semantic type")
+        assert np.allclose(a, b)
+
+    def test_identical_strings_have_similarity_one(self):
+        assert self.embedder.similarity("state", "state") == pytest.approx(1.0)
+
+    def test_related_strings_are_closer_than_unrelated(self):
+        related = self.embedder.similarity("high school", "educational organization")
+        unrelated = self.embedder.similarity("high school", "molecular formula")
+        assert related > unrelated
+
+    def test_synonym_groups_pull_strings_together(self):
+        assert self.embedder.similarity("company", "business corporation") > 0.2
+        assert self.embedder.similarity("phone", "telephone") > 0.2
+
+    def test_embed_many_shapes(self):
+        matrix = self.embedder.embed_many(["a", "b", "c"])
+        assert matrix.shape == (3, self.embedder.dimension)
+        assert self.embedder.embed_many([]).shape == (0, self.embedder.dimension)
+
+    def test_most_similar_returns_best_index(self):
+        labels = ["person", "url", "number"]
+        index, similarity = self.embedder.most_similar("a web link to the page", labels)
+        assert labels[index] == "url"
+        assert -1.0 <= similarity <= 1.0
+
+    def test_most_similar_requires_candidates(self):
+        with pytest.raises(ValueError):
+            self.embedder.most_similar("query", [])
+
+    def test_invalid_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            HashingEmbedder(dimension=0)
+
+    def test_default_embedder_exists(self):
+        assert DEFAULT_EMBEDDER.dimension > 0

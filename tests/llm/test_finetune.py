@@ -1,0 +1,83 @@
+"""Unit tests for the fine-tuned (prototype) LLAMA stand-in."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.serialization import PromptSerializer, PromptStyle
+from repro.llm.finetune import FineTunedLLM, FineTuneExample
+
+
+def _prompt(values: list[str]) -> str:
+    serializer = PromptSerializer(style=PromptStyle.FINETUNED, context_window=2048)
+    return serializer.serialize(values, ["unused"]).text
+
+
+@pytest.fixture()
+def training_examples() -> list[FineTuneExample]:
+    examples = []
+    url_values = [
+        ["http://example.com/a", "http://example.org/b", "http://x.net/c"],
+        ["http://shop.example.org/1", "http://shop.example.org/2"],
+    ]
+    state_values = [
+        ["Alaska", "Colorado", "Kentucky"],
+        ["Texas", "Ohio", "Maine", "Utah"],
+    ]
+    phone_values = [
+        ["(212) 555-0100", "212-555-0101"],
+        ["+1 646 555 0199", "(718) 555-0110"],
+    ]
+    for values in url_values:
+        examples.append(FineTuneExample(prompt=_prompt(values), label="url"))
+    for values in state_values:
+        examples.append(FineTuneExample(prompt=_prompt(values), label="addressregion"))
+    for values in phone_values:
+        examples.append(FineTuneExample(prompt=_prompt(values), label="telephone"))
+    return examples
+
+
+class TestFineTuning:
+    def test_unfitted_model_falls_back_to_zero_shot(self):
+        model = FineTunedLLM()
+        assert not model.is_fitted
+        answer = model.generate(_prompt(["http://example.com/a", "http://b.org/x"]))
+        assert isinstance(answer, str) and answer
+
+    def test_fit_requires_examples(self):
+        with pytest.raises(ValueError):
+            FineTunedLLM().fit([])
+
+    def test_fit_reports_epochs_and_labels(self, training_examples):
+        model = FineTunedLLM()
+        report = model.fit(training_examples, epochs=3)
+        assert report.epochs == 3
+        assert report.n_examples == len(training_examples)
+        assert set(report.labels) == {"url", "addressregion", "telephone"}
+        assert len(report.losses) == 3
+        assert model.is_fitted
+        assert set(model.labels) == set(report.labels)
+
+    def test_losses_do_not_increase(self, training_examples):
+        report = FineTunedLLM().fit(training_examples, epochs=4)
+        assert report.losses[-1] <= report.losses[0] + 1e-9
+
+    def test_predictions_match_training_distribution(self, training_examples):
+        model = FineTunedLLM()
+        model.fit(training_examples)
+        assert model.generate(_prompt(["http://new.example.com/page", "http://other.org/x"])) \
+            .startswith("url")
+        assert model.generate(_prompt(["Nevada", "Vermont", "Idaho"])).startswith("addressregion")
+        assert model.generate(_prompt(["(917) 555-0042", "646-555-0123"])).startswith("telephone")
+
+    def test_generation_is_deterministic(self, training_examples):
+        model = FineTunedLLM(seed=3)
+        model.fit(training_examples)
+        prompt = _prompt(["Nevada", "Vermont"])
+        assert model.generate(prompt) == model.generate(prompt)
+
+    def test_blending_can_be_disabled(self, training_examples):
+        model = FineTunedLLM(blend_world_knowledge=0.0)
+        model.fit(training_examples)
+        answer = model.generate(_prompt(["http://example.com/q"]))
+        assert answer.startswith("url")

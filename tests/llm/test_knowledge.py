@@ -1,0 +1,114 @@
+"""Unit tests for the world-knowledge concept detectors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.llm.knowledge import CONCEPTS, alias_index, get_concept, score_concept
+
+
+def score(concept_name: str, values: list[str]) -> float:
+    concept = get_concept(concept_name)
+    assert concept is not None, f"concept {concept_name} missing"
+    return score_concept(concept, values)
+
+
+class TestStructuralDetectors:
+    def test_url(self):
+        assert score("url", ["http://example.com/a", "https://x.org/b?c=1"]) == 1.0
+        assert score("url", ["not a url"]) == 0.0
+
+    def test_email(self):
+        assert score("email", ["jane.doe@example.com"]) == 1.0
+        assert score("email", ["jane.doe at example"]) == 0.0
+
+    def test_zipcode_and_phone(self):
+        assert score("zipcode", ["10027", "11201-1234"]) == 1.0
+        assert score("telephone", ["(212) 555-0173", "212-555-0199"]) == 1.0
+
+    def test_dates_and_times(self):
+        assert score("date", ["2020-01-31", "3/14/2021", "July 4, 1999"]) == 1.0
+        assert score("time", ["10:35 PM", "23:59:01"]) == 1.0
+
+    def test_identifiers(self):
+        assert score("issn", ["1234-5678"]) == 1.0
+        assert score("md5", ["d41d8cd98f00b204e9800998ecf8427e"]) == 1.0
+        assert score("inchi", ["InChI=1S/C9H8O4/c1-6(10)13-8"]) == 1.0
+
+    def test_smiles_vs_inchi_disambiguation(self):
+        assert score("smiles", ["CC(=O)Oc1ccccc1C(=O)O"]) > 0.5
+        assert score("smiles", ["InChI=1S/C9H8O4"]) == 0.0
+
+    def test_molecular_formula(self):
+        assert score("molecular formula", ["C10H30Cl4O2Si4", "C43H75NO10S"]) > 0.8
+        assert score("molecular formula", ["hello world"]) == 0.0
+
+    def test_street_address(self):
+        assert score("street address", ["123 Main Street", "4 Elm Avenue"]) == 1.0
+
+    def test_numeric_family(self):
+        assert score("number", ["12", "3.5", "1,200"]) == 1.0
+        assert score("age", ["34", "7", "99"]) > 0.8
+        assert score("weight", ["550mm", "3kg"]) == 1.0
+        assert score("price", ["$4.99", "12.50 USD"]) == 1.0
+
+
+class TestLexiconDetectors:
+    def test_states_and_countries(self):
+        assert score("us-state", ["Alaska", "New Jersey"]) == 1.0
+        assert score("country", ["Brazil", "Japan"]) == 1.0
+
+    def test_nyc_lexicons(self):
+        assert score("borough", ["Brooklyn", "Queens"]) == 1.0
+        assert score("nyc agency", ["Department of Education (DOE)"]) == 1.0
+        assert score("region in bronx", ["Bathgate", "Mott Haven"]) == 1.0
+        assert score("region in bronx", ["Astoria"]) == 0.0
+
+    def test_school_names(self):
+        assert score("school name", ["P.S. 057 Hubert H. Humphrey", "Stuyvesant High School"]) > 0.8
+
+    def test_people(self):
+        assert score("person full name", ["Mary Johnson", "Robert Garcia"]) == 1.0
+        assert score("person last name", ["Nguyen", "Smith"]) == 1.0
+        assert score("person first name", ["Jennifer", "David Q."]) == 1.0
+
+    def test_newspaper_and_articles(self):
+        assert score("newspaper", ["The Nome nugget.", "The Arizona champion."]) == 1.0
+        long_article = (
+            "The city council met last evening to discuss the proposed ordinance. "
+            "A large crowd gathered at the opera house for the benefit concert."
+        )
+        assert score("article", [long_article]) > 0.5
+        assert score("headline", ["WHEAT PRICES RISE SHARPLY"]) == 1.0
+
+    def test_chemistry_domain(self):
+        assert score("chemical", ["ibuprofen", "caffeine"]) == 1.0
+        assert score("disease", ["Type 2 diabetes mellitus", "Crohn disease"]) == 1.0
+        assert score("taxonomy", ["Homo sapiens", "Mus musculus"]) == 1.0
+
+    def test_empty_values_score_zero(self):
+        concept = get_concept("url")
+        assert score_concept(concept, []) == 0.0
+        assert score_concept(concept, ["", "  "]) == 0.0
+
+
+class TestRegistry:
+    def test_lookup_is_case_insensitive(self):
+        assert get_concept("URL") is get_concept("url")
+        assert get_concept("does-not-exist") is None
+
+    def test_alias_index_covers_all_concepts(self):
+        index = alias_index()
+        for name in CONCEPTS:
+            assert index[name] == name
+        # A known alias resolves to its canonical concept.
+        assert index["sports team"] == "sportsteam"
+
+    def test_all_concepts_clamp_scores_to_unit_interval(self):
+        samples = ["Alaska", "http://example.com", "42", "", "InChI=1S/C2H6O"]
+        for concept in CONCEPTS.values():
+            for value in samples:
+                assert 0.0 <= concept.score_value(value) <= 1.0
+
+    def test_specificity_is_positive(self):
+        assert all(c.specificity > 0 for c in CONCEPTS.values())

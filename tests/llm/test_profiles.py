@@ -1,0 +1,82 @@
+"""Unit tests for model profiles and the model registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import UnknownModelError
+from repro.llm.base import GenerationParams, LanguageModel
+from repro.llm.profiles import PROFILES, get_profile, list_profiles
+from repro.llm.registry import get_model, list_models, register_model
+from repro.llm.simulated import SimulatedLLM
+
+
+class TestProfiles:
+    def test_all_profiles_have_sane_knobs(self):
+        for profile in PROFILES.values():
+            assert 0.0 < profile.base_skill <= 1.0
+            assert profile.knowledge_noise > 0.0
+            assert 0.0 <= profile.out_of_label_rate <= 1.0
+            assert profile.context_window > 0
+
+    def test_aliases_resolve(self):
+        assert get_profile("gpt").name == "gpt-3.5"
+        assert get_profile("GPT-3.5-Turbo").name == "gpt-3.5"
+        assert get_profile("flan-t5").name == "t5"
+        assert get_profile("llama-2").name == "llama-7b"
+
+    def test_unknown_profile_raises(self):
+        with pytest.raises(UnknownModelError):
+            get_profile("mystery-model")
+
+    def test_relative_ordering_of_skill(self):
+        # GPT-4 > GPT-3.5 >= T5 >= UL2 > OPT-IML > LLAMA zero-shot.
+        skills = {name: profile.base_skill for name, profile in PROFILES.items()}
+        assert skills["gpt-4"] > skills["gpt-3.5"]
+        assert skills["gpt-3.5"] >= skills["t5"] >= skills["ul2"]
+        assert skills["ul2"] > skills["opt-iml"] > skills["llama-7b"]
+
+    def test_small_decoder_models_answer_off_label_more_often(self):
+        assert (
+            PROFILES["llama-7b"].out_of_label_rate
+            > PROFILES["t5"].out_of_label_rate
+        )
+
+    def test_style_modifier_defaults_to_zero(self):
+        assert get_profile("t5").style_modifier("Z") == 0.0
+
+    def test_list_profiles_sorted(self):
+        assert list_profiles() == sorted(list_profiles())
+
+
+class TestRegistry:
+    def test_get_model_returns_simulator(self):
+        model = get_model("t5")
+        assert isinstance(model, SimulatedLLM)
+        assert model.profile.name == "t5"
+
+    def test_get_model_unknown_name(self):
+        with pytest.raises(UnknownModelError):
+            get_model("gpt-17")
+
+    def test_list_models_includes_builtins(self):
+        names = list_models()
+        assert "t5" in names and "gpt-3.5" in names
+
+    def test_register_custom_model(self):
+        class FixedModel(LanguageModel):
+            name = "fixed"
+
+            def generate(self, prompt: str, params: GenerationParams | None = None) -> str:
+                return "person"
+
+        register_model("fixed-test-model", lambda seed: FixedModel())
+        try:
+            model = get_model("fixed-test-model")
+            assert model.generate("anything") == "person"
+            assert "fixed-test-model" in list_models()
+        finally:
+            # Keep the registry clean for other tests.
+            from repro.llm import registry
+
+            registry._CUSTOM_FACTORIES.pop("fixed-test-model", None)

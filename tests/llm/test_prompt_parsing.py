@@ -1,0 +1,53 @@
+"""Unit tests for prompt parsing: the simulator must recover what the
+serializer wrote, for every prompt style."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.serialization import PromptSerializer, PromptStyle
+from repro.llm.prompt_parsing import parse_prompt
+
+LABELS = ["state", "person", "url", "number"]
+CONTEXT = ["Alaska", "Colorado", "Kentucky"]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("style", PromptStyle.zero_shot_styles())
+    def test_parser_recovers_context_and_options(self, style):
+        serializer = PromptSerializer(style=style, context_window=4096)
+        prompt = serializer.serialize(CONTEXT, LABELS)
+        parsed = parse_prompt(prompt.text)
+        assert parsed.style_letter == style.value
+        assert parsed.has_options
+        assert set(parsed.options) == set(LABELS)
+        assert set(CONTEXT) <= set(parsed.context_values)
+
+    def test_finetuned_prompt_has_no_options(self):
+        serializer = PromptSerializer(style=PromptStyle.FINETUNED)
+        prompt = serializer.serialize(CONTEXT, LABELS)
+        parsed = parse_prompt(prompt.text)
+        assert parsed.style_letter == "FT"
+        assert not parsed.has_options
+        assert "Alaska" in parsed.context_values
+
+    def test_unknown_format_falls_back_gracefully(self):
+        parsed = parse_prompt("What type is this column: a, b, c?")
+        assert parsed.style_letter == "?"
+        assert not parsed.has_options
+        assert parsed.context_values  # best-effort extraction still yields values
+
+    def test_options_preserve_serialized_order(self):
+        serializer = PromptSerializer(style=PromptStyle.B, sort_labels=True)
+        prompt = serializer.serialize(CONTEXT, ["zebra", "apple", "mango"])
+        parsed = parse_prompt(prompt.text)
+        assert list(parsed.options) == ["apple", "mango", "zebra"]
+
+    def test_truncated_prompt_still_parses(self):
+        serializer = PromptSerializer(style=PromptStyle.B, context_window=150)
+        long_context = [f"a rather long cell value number {i}" for i in range(100)]
+        prompt = serializer.serialize(long_context, LABELS)
+        assert prompt.truncated
+        parsed = parse_prompt(prompt.text)
+        assert parsed.has_options
+        assert set(parsed.options) == set(LABELS)

@@ -1,0 +1,130 @@
+"""Unit tests for the simulated LLM backend."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.serialization import PromptSerializer, PromptStyle
+from repro.llm.base import GenerationParams
+from repro.llm.profiles import get_profile
+from repro.llm.simulated import SimulatedLLM
+
+LABELS = ["state", "person", "url", "number", "text", "organization"]
+
+
+def make_prompt(values, labels=LABELS, style=PromptStyle.S) -> str:
+    return PromptSerializer(style=style, context_window=4096).serialize(values, labels).text
+
+
+class TestGeneration:
+    def test_obvious_state_column_answered_correctly(self):
+        model = SimulatedLLM("gpt")
+        prompt = make_prompt(["Alaska", "Colorado", "Kentucky", "Nevada", "Texas"])
+        assert "state" in model.generate(prompt).lower()
+
+    def test_obvious_url_column_answered_correctly(self):
+        model = SimulatedLLM("t5")
+        prompt = make_prompt(["http://example.com/a", "http://example.org/b"])
+        assert "url" in model.generate(prompt).lower()
+
+    def test_generation_is_deterministic(self):
+        prompt = make_prompt(["Alaska", "Texas", "Maine"])
+        a = SimulatedLLM("ul2").generate(prompt)
+        b = SimulatedLLM("ul2").generate(prompt)
+        assert a == b
+
+    def test_different_resample_params_can_change_output(self):
+        model = SimulatedLLM("llama")
+        prompt = make_prompt(["n/a", "-", "unknown", "0"])
+        base = GenerationParams()
+        outputs = {model.generate(prompt, base.permuted(k)) for k in range(6)}
+        assert len(outputs) >= 2  # permuted hyperparameters diversify answers
+
+    def test_prompt_without_options_returns_free_form_guess(self):
+        model = SimulatedLLM("gpt")
+        prompt = PromptSerializer(style=PromptStyle.FINETUNED).serialize(
+            ["http://example.com/a", "http://example.org/b"], LABELS
+        ).text
+        answer = model.generate(prompt)
+        assert "url" in answer.lower()
+
+    def test_seed_changes_output_stream(self):
+        prompt = make_prompt(["n/a", "-", "maybe", "unknown", "x"])
+        a = SimulatedLLM("llama", seed=0).generate(prompt)
+        b = SimulatedLLM("llama", seed=123).generate(prompt)
+        # Hard, ambiguous columns are where stochasticity shows up; the seeds
+        # need not disagree on every prompt but the model must accept them.
+        assert isinstance(a, str) and isinstance(b, str)
+
+    def test_accepts_profile_instances_and_names(self):
+        assert SimulatedLLM(get_profile("t5")).profile.name == "t5"
+        assert SimulatedLLM("gpt").profile.name == "gpt-3.5"
+
+    def test_model_metadata_follows_profile(self):
+        model = SimulatedLLM("gpt")
+        assert model.open_source is False
+        assert model.context_window == 16384
+        llama = SimulatedLLM("llama")
+        assert llama.open_source is True
+
+
+class TestScoring:
+    def test_explain_scores_every_option(self):
+        model = SimulatedLLM("gpt")
+        prompt = make_prompt(["Alaska", "Texas", "Ohio"])
+        scores = model.explain(prompt)
+        assert len(scores) == len(LABELS)
+        by_label = {s.label: s for s in scores}
+        assert by_label["state"].evidence > by_label["url"].evidence
+
+    def test_ambiguous_columns_have_smaller_decision_margins(self):
+        """The degenerate column of Section 3.2 leaves the model no way to
+        separate the candidate labels, so its decision margin collapses —
+        which is what drives the elevated out-of-label rate."""
+        model = SimulatedLLM("t5")
+        ambiguous = make_prompt(["0", "0", "0"], labels=["number", "integer", "quantity"])
+        clear = make_prompt(["http://a.com", "http://b.org"], labels=["url", "person"])
+
+        def margin(prompt: str) -> float:
+            totals = sorted((s.total for s in model.explain(prompt)), reverse=True)
+            return totals[0] - totals[1]
+
+        assert margin(clear) > margin(ambiguous)
+
+    def test_some_generations_fall_outside_the_label_set(self):
+        """Out-of-label answers must occur (they are what remapping corrects)."""
+        model = SimulatedLLM("llama")
+        prompt = make_prompt(["0", "0", "0"], labels=["number", "integer", "quantity"])
+        answers = {
+            model.generate(prompt, GenerationParams(seed=k)) for k in range(20)
+        }
+        assert any(a.lower() not in {"number", "integer", "quantity"} for a in answers)
+
+    def test_clutter_markers_detected(self):
+        model = SimulatedLLM("ul2")
+        from repro.llm.prompt_parsing import parse_prompt
+
+        clean = parse_prompt(make_prompt(["Alaska", "Texas"]))
+        cluttered = parse_prompt(
+            make_prompt(["TABLE NAME: x.csv", "Alaska", "std: 4.2", "col1: 99"])
+        )
+        assert model._clutter_level(cluttered) > model._clutter_level(clean)
+
+    def test_label_size_increases_noise_scale(self):
+        model = SimulatedLLM("t5")
+        from repro.llm.prompt_parsing import parse_prompt
+
+        parsed = parse_prompt(make_prompt(["Alaska", "Texas"]))
+        params = GenerationParams()
+        small = model._noise_scale(parsed, params, n_options=10)
+        large = model._noise_scale(parsed, params, n_options=91)
+        assert large > small
+
+    def test_temperature_increases_noise_scale(self):
+        model = SimulatedLLM("t5")
+        from repro.llm.prompt_parsing import parse_prompt
+
+        parsed = parse_prompt(make_prompt(["Alaska", "Texas"]))
+        cold = model._noise_scale(parsed, GenerationParams(temperature=0.0), 10)
+        hot = model._noise_scale(parsed, GenerationParams(temperature=1.5), 10)
+        assert hot > cold

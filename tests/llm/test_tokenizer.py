@@ -1,0 +1,87 @@
+"""Unit tests for token counting and the Table 1 cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.llm.tokenizer import CostModel, SimpleTokenizer, batch_token_counts
+
+
+class TestSimpleTokenizer:
+    def setup_method(self):
+        self.tokenizer = SimpleTokenizer()
+
+    def test_empty_string_has_no_tokens(self):
+        assert self.tokenizer.count("") == 0
+
+    def test_short_words_are_single_tokens(self):
+        assert self.tokenizer.count("the cat") == 2
+
+    def test_long_words_fragment(self):
+        assert self.tokenizer.count("internationalization") > 1
+
+    def test_digits_fragment_faster_than_letters(self):
+        digits = self.tokenizer.count("123456789012")
+        letters = self.tokenizer.count("abcdefghijkl")
+        assert digits >= letters
+
+    def test_non_ascii_charged_extra(self):
+        assert self.tokenizer.count("café") > self.tokenizer.count("cafe")
+
+    def test_punctuation_counts_as_tokens(self):
+        assert self.tokenizer.count("a,b") == 3
+
+    def test_count_monotone_under_concatenation(self):
+        a, b = "hello world", "12345 foo"
+        assert self.tokenizer.count(a + " " + b) >= max(
+            self.tokenizer.count(a), self.tokenizer.count(b)
+        )
+
+    def test_truncate_respects_budget(self):
+        text = " ".join(f"word{i}" for i in range(200))
+        truncated = self.tokenizer.truncate(text, 30)
+        assert self.tokenizer.count(truncated) <= 30
+        assert truncated.startswith("word0")
+
+    def test_truncate_noop_when_within_budget(self):
+        assert self.tokenizer.truncate("short text", 100) == "short text"
+
+    def test_truncate_zero_budget(self):
+        assert self.tokenizer.truncate("anything", 0) == ""
+
+    def test_batch_token_counts(self):
+        counts = batch_token_counts(self.tokenizer, ["a", "bb cc"])
+        assert counts == [1, 2]
+
+
+class TestCostModel:
+    def test_prompt_cost_scales_with_length(self):
+        model = CostModel()
+        assert model.prompt_cost("word " * 1000) > model.prompt_cost("word")
+
+    def test_estimate_reports_overflow_percentages(self):
+        model = CostModel()
+        prompts = ["short prompt", "word " * 2000]
+        estimate = model.estimate(prompts, method="column", samples_per_column=5)
+        assert estimate.pct_over_1k == pytest.approx(50.0)
+        assert estimate.pct_over_16k == 0.0
+        assert estimate.n_prompts == 2
+        assert estimate.usd_cost > 0
+
+    def test_estimate_scaled_extrapolates_linearly(self):
+        model = CostModel()
+        prompts = ["word " * 50] * 10
+        base = model.estimate(prompts, "column", 5)
+        scaled = model.estimate_scaled(prompts, "column", 5, population_size=100)
+        assert scaled.usd_cost == pytest.approx(base.usd_cost * 10)
+        assert scaled.n_prompts == 100
+        assert scaled.pct_over_1k == base.pct_over_1k
+
+    def test_estimate_handles_empty_prompt_list(self):
+        estimate = CostModel().estimate([], "column", 5)
+        assert estimate.usd_cost == 0.0
+
+    def test_as_row_has_table1_columns(self):
+        estimate = CostModel().estimate(["x"], "column", 3)
+        row = estimate.as_row()
+        assert set(row) == {"Method", "# Smp.", "% >1k", "% >4k", "% >16k", "App. USD Cost"}

@@ -1,0 +1,89 @@
+"""Property-based tests for the evaluation metrics."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.metrics import (
+    accuracy,
+    confidence_interval,
+    evaluate_predictions,
+    per_class_accuracy,
+    per_class_f1,
+    weighted_f1,
+)
+
+LABELS = ["a", "b", "c", "d", "e"]
+labels_strategy = st.lists(st.sampled_from(LABELS), min_size=1, max_size=60)
+
+
+@st.composite
+def truth_and_predictions(draw):
+    truth = draw(labels_strategy)
+    predictions = draw(
+        st.lists(st.sampled_from(LABELS), min_size=len(truth), max_size=len(truth))
+    )
+    return truth, predictions
+
+
+class TestMetricInvariants:
+    @given(truth_and_predictions())
+    @settings(max_examples=150)
+    def test_scores_are_bounded(self, pair):
+        truth, predictions = pair
+        assert 0.0 <= accuracy(truth, predictions) <= 1.0
+        assert 0.0 <= weighted_f1(truth, predictions) <= 1.0
+
+    @given(labels_strategy)
+    @settings(max_examples=100)
+    def test_perfect_predictions_score_one(self, truth):
+        assert accuracy(truth, truth) == 1.0
+        assert weighted_f1(truth, truth) == 1.0
+        assert all(v == 1.0 for v in per_class_f1(truth, truth).values())
+
+    @given(truth_and_predictions())
+    @settings(max_examples=100)
+    def test_f1_is_one_iff_accuracy_is_one(self, pair):
+        truth, predictions = pair
+        assert (accuracy(truth, predictions) == 1.0) == (
+            weighted_f1(truth, predictions) == 1.0
+        )
+
+    @given(truth_and_predictions())
+    @settings(max_examples=100)
+    def test_per_class_accuracy_consistent_with_overall(self, pair):
+        truth, predictions = pair
+        per_class = per_class_accuracy(truth, predictions)
+        support = {label: truth.count(label) for label in set(truth)}
+        recomposed = sum(per_class[l] * support[l] for l in support) / len(truth)
+        assert abs(recomposed - accuracy(truth, predictions)) < 1e-9
+
+    @given(truth_and_predictions())
+    @settings(max_examples=100)
+    def test_report_is_internally_consistent(self, pair):
+        truth, predictions = pair
+        report = evaluate_predictions(truth, predictions)
+        assert report.n_columns == len(truth)
+        assert sum(report.support.values()) == len(truth)
+        assert abs(report.weighted_f1_pct - 100 * report.weighted_f1) < 1e-9
+
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.integers(min_value=1, max_value=100000),
+    )
+    def test_confidence_interval_bounds(self, score, n):
+        ci = confidence_interval(score, n)
+        assert 0.0 <= ci <= 1.0
+        # Quadrupling the sample size halves the interval width.
+        assert abs(confidence_interval(score, 4 * n) - ci / 2) < 1e-9
+
+    @given(truth_and_predictions(), st.permutations(range(5)))
+    @settings(max_examples=60)
+    def test_metrics_invariant_under_consistent_relabeling(self, pair, permutation):
+        truth, predictions = pair
+        mapping = {LABELS[i]: LABELS[permutation[i]] for i in range(len(LABELS))}
+        renamed_truth = [mapping[t] for t in truth]
+        renamed_pred = [mapping[p] for p in predictions]
+        assert weighted_f1(truth, predictions) == weighted_f1(renamed_truth, renamed_pred)
+        assert accuracy(truth, predictions) == accuracy(renamed_truth, renamed_pred)

@@ -1,0 +1,91 @@
+"""Property-based tests for label remapping and embeddings."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.remapping import (
+    NULL_LABEL,
+    ContainsRemapper,
+    NoOpRemapper,
+    SimilarityRemapper,
+    normalize,
+)
+from repro.llm.embeddings import HashingEmbedder
+
+text = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",), max_codepoint=0x2FFF),
+    max_size=40,
+)
+label_sets = st.lists(
+    st.text(alphabet="abcdefghij klmnop", min_size=1, max_size=20).filter(
+        lambda s: bool(s.strip())
+    ),
+    min_size=1,
+    max_size=8,
+    unique_by=lambda s: normalize(s),
+).filter(lambda labels: all(normalize(l) for l in labels))
+
+REMAPPERS = [NoOpRemapper(), ContainsRemapper(), SimilarityRemapper()]
+
+
+class TestRemappingInvariants:
+    @given(text, label_sets)
+    @settings(max_examples=150)
+    def test_remap_returns_label_from_set_or_null(self, response, labels):
+        for remapper in REMAPPERS:
+            result = remapper.remap(response, labels)
+            assert result.label == NULL_LABEL or result.label in labels
+            assert result.original_response == response
+
+    @given(label_sets, st.integers(min_value=0, max_value=7))
+    @settings(max_examples=100)
+    def test_exact_label_is_always_accepted_unchanged(self, labels, index):
+        label = labels[index % len(labels)]
+        for remapper in REMAPPERS:
+            result = remapper.remap(label, labels)
+            assert result.label == label
+
+    @given(text, label_sets)
+    @settings(max_examples=100)
+    def test_remapping_is_deterministic(self, response, labels):
+        for remapper in REMAPPERS:
+            first = remapper.remap(response, labels)
+            second = remapper.remap(response, labels)
+            assert first.label == second.label
+
+    @given(text, label_sets)
+    @settings(max_examples=100)
+    def test_similarity_recovers_whenever_response_is_non_empty(self, response, labels):
+        result = SimilarityRemapper().remap(response, labels)
+        if response.strip() and HashingEmbedder().embed(response).any():
+            assert result.label in labels
+
+
+class TestEmbeddingInvariants:
+    @given(text)
+    @settings(max_examples=150)
+    def test_embeddings_are_unit_norm_or_zero(self, value):
+        vector = HashingEmbedder().embed(value)
+        norm = float(np.linalg.norm(vector))
+        assert norm == 0.0 or abs(norm - 1.0) < 1e-9
+
+    @given(text, text)
+    @settings(max_examples=150)
+    def test_similarity_is_symmetric_and_bounded(self, a, b):
+        embedder = HashingEmbedder()
+        ab = embedder.similarity(a, b)
+        ba = embedder.similarity(b, a)
+        assert abs(ab - ba) < 1e-9
+        assert -1.0 - 1e-9 <= ab <= 1.0 + 1e-9
+
+    @given(text)
+    @settings(max_examples=100)
+    def test_self_similarity_is_one_for_non_trivial_text(self, value):
+        embedder = HashingEmbedder()
+        if embedder.embed(value).any():
+            assert embedder.similarity(value, value) == 1.0 or abs(
+                embedder.similarity(value, value) - 1.0
+            ) < 1e-9

@@ -1,0 +1,69 @@
+"""Property-based tests for context sampling and the tabular substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sampling import ArcheTypeSampler, FirstKSampler, SimpleRandomSampler
+from repro.core.table import Column
+
+#: Cell values: printable text without surrogate weirdness, some empties mixed in.
+cell_values = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs",), max_codepoint=0x2FFF),
+    max_size=30,
+)
+non_empty_cell = cell_values.filter(lambda s: bool(s.strip()))
+
+columns = st.builds(
+    Column,
+    values=st.lists(st.one_of(cell_values, non_empty_cell), min_size=1, max_size=50).filter(
+        lambda values: any(v.strip() for v in values)
+    ),
+)
+sample_sizes = st.integers(min_value=1, max_value=15)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+SAMPLERS = [SimpleRandomSampler(), FirstKSampler(), ArcheTypeSampler()]
+
+
+class TestSamplingInvariants:
+    @given(columns, sample_sizes, seeds)
+    @settings(max_examples=150)
+    def test_sample_has_requested_size_and_draws_from_column(self, column, size, seed):
+        for sampler in SAMPLERS:
+            result = sampler.sample(column, size, np.random.default_rng(seed))
+            assert len(result.values) == size
+            assert set(result.values) <= set(column.non_empty_values())
+
+    @given(columns, sample_sizes, seeds)
+    @settings(max_examples=100)
+    def test_sampling_is_deterministic_in_the_seed(self, column, size, seed):
+        for sampler in SAMPLERS:
+            first = sampler.sample(column, size, np.random.default_rng(seed))
+            second = sampler.sample(column, size, np.random.default_rng(seed))
+            assert first.values == second.values
+
+    @given(columns, sample_sizes, seeds)
+    @settings(max_examples=100)
+    def test_archetype_without_replacement_has_no_duplicates(self, column, size, seed):
+        unique_count = len({v for v in column.unique_values() if v.strip()})
+        result = ArcheTypeSampler().sample(column, size, np.random.default_rng(seed))
+        if unique_count >= size:
+            assert not result.with_replacement
+            assert len(set(result.values)) == size
+
+    @given(columns, sample_sizes, seeds)
+    @settings(max_examples=100)
+    def test_samples_never_contain_empty_strings(self, column, size, seed):
+        for sampler in SAMPLERS:
+            result = sampler.sample(column, size, np.random.default_rng(seed))
+            assert all(v.strip() for v in result.values)
+
+    @given(columns)
+    @settings(max_examples=100)
+    def test_unique_values_invariants(self, column):
+        uniques = column.unique_values()
+        assert len(uniques) == len(set(uniques))
+        assert set(uniques) == set(column.values)

@@ -1,0 +1,94 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser, main, read_csv_table
+
+
+@pytest.fixture()
+def sample_csv(tmp_path: Path) -> Path:
+    path = tmp_path / "contacts.csv"
+    rows = [
+        ["state", "website", "phone"],
+        ["Alaska", "http://a.example.com/x", "(212) 555-0100"],
+        ["Texas", "http://b.example.org/y", "646-555-0101"],
+        ["Ohio", "http://c.example.net/z", "718-555-0102"],
+        ["Maine", "http://d.example.io/w", "+1 917 555 0103"],
+    ]
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        csv.writer(handle).writerows(rows)
+    return path
+
+
+class TestCsvLoading:
+    def test_read_csv_with_header(self, sample_csv):
+        table = read_csv_table(sample_csv)
+        assert len(table) == 3
+        assert table.column_by_name("state").values[0] == "Alaska"
+        assert table.n_rows == 4
+
+    def test_read_csv_without_header(self, sample_csv):
+        table = read_csv_table(sample_csv, has_header=False)
+        assert table.n_rows == 5
+        assert table[0].values[0] == "state"
+
+    def test_max_rows(self, sample_csv):
+        table = read_csv_table(sample_csv, max_rows=2)
+        assert table.n_rows == 2
+
+    def test_empty_file(self, tmp_path):
+        empty = tmp_path / "empty.csv"
+        empty.write_text("")
+        assert len(read_csv_table(empty)) == 0
+
+
+class TestAnnotateCommand:
+    def test_annotate_prints_predictions(self, sample_csv, capsys):
+        exit_code = main([
+            "annotate", str(sample_csv),
+            "--labels", "state,url,telephone,person",
+            "--model", "gpt",
+        ])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "state" in captured
+        assert "url" in captured
+        assert "telephone" in captured
+
+    def test_missing_file_is_an_error(self, tmp_path, capsys):
+        exit_code = main([
+            "annotate", str(tmp_path / "nope.csv"), "--labels", "a,b",
+        ])
+        assert exit_code == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_empty_label_set_is_an_error(self, sample_csv, capsys):
+        exit_code = main(["annotate", str(sample_csv), "--labels", " , "])
+        assert exit_code == 2
+        assert "at least one label" in capsys.readouterr().err
+
+
+class TestEvaluateCommand:
+    def test_evaluate_benchmark(self, capsys):
+        exit_code = main([
+            "evaluate", "--benchmark", "d4-20", "--method", "archetype",
+            "--model", "gpt", "--columns", "40", "--rules", "--per-class",
+        ])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "d4-20" in captured
+        assert "micro_f1" in captured
+        assert "per-class accuracy" in captured
+
+    def test_parser_rejects_unknown_benchmark(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["evaluate", "--benchmark", "unknown"])
+
+    def test_parser_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
