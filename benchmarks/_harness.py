@@ -1,0 +1,19 @@
+"""Helpers shared by the benchmark suite.
+
+Kept outside ``conftest.py`` so benchmark modules can import them explicitly:
+under ``--import-mode=importlib`` (the repo-wide pytest import mode) test
+modules cannot ``from conftest import ...``, because conftest files are loaded
+as plugins rather than as importable siblings.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark timing.
+
+    Experiment harnesses are deterministic and expensive relative to
+    micro-benchmarks, so a single round gives a representative wall-clock
+    figure without multiplying the suite's runtime.
+    """
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

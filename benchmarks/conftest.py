@@ -3,7 +3,9 @@
 Every benchmark regenerates one of the paper's tables or figures at a reduced
 scale (the ``BENCH_COLUMNS`` evaluation-split size) and attaches the resulting
 rows to the pytest-benchmark record via ``benchmark.extra_info`` so the
-numbers appear in ``pytest-benchmark``'s JSON output.  Run with::
+numbers appear in ``pytest-benchmark``'s JSON output.  The suite is excluded
+from the default ``pytest`` run (``testpaths`` only covers ``tests/``); run it
+explicitly with::
 
     pytest benchmarks/ --benchmark-only
 
@@ -12,7 +14,17 @@ Pass ``--bench-columns N`` to change the evaluation-split size.
 
 from __future__ import annotations
 
+import sys
+from pathlib import Path
+
 import pytest
+
+# Shared helpers live in ``_harness.py`` (importlib import mode forbids
+# importing from conftest); make the directory importable when pytest is
+# invoked from the repository root.
+_HERE = str(Path(__file__).resolve().parent)
+if _HERE not in sys.path:
+    sys.path.insert(0, _HERE)
 
 
 def pytest_addoption(parser: pytest.Parser) -> None:
@@ -28,13 +40,3 @@ def pytest_addoption(parser: pytest.Parser) -> None:
 @pytest.fixture(scope="session")
 def bench_columns(request: pytest.FixtureRequest) -> int:
     return int(request.config.getoption("--bench-columns"))
-
-
-def run_once(benchmark, func, *args, **kwargs):
-    """Run ``func`` exactly once under pytest-benchmark timing.
-
-    Experiment harnesses are deterministic and expensive relative to
-    micro-benchmarks, so a single round gives a representative wall-clock
-    figure without multiplying the suite's runtime.
-    """
-    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,75 @@
+"""Benchmark: batched + cached annotation vs. the sequential per-column loop.
+
+The workload replays a SOTAB-sized evaluation split twice — the shape of
+resampled / repeated-column traffic across experiments — with deterministic
+first-k sampling so repeated columns serialize to identical prompts.  The
+sequential side annotates column-at-a-time with the query cache disabled (the
+seed repo's execution model); the batched side uses ``annotate_columns`` with
+the (prompt, params) LRU cache, so the replayed half is served without
+touching the model and duplicates within a batch are answered once.
+"""
+
+from __future__ import annotations
+
+import os
+from time import perf_counter
+
+from _harness import run_once
+
+from repro.core.pipeline import ArcheType, ArcheTypeConfig
+from repro.datasets.registry import load_benchmark
+
+
+def _make_annotator(label_set, cache_size: int) -> ArcheType:
+    return ArcheType(
+        ArcheTypeConfig(
+            model="gpt",
+            label_set=label_set,
+            sample_size=5,
+            sampler="firstk",
+            seed=17,
+            query_cache_size=cache_size,
+        )
+    )
+
+
+def test_batched_cached_beats_sequential(benchmark, bench_columns):
+    data = load_benchmark("sotab-27", n_columns=bench_columns, seed=11)
+    split = [bench_column.column for bench_column in data.columns]
+    workload = split + split  # replayed split: repeated traffic
+
+    def compare() -> dict[str, float]:
+        sequential = _make_annotator(data.label_set, cache_size=0)
+        start = perf_counter()
+        sequential_results = [sequential.annotate_column(c) for c in workload]
+        sequential_seconds = perf_counter() - start
+
+        batched = _make_annotator(data.label_set, cache_size=4096)
+        start = perf_counter()
+        batched_results = batched.annotate_columns(workload)
+        batched_seconds = perf_counter() - start
+
+        assert [r.label for r in batched_results] == [
+            r.label for r in sequential_results
+        ]
+        return {
+            "sequential_seconds": sequential_seconds,
+            "batched_seconds": batched_seconds,
+            "speedup": sequential_seconds / batched_seconds,
+            "model_calls_sequential": sequential.query_count,
+            "model_calls_batched": batched.query_count,
+            "cache_hits_batched": batched.cache_hit_count,
+        }
+
+    info = run_once(benchmark, compare)
+    benchmark.extra_info.update(info)
+
+    # The replayed half is pure cache hits, so the batched engine issues at
+    # most half the model calls and must win on wall-clock (~1.7x locally).
+    assert info["model_calls_batched"] <= info["model_calls_sequential"] / 2
+    assert info["cache_hits_batched"] >= len(split)
+    # Timing ratios on shared CI runners are noise-prone, so the wall-clock
+    # assertion only gates local runs; CI relies on the deterministic
+    # model-call halving above.
+    if not os.environ.get("CI"):
+        assert info["speedup"] > 1.0, info

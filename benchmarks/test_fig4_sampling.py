@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from conftest import run_once
+from _harness import run_once
 
 from repro.experiments.fig4_sampling import cells_as_rows, run_fig4
 

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from conftest import run_once
+from _harness import run_once
 
 from repro.experiments.fig6_features import FEATURE_SPECS, cells_as_rows, run_fig6
 

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import pytest
-from conftest import run_once
+from _harness import run_once
 
 from repro.experiments.perclass import run_per_class
 

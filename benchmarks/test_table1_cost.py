@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from conftest import run_once
+from _harness import run_once
 
 from repro.experiments.table1_cost import TABLE1_CONFIGURATIONS, run_table1
 

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 
-from conftest import run_once
+from _harness import run_once
 
 from repro.experiments.table4_zeroshot import cells_as_rows, run_table4
 

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from conftest import run_once
+from _harness import run_once
 
 from repro.experiments.table6_prompts import best_prompt_per_model, cells_as_rows, run_table6
 

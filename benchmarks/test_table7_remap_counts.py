@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from conftest import run_once
+from _harness import run_once
 
 from repro.experiments.table7_remap_counts import run_table7
 

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from conftest import run_once
+from _harness import run_once
 
 from repro.experiments.table8_classnames import run_table8
 

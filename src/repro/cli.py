@@ -73,8 +73,9 @@ def _annotate_command(args: argparse.Namespace) -> int:
             seed=args.seed,
         )
     )
+    results = annotator.annotate_table(table, batch_size=args.batch_size)
     rows = []
-    for index, result in enumerate(annotator.annotate_table(table)):
+    for index, result in enumerate(results):
         column = table[index]
         rows.append(
             {
@@ -98,7 +99,7 @@ def _evaluate_command(args: argparse.Namespace) -> int:
         use_rules=args.rules,
         seed=args.seed,
     )
-    result = ExperimentRunner().evaluate(
+    result = ExperimentRunner(batch_size=args.batch_size).evaluate(
         annotator, benchmark, f"{args.method}-{args.model}{'+' if args.rules else ''}"
     )
     print(format_table([result.summary_row()],
@@ -111,6 +112,13 @@ def _evaluate_command(args: argparse.Namespace) -> int:
         print()
         print(format_table(rows, title="per-class accuracy"))
     return 0
+
+
+def _batch_size(value: str) -> int:
+    parsed = int(value)
+    if parsed < 0:
+        raise argparse.ArgumentTypeError("--batch-size must be >= 0")
+    return parsed
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -137,6 +145,9 @@ def build_parser() -> argparse.ArgumentParser:
                           help="the CSV file has no header row")
     annotate.add_argument("--max-rows", type=int, default=None)
     annotate.add_argument("--seed", type=int, default=0)
+    annotate.add_argument("--batch-size", type=_batch_size, default=None,
+                          help="columns per batched LLM query (default: the whole "
+                               "table; 0 forces the sequential per-column loop)")
     annotate.set_defaults(func=_annotate_command)
 
     evaluate = subparsers.add_parser(
@@ -152,6 +163,9 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--rules", action="store_true", help="enable rule-based remapping")
     evaluate.add_argument("--per-class", action="store_true")
     evaluate.add_argument("--seed", type=int, default=0)
+    evaluate.add_argument("--batch-size", type=_batch_size, default=None,
+                          help="columns per batched LLM query (default: the whole "
+                               "split; 0 forces the sequential per-column loop)")
     evaluate.set_defaults(func=_evaluate_command)
     return parser
 

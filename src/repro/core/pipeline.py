@@ -2,9 +2,21 @@
 
 :class:`ArcheType` wires together the four stages of Figure 1 — context
 sampling, prompt serialization, model querying and label remapping — plus the
-optional rule-based remapping that produces the paper's "+" variants.  It
-operates column-at-once: a single call annotates a single column, and
-:meth:`ArcheType.annotate_table` simply iterates.
+optional rule-based remapping that produces the paper's "+" variants.
+
+Two execution modes share the same stages:
+
+* **column-at-a-time** — :meth:`ArcheType.annotate_column` runs all four
+  stages for one column;
+* **set-at-a-time** — :meth:`ArcheType.annotate_columns` runs sampling and
+  serialization for every column first, issues the surviving prompts as one
+  batched (and cached) query through :meth:`QueryEngine.query_batch`, then
+  remaps each response.  Per-column work is ordered exactly as the sequential
+  path orders it, and context sampling is the only consumer of the annotator's
+  RNG, so both modes draw the same random streams and produce bit-identical
+  labels; the batched mode simply amortises model-side work and skips
+  duplicate prompts.  :meth:`ArcheType.annotate_table` is a thin wrapper over
+  the batched mode.
 
 Typical usage::
 
@@ -54,6 +66,9 @@ class ArcheTypeConfig:
     * ``features`` — extended-context features (Figure 6).
     * ``ruleset`` — rule-based remapping; non-None produces "+" behaviour.
     * ``numeric_labels`` — labels eligible for the numeric-context restriction.
+
+    ``query_cache_size`` is an engineering knob (not from the paper): it
+    bounds the engine's LRU prompt-response cache used by batched execution.
     """
 
     model: str | LanguageModel = "t5"
@@ -71,6 +86,9 @@ class ArcheTypeConfig:
     context_window: int | None = None
     seed: int = 0
     generation: GenerationParams = field(default_factory=GenerationParams)
+    #: Entries in the engine's (prompt, params) LRU response cache; 0 disables
+    #: caching (required when wrapping a stateful, order-dependent model).
+    query_cache_size: int = 4096
 
     def with_updates(self, **changes: object) -> "ArcheTypeConfig":
         """Return a copy of the config with the given fields replaced."""
@@ -126,7 +144,11 @@ class ArcheType:
             self.remapper = get_remapper(config.remapper, k=config.resample_k)
         else:
             self.remapper = get_remapper(config.remapper)
-        self.engine = QueryEngine(model=self.model, params=config.generation)
+        self.engine = QueryEngine(
+            model=self.model,
+            params=config.generation,
+            cache_size=config.query_cache_size,
+        )
         self._rng = np.random.default_rng(config.seed)
 
     # ------------------------------------------------------------------ api
@@ -182,38 +204,157 @@ class ArcheType:
         response = self.engine.query(prompt.text)
 
         # Stage 4: label remapping (with optional resampling requeries).
+        # There is deliberately no post-query rule pass: RuleSet.apply is a
+        # deterministic function of the column, so any rule that could rescue
+        # a NULL_LABEL here would already have matched at stage 0 and returned
+        # before the model was queried.
         requery = lambda attempt: self.engine.requery(prompt.text, attempt)
         remap = self.remapper.remap(response, list(prompt.label_set), requery)
-        label = remap.label
-
-        # Post-query rule correction: a rule that matches the column overrides
-        # an LLM answer that disagrees (the rules are high precision).
-        rule_applied = False
-        if self.config.ruleset is not None and label == NULL_LABEL:
-            rule_label = self.config.ruleset.apply(column, self.label_set)
-            if rule_label is not None:
-                label = rule_label
-                rule_applied = True
 
         return AnnotationResult(
-            label=label,
+            label=remap.label,
             raw_response=response,
             prompt=prompt,
             remapped=remap.remapped,
-            rule_applied=rule_applied,
+            rule_applied=False,
             strategy=self.remapper.name,
             sampled_values=tuple(sample.values),
         )
 
-    def annotate_table(self, table: Table) -> list[AnnotationResult]:
-        """Annotate every column of a table (column-at-once serialization)."""
-        return [
-            self.annotate_column(column, table=table, column_index=index)
-            for index, column in enumerate(table.columns)
-        ]
+    def annotate_columns(
+        self,
+        columns: Sequence[Column],
+        table: Table | None = None,
+        column_indices: Sequence[int | None] | None = None,
+        tables: Sequence[Table | None] | None = None,
+        batch_size: int | None = None,
+    ) -> list[AnnotationResult]:
+        """Annotate a set of columns with one batched query per chunk.
+
+        Stages 1-2 (sampling, rules, serialization) run for every column
+        first, in column order; the surviving prompts are then issued through
+        :meth:`QueryEngine.query_batch` in chunks of ``batch_size`` (all at
+        once when ``None``), and stage 4 remaps each response, issuing
+        per-column resample requeries as needed.  Results are bit-identical
+        to calling :meth:`annotate_column` in a loop, and ``batch_size=0``
+        literally falls back to that loop — the escape hatch for stateful
+        models whose answers depend on call order.
+
+        ``table`` provides shared table context for every column (as in
+        :meth:`annotate_table`); ``tables`` overrides it per column for
+        callers annotating columns drawn from different tables.
+        """
+        if batch_size is not None and batch_size < 0:
+            raise ConfigurationError("batch_size must be None or >= 0")
+        columns = list(columns)
+        if tables is None:
+            per_column_tables: list[Table | None] = [table] * len(columns)
+        else:
+            per_column_tables = list(tables)
+        if column_indices is None:
+            indices: list[int | None] = (
+                list(range(len(columns))) if table is not None
+                else [None] * len(columns)
+            )
+        else:
+            indices = list(column_indices)
+        if len(per_column_tables) != len(columns) or len(indices) != len(columns):
+            raise ConfigurationError(
+                "columns, tables and column_indices must have matching lengths"
+            )
+
+        if batch_size == 0:
+            return [
+                self.annotate_column(
+                    column,
+                    table=per_column_tables[position],
+                    column_index=indices[position],
+                )
+                for position, column in enumerate(columns)
+            ]
+
+        results: list[AnnotationResult | None] = [None] * len(columns)
+        pending: list[tuple[int, SerializedPrompt, tuple[str, ...]]] = []
+        for position, column in enumerate(columns):
+            # Stage 1: context sampling, in column order — sampling is the
+            # only consumer of self._rng, so running it for every column
+            # up front draws the same stream as the sequential path.
+            try:
+                sample = self.sampler.sample(column, self.config.sample_size, self._rng)
+            except EmptyColumnError:
+                results[position] = AnnotationResult(
+                    label=NULL_LABEL,
+                    raw_response="",
+                    prompt=None,
+                    remapped=False,
+                    rule_applied=False,
+                    strategy="empty-column",
+                )
+                continue
+
+            # Stage 0 (optional): rule-based assignment before querying.
+            if self.config.ruleset is not None:
+                rule_label = self.config.ruleset.apply(column, self.label_set)
+                if rule_label is not None:
+                    results[position] = AnnotationResult(
+                        label=rule_label,
+                        raw_response=rule_label,
+                        prompt=None,
+                        remapped=False,
+                        rule_applied=True,
+                        strategy="rule",
+                        sampled_values=tuple(sample.values),
+                    )
+                    continue
+
+            # Stage 2: prompt serialization.
+            context_strings = build_feature_strings(
+                sample.values,
+                self.config.features,
+                table=per_column_tables[position],
+                column_index=indices[position],
+                column=column,
+            )
+            prompt = self.serializer.serialize(context_strings, self.label_set)
+            pending.append((position, prompt, tuple(sample.values)))
+
+        # Stage 3: one batched (deduplicated, cached) query per chunk.
+        prompts = [prompt.text for _, prompt, _ in pending]
+        chunk = batch_size if batch_size is not None and batch_size > 0 else len(prompts)
+        responses: list[str] = []
+        for start in range(0, len(prompts), max(chunk, 1)):
+            responses.extend(self.engine.query_batch(prompts[start:start + chunk]))
+
+        # Stage 4: label remapping (with optional per-column requeries).
+        for (position, prompt, sampled_values), response in zip(pending, responses):
+            requery = lambda attempt, text=prompt.text: self.engine.requery(text, attempt)
+            remap = self.remapper.remap(response, list(prompt.label_set), requery)
+            results[position] = AnnotationResult(
+                label=remap.label,
+                raw_response=response,
+                prompt=prompt,
+                remapped=remap.remapped,
+                rule_applied=False,
+                strategy=self.remapper.name,
+                sampled_values=sampled_values,
+            )
+        assert all(result is not None for result in results), \
+            "batched annotation left a column without a result"
+        return results  # type: ignore[return-value]
+
+    def annotate_table(
+        self, table: Table, batch_size: int | None = None
+    ) -> list[AnnotationResult]:
+        """Annotate every column of a table through the batched engine."""
+        return self.annotate_columns(table.columns, table=table, batch_size=batch_size)
 
     # ------------------------------------------------------------- metrics
     @property
     def query_count(self) -> int:
         """Total number of LLM queries issued so far (includes resamples)."""
         return self.engine.stats.n_queries
+
+    @property
+    def cache_hit_count(self) -> int:
+        """Prompts served from the engine's cache instead of the model."""
+        return self.engine.stats.n_cache_hits

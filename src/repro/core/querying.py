@@ -1,17 +1,34 @@
 """Model querying: the third stage of the ArcheType pipeline.
 
-The querying stage is intentionally thin — its job is to submit a serialized
-prompt to the chosen language model and return the raw response, while
-tracking how many queries were issued (remap-resample issues extra ones) and
-which generation parameters were used.  Keeping it separate from the pipeline
-makes the Section 5.4.3 model-querying ablation a one-line model swap.
+The querying stage submits serialized prompts to the chosen language model and
+returns the raw responses, while tracking how many model calls were issued
+(remap-resample issues extra ones) and which generation parameters were used.
+Keeping it separate from the pipeline makes the Section 5.4.3 model-querying
+ablation a one-line model swap.
+
+Two throughput features live here rather than in the pipeline:
+
+* :meth:`QueryEngine.query_batch` submits a whole batch through
+  :meth:`repro.llm.base.LanguageModel.generate_batch`, deduplicating repeated
+  ``(prompt, params)`` pairs within the batch;
+* an LRU **prompt cache** keyed on ``(prompt, params)`` serves repeated
+  prompts — duplicate columns, resamples replayed across experiments —
+  without touching the model.  Caching is sound because every bundled backend
+  is a pure function of ``(prompt, params)``; set ``cache_size=0`` when
+  wrapping a stateful test double whose answers depend on call order.
+
+:class:`QueryStats` separates ``n_prompts`` (prompts requested) from
+``n_queries`` (prompts that actually reached the model), so cost accounting
+stays truthful under caching.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
+from typing import Sequence
 
-from repro.llm.base import GenerationParams, LanguageModel
+from repro.llm.base import BatchParams, GenerationParams, LanguageModel, broadcast_params
 
 
 @dataclass
@@ -21,27 +38,138 @@ class QueryStats:
     n_queries: int = 0
     n_resamples: int = 0
     total_prompt_chars: int = 0
+    n_prompts: int = 0
+    n_batches: int = 0
+    n_cache_hits: int = 0
 
     def record(self, prompt: str, resample_index: int) -> None:
+        """Record one prompt that reached the model (a cache miss)."""
+        self.n_prompts += 1
         self.n_queries += 1
         if resample_index > 0:
             self.n_resamples += 1
         self.total_prompt_chars += len(prompt)
 
+    def record_hit(self) -> None:
+        """Record one prompt served from the cache without a model call."""
+        self.n_prompts += 1
+        self.n_cache_hits += 1
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of requested prompts served from the cache."""
+        if self.n_prompts == 0:
+            return 0.0
+        return self.n_cache_hits / self.n_prompts
+
 
 @dataclass
 class QueryEngine:
-    """Submit prompts to a model with consistent generation parameters."""
+    """Submit prompts to a model with consistent generation parameters.
+
+    ``cache_size`` bounds the LRU prompt cache (0 disables caching).
+    """
 
     model: LanguageModel
     params: GenerationParams = field(default_factory=GenerationParams)
     stats: QueryStats = field(default_factory=QueryStats)
+    cache_size: int = 4096
+    _cache: "OrderedDict[tuple[str, GenerationParams], str]" = field(
+        default_factory=OrderedDict, repr=False
+    )
 
+    # ------------------------------------------------------------- caching
+    def _cache_lookup(self, key: tuple[str, GenerationParams]) -> str | None:
+        if self.cache_size <= 0 or key not in self._cache:
+            return None
+        self._cache.move_to_end(key)
+        return self._cache[key]
+
+    def _cache_store(self, key: tuple[str, GenerationParams], response: str) -> None:
+        if self.cache_size <= 0:
+            return
+        self._cache[key] = response
+        self._cache.move_to_end(key)
+        while len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+
+    def clear_cache(self) -> None:
+        """Drop every cached response (stats are left untouched)."""
+        self._cache.clear()
+
+    @property
+    def cache_len(self) -> int:
+        return len(self._cache)
+
+    # ------------------------------------------------------------ querying
     def query(self, prompt: str, params: GenerationParams | None = None) -> str:
         """Send one prompt to the model and return its raw completion."""
         effective = params or self.params
+        key = (prompt, effective)
+        cached = self._cache_lookup(key)
+        if cached is not None:
+            self.stats.record_hit()
+            return cached
         self.stats.record(prompt, effective.resample_index)
-        return self.model.generate(prompt, effective)
+        response = self.model.generate(prompt, effective)
+        self._cache_store(key, response)
+        return response
+
+    def query_batch(
+        self,
+        prompts: Sequence[str],
+        params: BatchParams = None,
+    ) -> list[str]:
+        """Send a batch of prompts through the model's set-at-a-time path.
+
+        Cache hits (including duplicates within the batch) never reach the
+        model; the remaining unique ``(prompt, params)`` pairs go down in one
+        :meth:`LanguageModel.generate_batch` call, in first-occurrence order.
+        Responses come back in the order of ``prompts``.
+        """
+        if not prompts:
+            return []
+        effective = [
+            p or self.params for p in broadcast_params(prompts, params)
+        ]
+        self.stats.n_batches += 1
+
+        if self.cache_size <= 0:
+            # Caching disabled: honour call-order semantics for stateful
+            # models by sending every prompt through, duplicates included.
+            completions = self.model.generate_batch(list(prompts), effective)
+            for prompt, prompt_params in zip(prompts, effective):
+                self.stats.record(prompt, prompt_params.resample_index)
+            return completions
+
+        responses: dict[tuple[str, GenerationParams], str] = {}
+        missing: list[tuple[str, GenerationParams]] = []
+        missing_keys: set[tuple[str, GenerationParams]] = set()
+        for key in zip(prompts, effective):
+            if key in responses or key in missing_keys:
+                continue
+            cached = self._cache_lookup(key)
+            if cached is not None:
+                responses[key] = cached
+            else:
+                missing.append(key)
+                missing_keys.add(key)
+
+        if missing:
+            completions = self.model.generate_batch(
+                [prompt for prompt, _ in missing],
+                [prompt_params for _, prompt_params in missing],
+            )
+            for key, response in zip(missing, completions):
+                self.stats.record(key[0], key[1].resample_index)
+                responses[key] = response
+                self._cache_store(key, response)
+
+        # Every requested prompt that did not trigger a model call — cached
+        # upfront or a duplicate of an earlier batch entry — counts as a hit.
+        for _ in range(len(prompts) - len(missing)):
+            self.stats.record_hit()
+        return [responses[key] for key in zip(prompts, effective)]
 
     def requery(self, prompt: str, attempt: int) -> str:
         """Re-query with permuted hyperparameters (remap-resample, Algorithm 3)."""

@@ -3,10 +3,12 @@
 The paper supplements both ArcheType and the baselines with simple rule-based
 label assignment: certain types (URLs, ISSNs, MD5 hashes, DBN codes, ...) are
 faster and more reliable to detect with a regex or lookup than with an LLM.
-Rules are applied *before* querying (if a column's values overwhelmingly match
-a rule, the rule's label is assigned directly and the LLM is skipped) and
-*after* querying (a rule can override an LLM answer when the evidence is
-unambiguous).  To conserve the zero-shot nature of the problem the paper
+Rules are applied *before* querying: if a column's values overwhelmingly match
+a rule, the rule's label is assigned directly and the LLM is skipped.  (A
+post-query pass would be redundant — rule matching is a deterministic function
+of the column, so any rule that could override an LLM answer would already
+have fired before the query.)  To conserve the zero-shot nature of the problem
+the paper
 limits rule development to two hours per dataset; the rule sets below have the
 same flavour — a handful of high-precision detectors per benchmark.
 """

@@ -6,12 +6,18 @@ object exposing ``annotate_column`` (the ArcheType pipeline, the C-/K-
 baselines, or the classical baselines through a small adapter), collects
 predictions and remap/rule statistics, and returns an
 :class:`EvaluationResult` that the per-table experiment modules format.
+
+Annotators that additionally expose ``annotate_columns`` (the batched
+ArcheType engine) are driven set-at-a-time: the runner hands them the whole
+evaluation split in ``batch_size`` chunks so prompt batching and the
+query cache can amortise model work.  The batched and sequential drives
+produce bit-identical predictions for the bundled annotators.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Protocol, Sequence
+from typing import Protocol, Sequence, runtime_checkable
 
 from repro.core.pipeline import AnnotationResult
 from repro.core.remapping import NULL_LABEL
@@ -30,6 +36,21 @@ class ColumnAnnotator(Protocol):
         table: Table | None = None,
         column_index: int | None = None,
     ) -> AnnotationResult:
+        ...  # pragma: no cover - protocol definition
+
+
+@runtime_checkable
+class BatchColumnAnnotator(Protocol):
+    """Anything that can annotate a set of columns in one call."""
+
+    def annotate_columns(
+        self,
+        columns: Sequence[Column],
+        table: Table | None = None,
+        column_indices: Sequence[int | None] | None = None,
+        tables: Sequence[Table | None] | None = None,
+        batch_size: int | None = None,
+    ) -> list[AnnotationResult]:
         ...  # pragma: no cover - protocol definition
 
 
@@ -68,9 +89,15 @@ class EvaluationResult:
 
 @dataclass
 class ExperimentRunner:
-    """Evaluate annotators over benchmarks."""
+    """Evaluate annotators over benchmarks.
+
+    ``batch_size`` controls the set-at-a-time drive for batch-capable
+    annotators: columns per ``annotate_columns`` call (``None`` = the whole
+    split at once, ``0`` = force the sequential column-at-a-time loop).
+    """
 
     keep_annotations: bool = False
+    batch_size: int | None = None
 
     def evaluate(
         self,
@@ -89,13 +116,15 @@ class ExperimentRunner:
         n_remapped = 0
         n_rule_applied = 0
         n_unmapped = 0
-        for bench_column in columns:
-            table = None
-            if bench_column.table_name is not None:
-                table = Table(columns=[bench_column.column], name=bench_column.table_name)
-            result = annotator.annotate_column(
-                bench_column.column, table=table, column_index=0
-            )
+        # annotate_columns itself honours batch_size=0 by falling back to the
+        # per-column loop, so batch-capable annotators always take this path.
+        use_batched = isinstance(annotator, BatchColumnAnnotator)
+        results = (
+            self._annotate_batched(annotator, columns)
+            if use_batched
+            else self._annotate_sequential(annotator, columns)
+        )
+        for bench_column, result in zip(columns, results, strict=True):
             truth.append(bench_column.label)
             predictions.append(result.label)
             n_remapped += int(result.remapped)
@@ -116,6 +145,44 @@ class ExperimentRunner:
             n_rule_applied=n_rule_applied,
             n_unmapped=n_unmapped,
             annotations=annotations,
+        )
+
+    @staticmethod
+    def _column_table(bench_column: BenchmarkColumn) -> Table | None:
+        if bench_column.table_name is None:
+            return None
+        return Table(columns=[bench_column.column], name=bench_column.table_name)
+
+    def _annotate_sequential(
+        self,
+        annotator: ColumnAnnotator,
+        columns: Sequence[BenchmarkColumn],
+    ) -> list[AnnotationResult]:
+        return [
+            annotator.annotate_column(
+                bench_column.column,
+                table=self._column_table(bench_column),
+                column_index=0,
+            )
+            for bench_column in columns
+        ]
+
+    def _annotate_batched(
+        self,
+        annotator: BatchColumnAnnotator,
+        columns: Sequence[BenchmarkColumn],
+    ) -> list[AnnotationResult]:
+        """Drive a batch-capable annotator set-at-a-time.
+
+        Each benchmark column carries its own single-column table context, so
+        the per-column ``tables`` form of ``annotate_columns`` is used (with
+        ``column_index=0`` everywhere, matching the sequential drive).
+        """
+        return annotator.annotate_columns(
+            [bench_column.column for bench_column in columns],
+            tables=[self._column_table(bench_column) for bench_column in columns],
+            column_indices=[0] * len(columns),
+            batch_size=self.batch_size,
         )
 
     def evaluate_predictions_only(

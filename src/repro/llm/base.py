@@ -1,8 +1,12 @@
 """Language-model interface shared by every backend.
 
-The ArcheType pipeline only ever interacts with a model through
-:meth:`LanguageModel.generate`: a prompt string goes in, a completion string
-comes out.  Generation hyperparameters (temperature, top-p, repetition
+The ArcheType pipeline interacts with a model through two entry points:
+:meth:`LanguageModel.generate` (one prompt in, one completion out) and
+:meth:`LanguageModel.generate_batch`, the set-at-a-time variant used by the
+batched annotation engine.  The base class provides a loop implementation of
+the batch path so every backend is batch-capable; the simulated backends
+override it with vectorized implementations that share parsing/embedding work
+across the batch.  Generation hyperparameters (temperature, top-p, repetition
 penalty) are carried in :class:`GenerationParams`; the remap-resample strategy
 (Algorithm 3) permutes them between retries via :meth:`GenerationParams.permuted`.
 """
@@ -11,6 +15,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, replace
+from typing import Sequence
 
 
 @dataclass(frozen=True)
@@ -51,6 +56,26 @@ class GenerationParams:
         )
 
 
+#: ``params`` accepted by the batch entry points: one set of parameters shared
+#: by the whole batch, one per prompt, or None for backend defaults.
+BatchParams = GenerationParams | Sequence["GenerationParams | None"] | None
+
+
+def broadcast_params(
+    prompts: Sequence[str],
+    params: GenerationParams | Sequence[GenerationParams | None] | None,
+) -> list[GenerationParams | None]:
+    """Expand a batch ``params`` argument to exactly one entry per prompt."""
+    if params is None or isinstance(params, GenerationParams):
+        return [params] * len(prompts)
+    expanded = list(params)
+    if len(expanded) != len(prompts):
+        raise ValueError(
+            f"got {len(expanded)} GenerationParams for {len(prompts)} prompts"
+        )
+    return expanded
+
+
 class LanguageModel(ABC):
     """Abstract LLM backend.
 
@@ -71,6 +96,25 @@ class LanguageModel(ABC):
     @abstractmethod
     def generate(self, prompt: str, params: GenerationParams | None = None) -> str:
         """Produce a completion for ``prompt``."""
+
+    def generate_batch(
+        self,
+        prompts: Sequence[str],
+        params: BatchParams = None,
+    ) -> list[str]:
+        """Produce one completion per prompt (set-at-a-time entry point).
+
+        ``params`` is either one :class:`GenerationParams` shared by every
+        prompt, a per-prompt sequence of the same length as ``prompts``, or
+        ``None`` (backend defaults).  The base implementation loops over
+        :meth:`generate`; vectorized backends override it but must stay
+        completion-for-completion identical to the loop, which is what keeps
+        batched annotation bit-identical to the sequential path.
+        """
+        return [
+            self.generate(prompt, prompt_params)
+            for prompt, prompt_params in zip(prompts, broadcast_params(prompts, params))
+        ]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} {self.name!r} ctx={self.context_window}>"

@@ -28,7 +28,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.llm.base import GenerationParams, LanguageModel
+from repro.llm.base import BatchParams, GenerationParams, LanguageModel, broadcast_params
 from repro.llm.embeddings import HashingEmbedder
 from repro.llm.profiles import ModelProfile, get_profile
 from repro.llm.prompt_parsing import parse_prompt
@@ -165,6 +165,64 @@ class FineTunedLLM(LanguageModel):
             # An un-fine-tuned model behaves like its zero-shot base.
             return self._zero_shot.generate(prompt, params)
         query = self.embedder.embed(self._training_view(prompt))
+        zs_guess = (
+            self._zero_shot.generate(prompt, params)
+            if self.blend_world_knowledge > 0.0 else None
+        )
+        return self._predict(prompt, params, query, zs_guess)
+
+    def generate_batch(
+        self,
+        prompts: Sequence[str],
+        params: BatchParams = None,
+    ) -> list[str]:
+        """Set-at-a-time :meth:`generate`, completion-for-completion identical.
+
+        The batch path shares work three ways: duplicate ``(prompt, params)``
+        pairs are answered once, each distinct prompt is parsed and embedded
+        once even when it recurs with permuted parameters, and the zero-shot
+        world-knowledge blend runs through the base simulator's own batched
+        path.  The prototype similarity reduction is kept as the exact
+        per-query ``prototypes @ query`` expression (rather than one fused
+        matmul) so completions stay bit-identical to the sequential path.
+        """
+        per_prompt = broadcast_params(prompts, params)
+        if not self._fitted or self._prototypes is None:
+            return self._zero_shot.generate_batch(prompts, per_prompt)
+        effective = [p or GenerationParams() for p in per_prompt]
+
+        queries: dict[str, np.ndarray] = {}
+        for prompt in prompts:
+            if prompt not in queries:
+                queries[prompt] = self.embedder.embed(self._training_view(prompt))
+
+        unique: list[tuple[str, GenerationParams]] = []
+        seen: set[tuple[str, GenerationParams]] = set()
+        for key in zip(prompts, effective):
+            if key not in seen:
+                seen.add(key)
+                unique.append(key)
+        if self.blend_world_knowledge > 0.0:
+            zs_guesses = self._zero_shot.generate_batch(
+                [prompt for prompt, _ in unique], [p for _, p in unique]
+            )
+        else:
+            zs_guesses = [None] * len(unique)
+
+        answers = {
+            key: self._predict(key[0], key[1], queries[key[0]], guess)
+            for key, guess in zip(unique, zs_guesses)
+        }
+        return [answers[key] for key in zip(prompts, effective)]
+
+    def _predict(
+        self,
+        prompt: str,
+        params: GenerationParams,
+        query: np.ndarray,
+        zs_guess: str | None,
+    ) -> str:
+        assert self._prototypes is not None
         similarities = self._prototypes @ query
         rng = np.random.default_rng(
             _stable_seed(self.name, prompt, params.temperature,
@@ -173,8 +231,7 @@ class FineTunedLLM(LanguageModel):
         # Blend in the zero-shot world-knowledge pass so the model is not a
         # pure memoriser: for prompts whose values the prototypes have never
         # seen, world knowledge still pulls towards the right concept family.
-        if self.blend_world_knowledge > 0.0:
-            zs_guess = self._zero_shot.generate(prompt, params)
+        if zs_guess is not None:
             for index, label in enumerate(self._labels):
                 if _loose_match(zs_guess, label):
                     similarities[index] += self.blend_world_knowledge

@@ -23,10 +23,11 @@ from __future__ import annotations
 import hashlib
 import math
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
-from repro.llm.base import GenerationParams, LanguageModel
+from repro.llm.base import BatchParams, GenerationParams, LanguageModel, broadcast_params
 from repro.llm.concepts import DEFAULT_RESOLVER, LabelResolver, label_tokens
 from repro.llm.knowledge import CONCEPTS, score_concept
 from repro.llm.profiles import ModelProfile, get_profile
@@ -226,8 +227,45 @@ class SimulatedLLM(LanguageModel):
 
     def generate(self, prompt: str, params: GenerationParams | None = None) -> str:
         """Answer a CTA prompt (see the module docstring for the procedure)."""
+        return self._generate_parsed(prompt, parse_prompt(prompt), params)
+
+    def generate_batch(
+        self,
+        prompts: Sequence[str],
+        params: BatchParams = None,
+    ) -> list[str]:
+        """Set-at-a-time :meth:`generate`, completion-for-completion identical.
+
+        Every completion is a pure function of ``(profile, prompt, params)``,
+        which makes two batch optimisations safe: duplicate ``(prompt,
+        params)`` pairs are answered once, and prompt parsing — the shared
+        prefix of every scoring pass, and the dominant non-RNG cost — is done
+        once per distinct prompt even when the same prompt appears with
+        different parameters (as remap-resample retries do).
+        """
+        per_prompt = broadcast_params(prompts, params)
+        parsed_cache: dict[str, ParsedPrompt] = {}
+        answers: dict[tuple[str, GenerationParams], str] = {}
+        out: list[str] = []
+        for prompt, prompt_params in zip(prompts, per_prompt):
+            effective = prompt_params or GenerationParams()
+            key = (prompt, effective)
+            if key not in answers:
+                parsed = parsed_cache.get(prompt)
+                if parsed is None:
+                    parsed = parse_prompt(prompt)
+                    parsed_cache[prompt] = parsed
+                answers[key] = self._generate_parsed(prompt, parsed, effective)
+            out.append(answers[key])
+        return out
+
+    def _generate_parsed(
+        self,
+        prompt: str,
+        parsed: ParsedPrompt,
+        params: GenerationParams | None,
+    ) -> str:
         params = params or GenerationParams()
-        parsed = parse_prompt(prompt)
         rng = self._rng(prompt, params)
 
         if not parsed.has_options:

@@ -1,0 +1,174 @@
+"""Equivalence and regression tests for the batched annotation engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import ArcheType, ArcheTypeConfig
+from repro.core.remapping import NULL_LABEL
+from repro.core.rules import SOTAB_27_RULES
+from repro.core.table import Column, Table
+from repro.datasets.registry import load_benchmark
+from repro.eval.runner import ExperimentRunner
+from repro.llm.base import GenerationParams, LanguageModel
+
+LABELS = ["state", "person", "url", "number", "text"]
+
+
+def _sotab_annotator(seed: int = 0, benchmark=None, **overrides) -> ArcheType:
+    benchmark = benchmark or load_benchmark("sotab-27", n_columns=100, seed=5)
+    config = ArcheTypeConfig(
+        model="gpt",
+        label_set=benchmark.label_set,
+        sample_size=5,
+        seed=seed,
+        **overrides,
+    )
+    return ArcheType(config)
+
+
+class TestAnnotateColumnsEquivalence:
+    def test_bit_identical_on_seeded_sotab_sample(self):
+        """Acceptance: batched == sequential on a seeded 100-column SOTAB sample."""
+        benchmark = load_benchmark("sotab-27", n_columns=100, seed=5)
+        columns = [bc.column for bc in benchmark.columns]
+
+        sequential = _sotab_annotator(benchmark=benchmark)
+        sequential_results = [sequential.annotate_column(c) for c in columns]
+
+        batched = _sotab_annotator(benchmark=benchmark)
+        batched_results = batched.annotate_columns(columns)
+
+        assert len(batched_results) == 100
+        for seq, bat in zip(sequential_results, batched_results):
+            assert bat.label == seq.label
+            assert bat.raw_response == seq.raw_response
+            assert bat.remapped == seq.remapped
+            assert bat.sampled_values == seq.sampled_values
+
+    @pytest.mark.parametrize("batch_size", [0, 1, 7, 100, None])
+    def test_chunking_does_not_change_labels(self, batch_size):
+        benchmark = load_benchmark("sotab-27", n_columns=40, seed=9)
+        columns = [bc.column for bc in benchmark.columns]
+        reference = [
+            r.label for r in _sotab_annotator(benchmark=benchmark).annotate_columns(columns)
+        ]
+        chunked = _sotab_annotator(benchmark=benchmark).annotate_columns(
+            columns, batch_size=batch_size
+        )
+        assert [r.label for r in chunked] == reference
+
+    def test_annotate_table_matches_per_column_loop(self, small_table):
+        sequential = ArcheType(ArcheTypeConfig(model="gpt", label_set=LABELS))
+        expected = [
+            sequential.annotate_column(column, table=small_table, column_index=index)
+            for index, column in enumerate(small_table.columns)
+        ]
+        batched = ArcheType(ArcheTypeConfig(model="gpt", label_set=LABELS))
+        results = batched.annotate_table(small_table)
+        assert [r.label for r in results] == [r.label for r in expected]
+        assert [r.raw_response for r in results] == [r.raw_response for r in expected]
+
+    def test_runner_batched_matches_sequential_drive(self):
+        benchmark = load_benchmark("d4-20", n_columns=60, seed=3)
+        batched = ExperimentRunner(batch_size=None).evaluate(
+            _sotab_annotator(benchmark=benchmark), benchmark, "batched"
+        )
+        sequential = ExperimentRunner(batch_size=0).evaluate(
+            _sotab_annotator(benchmark=benchmark), benchmark, "sequential"
+        )
+        assert batched.predictions == sequential.predictions
+        assert batched.weighted_f1_pct == sequential.weighted_f1_pct
+
+    def test_duplicate_columns_served_from_cache(self):
+        # first-k sampling is deterministic, so identical columns serialize to
+        # identical prompts and the second and third copies hit the cache.
+        column = Column(values=["Alaska", "Colorado", "Kentucky", "Nevada", "Texas"],
+                        name="state")
+        annotator = ArcheType(
+            ArcheTypeConfig(model="gpt", label_set=LABELS, sampler="firstk")
+        )
+        results = annotator.annotate_columns([column, column, column])
+        assert len({r.label for r in results}) == 1
+        assert annotator.cache_hit_count >= 2
+
+    def test_empty_and_rule_columns_interleaved(self):
+        empty = Column(values=["", "  "])
+        url = Column(values=["http://a.com/x", "http://b.org/y", "http://c.net/z"])
+        state = Column(values=["Alaska", "Colorado", "Kentucky", "Nevada", "Texas"])
+        annotator = ArcheType(
+            ArcheTypeConfig(model="gpt", label_set=LABELS, ruleset=SOTAB_27_RULES)
+        )
+        results = annotator.annotate_columns([empty, url, state])
+        assert results[0].label == NULL_LABEL
+        assert results[0].strategy == "empty-column"
+        assert results[1].label == "url"
+        assert results[1].rule_applied
+        assert results[2].label == "state"
+
+    def test_mismatched_tables_length_rejected(self):
+        from repro.exceptions import ConfigurationError
+
+        annotator = ArcheType(ArcheTypeConfig(model="gpt", label_set=LABELS))
+        with pytest.raises(ConfigurationError):
+            annotator.annotate_columns(
+                [Column(values=["a"])], tables=[None, None]
+            )
+
+    def test_negative_batch_size_rejected(self):
+        from repro.exceptions import ConfigurationError
+
+        annotator = ArcheType(ArcheTypeConfig(model="gpt", label_set=LABELS))
+        with pytest.raises(ConfigurationError):
+            annotator.annotate_columns([Column(values=["a"])], batch_size=-1)
+
+
+class ScriptedModel(LanguageModel):
+    """Deterministic test double returning a fixed sequence of answers."""
+
+    name = "scripted"
+    context_window = 2048
+
+    def __init__(self, answers: list[str]) -> None:
+        self.answers = list(answers)
+        self.prompts: list[str] = []
+
+    def generate(self, prompt: str, params: GenerationParams | None = None) -> str:
+        self.prompts.append(prompt)
+        if not self.answers:
+            return "state"
+        if len(self.answers) == 1:
+            return self.answers[0]
+        return self.answers.pop(0)
+
+
+class TestNoPostQueryRulePass:
+    """Regression for the dead post-query rule branch (removed).
+
+    RuleSet.apply is deterministic in the column, so a matching rule always
+    fires at stage 0 and skips the model; an unmapped LLM answer therefore
+    can never be rescued by rules, and ``rule_applied`` is True only for
+    stage-0 (pre-query) matches.
+    """
+
+    def test_unmapped_answer_stays_null_with_rules_enabled(self, state_column):
+        model = ScriptedModel(answers=["gibberish"])
+        annotator = ArcheType(
+            ArcheTypeConfig(model=model, label_set=LABELS,
+                            ruleset=SOTAB_27_RULES, remapper="none")
+        )
+        result = annotator.annotate_column(state_column)
+        assert result.label == NULL_LABEL
+        assert not result.rule_applied
+        assert model.prompts  # the model was queried: no rule matched
+
+    def test_rule_applied_only_from_stage_zero(self, url_column):
+        annotator = ArcheType(
+            ArcheTypeConfig(model=ScriptedModel(answers=["gibberish"]),
+                            label_set=LABELS, ruleset=SOTAB_27_RULES,
+                            remapper="none")
+        )
+        result = annotator.annotate_column(url_column)
+        assert result.label == "url"
+        assert result.rule_applied
+        assert result.strategy == "rule"

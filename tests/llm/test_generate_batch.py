@@ -1,0 +1,99 @@
+"""Batch generation must be completion-for-completion identical to the loop."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import ArcheType, ArcheTypeConfig
+from repro.core.serialization import PromptSerializer, PromptStyle
+from repro.llm.base import GenerationParams, LanguageModel, broadcast_params
+from repro.llm.finetune import FineTuneExample, FineTunedLLM
+from repro.llm.simulated import SimulatedLLM
+
+LABELS = ["state", "person", "url", "number", "text"]
+
+SAMPLES = [
+    ("Alaska", "Colorado", "Kentucky", "Nevada", "Texas"),
+    ("http://a.com/x", "http://b.org/y", "http://c.net/z"),
+    ("550", "608", "600", "520", "595"),
+    ("Alice Smith", "Bob Jones", "Carol White"),
+]
+
+
+def _prompts() -> list[str]:
+    serializer = PromptSerializer(style=PromptStyle.S, context_window=2048)
+    return [serializer.serialize(list(values), LABELS).text for values in SAMPLES]
+
+
+class TestBroadcastParams:
+    def test_none_broadcasts(self):
+        assert broadcast_params(["a", "b"], None) == [None, None]
+
+    def test_single_params_broadcasts(self):
+        params = GenerationParams(temperature=0.7)
+        assert broadcast_params(["a", "b"], params) == [params, params]
+
+    def test_sequence_passes_through(self):
+        per_prompt = [GenerationParams(), None]
+        assert broadcast_params(["a", "b"], per_prompt) == per_prompt
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            broadcast_params(["a"], [GenerationParams(), GenerationParams()])
+
+
+class TestDefaultLoopImplementation:
+    def test_base_class_loops_generate(self):
+        class Upper(LanguageModel):
+            name = "upper"
+
+            def generate(self, prompt, params=None):
+                return prompt.upper()
+
+        model = Upper()
+        assert model.generate_batch(["ab", "cd"]) == ["AB", "CD"]
+
+
+class TestSimulatedBatch:
+    def test_batch_matches_loop(self):
+        prompts = _prompts()
+        model = SimulatedLLM("gpt-3.5", seed=3)
+        loop = [model.generate(p) for p in prompts]
+        assert model.generate_batch(prompts) == loop
+
+    def test_batch_with_duplicates_and_params(self):
+        prompts = _prompts()
+        doubled = prompts + prompts
+        params = [GenerationParams().permuted(k % 3) for k in range(len(doubled))]
+        model = SimulatedLLM("t5", seed=1)
+        loop = [model.generate(p, pp) for p, pp in zip(doubled, params)]
+        assert model.generate_batch(doubled, params) == loop
+
+
+class TestFineTunedBatch:
+    def _fitted_model(self) -> FineTunedLLM:
+        model = FineTunedLLM(seed=2)
+        serializer = PromptSerializer(style=PromptStyle.FINETUNED, context_window=2048)
+        examples = [
+            FineTuneExample(prompt=serializer.serialize(list(values), []).text, label=label)
+            for values, label in zip(SAMPLES, ["state", "url", "number", "person"])
+        ]
+        model.fit(examples)
+        return model
+
+    def test_unfitted_batch_delegates_to_zero_shot(self):
+        prompts = _prompts()
+        model = FineTunedLLM(seed=4)
+        assert model.generate_batch(prompts) == [model.generate(p) for p in prompts]
+
+    def test_fitted_batch_matches_loop(self):
+        prompts = _prompts()
+        model = self._fitted_model()
+        loop = [model.generate(p) for p in prompts]
+        assert model.generate_batch(prompts) == loop
+
+    def test_fitted_batch_with_duplicates(self):
+        prompts = _prompts() * 3
+        model = self._fitted_model()
+        loop = [model.generate(p) for p in prompts]
+        assert model.generate_batch(prompts) == loop
