@@ -27,16 +27,31 @@ if _HERE not in sys.path:
     sys.path.insert(0, _HERE)
 
 
+#: Evaluation-split size under ``--quick`` (CI smoke runs).
+QUICK_COLUMNS = 40
+
+
 def pytest_addoption(parser: pytest.Parser) -> None:
     parser.addoption(
         "--bench-columns",
         action="store",
         type=int,
-        default=100,
-        help="evaluation columns per benchmark dataset (default 100)",
+        default=None,
+        help="evaluation columns per benchmark dataset (default 100, "
+             f"{QUICK_COLUMNS} under --quick)",
+    )
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help="smoke mode: shrink benchmark workloads so executor regressions "
+             "fail fast in CI (wall-clock assertions stay local-only)",
     )
 
 
 @pytest.fixture(scope="session")
 def bench_columns(request: pytest.FixtureRequest) -> int:
-    return int(request.config.getoption("--bench-columns"))
+    explicit = request.config.getoption("--bench-columns")
+    if explicit is not None:
+        return int(explicit)
+    return QUICK_COLUMNS if request.config.getoption("--quick") else 100

@@ -1,4 +1,4 @@
-"""Benchmark: batched + cached annotation vs. the sequential per-column loop.
+"""Benchmark: batched/concurrent annotation vs. the sequential per-column loop.
 
 The workload replays a SOTAB-sized evaluation split twice — the shape of
 resampled / repeated-column traffic across experiments — with deterministic
@@ -6,7 +6,9 @@ first-k sampling so repeated columns serialize to identical prompts.  The
 sequential side annotates column-at-a-time with the query cache disabled (the
 seed repo's execution model); the batched side uses ``annotate_columns`` with
 the (prompt, params) LRU cache, so the replayed half is served without
-touching the model and duplicates within a batch are answered once.
+touching the model and duplicates within a batch are answered once; the
+concurrent side adds the thread-pool fan-out executor on top of the same
+cache, so the surviving unique prompts are generated in parallel.
 """
 
 from __future__ import annotations
@@ -73,3 +75,48 @@ def test_batched_cached_beats_sequential(benchmark, bench_columns):
     # model-call halving above.
     if not os.environ.get("CI"):
         assert info["speedup"] > 1.0, info
+
+
+def test_concurrent_executor_beats_sequential(benchmark, bench_columns):
+    """Acceptance (ISSUE 2): concurrent >= 1.5x sequential on the replay."""
+    data = load_benchmark("sotab-27", n_columns=bench_columns, seed=11)
+    split = [bench_column.column for bench_column in data.columns]
+    workload = split + split  # replayed split: repeated traffic
+
+    def compare() -> dict[str, float]:
+        sequential = _make_annotator(data.label_set, cache_size=0)
+        start = perf_counter()
+        sequential_results = [sequential.annotate_column(c) for c in workload]
+        sequential_seconds = perf_counter() - start
+
+        concurrent = _make_annotator(data.label_set, cache_size=4096)
+        start = perf_counter()
+        concurrent_results = concurrent.annotate_columns(
+            workload, executor="concurrent", workers=4
+        )
+        concurrent_seconds = perf_counter() - start
+
+        assert [r.label for r in concurrent_results] == [
+            r.label for r in sequential_results
+        ]
+        return {
+            "sequential_seconds": sequential_seconds,
+            "concurrent_seconds": concurrent_seconds,
+            "speedup": sequential_seconds / concurrent_seconds,
+            "model_calls_sequential": sequential.query_count,
+            "model_calls_concurrent": concurrent.query_count,
+            "cache_hits_concurrent": concurrent.cache_hit_count,
+        }
+
+    info = run_once(benchmark, compare)
+    benchmark.extra_info.update(info)
+
+    # Deduplication against the cache halves the model calls deterministically;
+    # the fan-out then overlaps the remaining generation work.
+    assert info["model_calls_concurrent"] <= info["model_calls_sequential"] / 2
+    assert info["cache_hits_concurrent"] >= len(split)
+    # Wall-clock gate (the ISSUE 2 acceptance bar) runs locally and only at
+    # representative scale — small --quick/--bench-columns workloads are
+    # noise-dominated; CI relies on the deterministic call halving above.
+    if not os.environ.get("CI") and bench_columns >= 100:
+        assert info["speedup"] >= 1.5, info

@@ -24,12 +24,14 @@ from pathlib import Path
 from typing import Sequence
 
 from repro.baselines.llm_baselines import get_zero_shot_method
+from repro.core.executor import EXECUTOR_NAMES
 from repro.core.pipeline import ArcheType, ArcheTypeConfig
 from repro.core.serialization import PromptStyle
 from repro.core.table import Table
 from repro.datasets.registry import BENCHMARK_NAMES, load_benchmark
-from repro.eval.reporting import format_table
+from repro.eval.reporting import format_stage_stats, format_table
 from repro.eval.runner import ExperimentRunner
+from repro.exceptions import ConfigurationError
 from repro.llm.registry import list_models
 
 
@@ -73,7 +75,12 @@ def _annotate_command(args: argparse.Namespace) -> int:
             seed=args.seed,
         )
     )
-    results = annotator.annotate_table(table, batch_size=args.batch_size)
+    results = annotator.annotate_table(
+        table,
+        batch_size=args.batch_size,
+        executor=args.executor,
+        workers=args.workers,
+    )
     rows = []
     for index, result in enumerate(results):
         column = table[index]
@@ -86,6 +93,9 @@ def _annotate_command(args: argparse.Namespace) -> int:
             }
         )
     print(format_table(rows, title=f"{path.name}: {len(table)} columns, model={args.model}"))
+    if args.stats:
+        print()
+        print(format_stage_stats(annotator.pipeline_stats.snapshot()))
     return 0
 
 
@@ -99,11 +109,19 @@ def _evaluate_command(args: argparse.Namespace) -> int:
         use_rules=args.rules,
         seed=args.seed,
     )
-    result = ExperimentRunner(batch_size=args.batch_size).evaluate(
+    runner = ExperimentRunner(
+        batch_size=args.batch_size,
+        executor=args.executor,
+        workers=args.workers,
+    )
+    result = runner.evaluate(
         annotator, benchmark, f"{args.method}-{args.model}{'+' if args.rules else ''}"
     )
     print(format_table([result.summary_row()],
                        title=f"{args.benchmark}: {args.columns} columns"))
+    if args.stats and result.pipeline_stats:
+        print()
+        print(format_stage_stats(result.pipeline_stats))
     if args.per_class:
         rows = [
             {"class": label, "accuracy": round(accuracy, 2)}
@@ -119,6 +137,29 @@ def _batch_size(value: str) -> int:
     if parsed < 0:
         raise argparse.ArgumentTypeError("--batch-size must be >= 0")
     return parsed
+
+
+def _positive_int(value: str) -> int:
+    parsed = int(value)
+    if parsed <= 0:
+        raise argparse.ArgumentTypeError("--workers must be > 0")
+    return parsed
+
+
+def _add_execution_arguments(parser: argparse.ArgumentParser, default_note: str) -> None:
+    """The shared execution knobs: --batch-size, --executor, --workers, --stats."""
+    parser.add_argument("--batch-size", type=_batch_size, default=None,
+                        help=f"columns per batched LLM query (default: "
+                             f"{default_note}; 0 forces the sequential "
+                             "per-column loop)")
+    parser.add_argument("--executor", default=None, choices=list(EXECUTOR_NAMES),
+                        help="execution strategy for the query stage (default: "
+                             "batched, or sequential when --batch-size=0)")
+    parser.add_argument("--workers", type=_positive_int, default=None,
+                        help="thread-pool width for --executor concurrent (default 4)")
+    parser.add_argument("--stats", action="store_true",
+                        help="print per-stage pipeline stats (wall time, calls, "
+                             "cache hits)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -145,9 +186,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="the CSV file has no header row")
     annotate.add_argument("--max-rows", type=int, default=None)
     annotate.add_argument("--seed", type=int, default=0)
-    annotate.add_argument("--batch-size", type=_batch_size, default=None,
-                          help="columns per batched LLM query (default: the whole "
-                               "table; 0 forces the sequential per-column loop)")
+    _add_execution_arguments(annotate, default_note="the whole table at once")
     annotate.set_defaults(func=_annotate_command)
 
     evaluate = subparsers.add_parser(
@@ -163,9 +202,8 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--rules", action="store_true", help="enable rule-based remapping")
     evaluate.add_argument("--per-class", action="store_true")
     evaluate.add_argument("--seed", type=int, default=0)
-    evaluate.add_argument("--batch-size", type=_batch_size, default=None,
-                          help="columns per batched LLM query (default: the whole "
-                               "split; 0 forces the sequential per-column loop)")
+    _add_execution_arguments(evaluate,
+                             default_note="the split streams in 64-column chunks")
     evaluate.set_defaults(func=_evaluate_command)
     return parser
 
@@ -174,7 +212,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return int(args.func(args))
+    try:
+        return int(args.func(args))
+    except ConfigurationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -9,10 +9,22 @@ Submodules map one-to-one onto the stages in Figure 1 of the paper:
 * :mod:`repro.core.querying` — model querying.
 * :mod:`repro.core.remapping` — label remapping (Algorithms 3 and 4).
 * :mod:`repro.core.rules` — rule-based label remapping (the "+" variants).
+* :mod:`repro.core.plan` — the logical half of annotation: per-column
+  ``ColumnPlan`` building plus per-stage instrumentation.
+* :mod:`repro.core.executor` — the physical half: sequential, batched and
+  concurrent plan executors.
 * :mod:`repro.core.pipeline` — the end-to-end ``ArcheType`` annotator.
 """
 
+from repro.core.executor import (
+    BatchedExecutor,
+    ConcurrentExecutor,
+    Executor,
+    SequentialExecutor,
+    get_executor,
+)
 from repro.core.pipeline import AnnotationResult, ArcheType, ArcheTypeConfig
+from repro.core.plan import ColumnPlan, ColumnPlanner, PipelineStats
 from repro.core.sampling import (
     ArcheTypeSampler,
     FirstKSampler,
@@ -28,12 +40,20 @@ __all__ = [
     "ArcheType",
     "ArcheTypeConfig",
     "ArcheTypeSampler",
+    "BatchedExecutor",
     "Column",
+    "ColumnPlan",
+    "ColumnPlanner",
+    "ConcurrentExecutor",
+    "Executor",
     "FirstKSampler",
+    "PipelineStats",
     "PromptSerializer",
     "PromptStyle",
+    "SequentialExecutor",
     "SimpleRandomSampler",
     "Table",
+    "get_executor",
     "get_remapper",
     "get_sampler",
 ]

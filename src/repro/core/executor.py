@@ -1,0 +1,333 @@
+"""Plan execution: the physical half of the plan/execute split.
+
+:mod:`repro.core.plan` decides *what* model work each column needs; this
+module decides *how* that work is carried out.  Executors consume a sequence
+of :class:`repro.core.plan.ColumnPlan` objects and return one
+:class:`repro.core.plan.AnnotationResult` per plan, in plan-position order:
+
+* :class:`SequentialExecutor` — one ``QueryEngine.query`` call per pending
+  plan, bit-identical to the historical column-at-a-time loop;
+* :class:`BatchedExecutor` — pending prompts issued through
+  :meth:`repro.core.querying.QueryEngine.query_batch` in chunks, amortising
+  model-side work and cache lookups (the historical set-at-a-time path);
+* :class:`ConcurrentExecutor` — pending prompts deduplicated against the
+  engine cache, with the cache misses fanned out across a thread pool of
+  worker engines (:meth:`QueryEngine.query_batch_fanout`) and reassembled
+  deterministically.
+
+All three produce identical labels for the pure bundled backends; they differ
+only in wall-clock and in how many times the model is consulted.  Stage 4
+(label remapping, with optional resample requeries) always runs on the main
+thread, in plan order, through the main engine — which is what keeps even the
+concurrent path deterministic.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.plan import (
+    STAGE_QUERY,
+    STAGE_REMAP,
+    AnnotationResult,
+    ColumnPlan,
+    PipelineStats,
+)
+from repro.core.querying import QueryEngine
+from repro.core.remapping import Remapper
+from repro.exceptions import ConfigurationError
+
+
+def execute_plan(
+    plan: ColumnPlan,
+    engine: QueryEngine,
+    remapper: Remapper,
+    stats: PipelineStats,
+) -> AnnotationResult:
+    """Run the execution stages (query + remap) for one plan."""
+    if plan.result is not None:
+        return plan.result
+    prompt = plan.prompt
+    assert prompt is not None  # ColumnPlan invariant
+    hits_before = engine.stats.n_cache_hits
+    with stats.timed(STAGE_QUERY):
+        response = engine.query(prompt.text)
+    stats.stage(STAGE_QUERY).cache_hits += engine.stats.n_cache_hits - hits_before
+    return _remap_response(plan, response, engine, remapper, stats)
+
+
+def _remap_response(
+    plan: ColumnPlan,
+    response: str,
+    engine: QueryEngine,
+    remapper: Remapper,
+    stats: PipelineStats,
+) -> AnnotationResult:
+    """Run stage 4 (label remapping, with resample requeries) for one plan."""
+    prompt = plan.prompt
+    assert prompt is not None
+    hits_before = engine.stats.n_cache_hits
+    with stats.timed(STAGE_REMAP):
+        requery = lambda attempt: engine.requery(prompt.text, attempt)
+        remap = remapper.remap(response, list(prompt.label_set), requery)
+    stats.stage(STAGE_REMAP).cache_hits += engine.stats.n_cache_hits - hits_before
+    return AnnotationResult(
+        label=remap.label,
+        raw_response=response,
+        prompt=prompt,
+        remapped=remap.remapped,
+        rule_applied=False,
+        strategy=remapper.name,
+        sampled_values=plan.sampled_values,
+    )
+
+
+def _assemble(
+    plans: Sequence[ColumnPlan], produced: dict[int, AnnotationResult]
+) -> list[AnnotationResult]:
+    """Order results by plan position, verifying every plan was answered."""
+    results: list[AnnotationResult] = []
+    for plan in sorted(plans, key=lambda p: p.position):
+        if plan.position not in produced:
+            raise RuntimeError(
+                f"execution left plan position {plan.position} without a result"
+            )
+        results.append(produced[plan.position])
+    return results
+
+
+class Executor(ABC):
+    """Strategy for carrying out the execution stages over a set of plans."""
+
+    name: str = "base"
+
+    @abstractmethod
+    def execute(
+        self,
+        plans: Sequence[ColumnPlan],
+        engine: QueryEngine,
+        remapper: Remapper,
+        stats: PipelineStats,
+    ) -> list[AnnotationResult]:
+        """Return one result per plan, ordered by plan position."""
+
+
+class SequentialExecutor(Executor):
+    """Column-at-a-time execution: one engine query per pending plan."""
+
+    name = "sequential"
+
+    def execute(
+        self,
+        plans: Sequence[ColumnPlan],
+        engine: QueryEngine,
+        remapper: Remapper,
+        stats: PipelineStats,
+    ) -> list[AnnotationResult]:
+        produced = {
+            plan.position: execute_plan(plan, engine, remapper, stats)
+            for plan in plans
+        }
+        return _assemble(plans, produced)
+
+
+@dataclass
+class BatchedExecutor(Executor):
+    """Set-at-a-time execution through the engine's batched query path.
+
+    Pending prompts are issued through :meth:`QueryEngine.query_batch` in
+    chunks of ``batch_size`` (all at once when ``None``), deduplicated and
+    cached by the engine; remapping then runs per plan, in plan order.
+    """
+
+    batch_size: int | None = None
+    name = "batched"
+
+    def __post_init__(self) -> None:
+        if self.batch_size is not None and self.batch_size <= 0:
+            raise ConfigurationError("BatchedExecutor batch_size must be None or > 0")
+
+    def execute(
+        self,
+        plans: Sequence[ColumnPlan],
+        engine: QueryEngine,
+        remapper: Remapper,
+        stats: PipelineStats,
+    ) -> list[AnnotationResult]:
+        produced: dict[int, AnnotationResult] = {}
+        pending: list[ColumnPlan] = []
+        for plan in plans:
+            if plan.result is not None:
+                produced[plan.position] = plan.result
+            else:
+                pending.append(plan)
+
+        prompts = [plan.prompt.text for plan in pending]  # type: ignore[union-attr]
+        chunk = self.batch_size if self.batch_size is not None else len(prompts)
+        responses: list[str] = []
+        for start in range(0, len(prompts), max(chunk, 1)):
+            chunk_prompts = prompts[start:start + chunk]
+            hits_before = engine.stats.n_cache_hits
+            with stats.timed(STAGE_QUERY, calls=len(chunk_prompts)):
+                responses.extend(engine.query_batch(chunk_prompts))
+            stats.stage(STAGE_QUERY).cache_hits += (
+                engine.stats.n_cache_hits - hits_before
+            )
+
+        # strict=: a miscounting backend must fail loudly, not silently drop
+        # the tail of the column set.
+        for plan, response in zip(pending, responses, strict=True):
+            produced[plan.position] = _remap_response(
+                plan, response, engine, remapper, stats
+            )
+        return _assemble(plans, produced)
+
+
+@dataclass
+class ConcurrentExecutor(Executor):
+    """Fan pending prompts across a thread pool of worker engines.
+
+    The engine deduplicates the pending prompts against its cache, splits the
+    misses into contiguous chunks, and hands each chunk to a worker
+    :class:`QueryEngine` over a :meth:`LanguageModel.clone_for_worker` model
+    clone.  Responses are reassembled in first-occurrence order, so the
+    results — and the engine's cache/stat bookkeeping — are identical to the
+    batched path for the pure bundled backends.  Remapping (stage 4) runs on
+    the main thread in plan order.
+
+    ``chunk_size`` fixes the per-worker-task chunk; by default the misses are
+    split evenly across ``workers``.
+    """
+
+    workers: int = 4
+    chunk_size: int | None = None
+    name = "concurrent"
+
+    def __post_init__(self) -> None:
+        if self.workers <= 0:
+            raise ConfigurationError("ConcurrentExecutor workers must be > 0")
+        if self.chunk_size is not None and self.chunk_size <= 0:
+            raise ConfigurationError(
+                "ConcurrentExecutor chunk_size must be None or > 0"
+            )
+
+    def execute(
+        self,
+        plans: Sequence[ColumnPlan],
+        engine: QueryEngine,
+        remapper: Remapper,
+        stats: PipelineStats,
+    ) -> list[AnnotationResult]:
+        produced: dict[int, AnnotationResult] = {}
+        pending: list[ColumnPlan] = []
+        for plan in plans:
+            if plan.result is not None:
+                produced[plan.position] = plan.result
+            else:
+                pending.append(plan)
+
+        prompts = [plan.prompt.text for plan in pending]  # type: ignore[union-attr]
+        responses: list[str] = []
+        if prompts:
+            hits_before = engine.stats.n_cache_hits
+            with stats.timed(STAGE_QUERY, calls=len(prompts)):
+                responses = engine.query_batch_fanout(
+                    prompts, workers=self.workers, chunk_size=self.chunk_size
+                )
+            stats.stage(STAGE_QUERY).cache_hits += (
+                engine.stats.n_cache_hits - hits_before
+            )
+
+        for plan, response in zip(pending, responses, strict=True):
+            produced[plan.position] = _remap_response(
+                plan, response, engine, remapper, stats
+            )
+        return _assemble(plans, produced)
+
+
+#: Executor names accepted by :func:`get_executor` (and the ``--executor``
+#: CLI knob).
+EXECUTOR_NAMES: tuple[str, ...] = ("sequential", "batched", "concurrent")
+
+
+def get_executor(
+    name: str,
+    batch_size: int | None = None,
+    workers: int | None = None,
+) -> Executor:
+    """Construct an executor by name.
+
+    ``batch_size`` parameterises the batched executor (and the concurrent
+    executor's per-worker chunk); ``workers`` sets the concurrent thread-pool
+    width.  A knob the named executor cannot honour — ``workers`` without
+    ``concurrent``, a chunk for ``sequential``, or the ``batch_size=0``
+    force-sequential sentinel with a non-sequential executor — is an error
+    rather than a silently ignored request.
+    """
+    key = name.strip().lower()
+    if key != "sequential" and batch_size == 0:
+        raise ConfigurationError(
+            "batch_size=0 forces the sequential per-column loop and "
+            f"conflicts with executor={name!r}"
+        )
+    if key == "concurrent":
+        return ConcurrentExecutor(
+            workers=workers if workers is not None else 4,
+            chunk_size=batch_size,
+        )
+    if workers is not None:
+        raise ConfigurationError(
+            f"workers={workers} requires the concurrent executor, got {name!r}"
+        )
+    if key == "sequential":
+        if batch_size:
+            raise ConfigurationError(
+                f"batch_size={batch_size} has no effect with the sequential "
+                "executor"
+            )
+        return SequentialExecutor()
+    if key == "batched":
+        return BatchedExecutor(batch_size=batch_size)
+    raise ConfigurationError(
+        f"unknown executor {name!r}; choose from {EXECUTOR_NAMES}"
+    )
+
+
+def resolve_executor(
+    executor: "Executor | str | None",
+    batch_size: int | None = None,
+    workers: int | None = None,
+) -> Executor:
+    """Normalise the ``executor`` argument accepted by the annotation APIs.
+
+    ``None`` preserves the historical ``batch_size`` semantics: ``0`` forces
+    the sequential column-at-a-time loop, anything else selects the batched
+    path with that chunk size.  A knob the explicit selection cannot honour
+    (``workers`` without a concurrent executor, ``batch_size`` alongside an
+    already-configured ``Executor`` instance) is an error rather than a
+    silently ignored request.
+    """
+    if isinstance(executor, str):
+        return get_executor(executor, batch_size=batch_size, workers=workers)
+    if workers is not None and not isinstance(executor, ConcurrentExecutor):
+        raise ConfigurationError(
+            f"workers={workers} requires the concurrent executor, "
+            f"got {executor!r}"
+        )
+    if isinstance(executor, Executor):
+        if batch_size is not None:
+            raise ConfigurationError(
+                f"batch_size={batch_size} cannot be combined with an "
+                "executor instance; configure the executor's own chunking "
+                "instead"
+            )
+        return executor
+    if executor is not None:
+        raise ConfigurationError(
+            f"executor must be an Executor, a name, or None; got {executor!r}"
+        )
+    if batch_size == 0:
+        return SequentialExecutor()
+    return BatchedExecutor(batch_size=batch_size or None)

@@ -4,19 +4,30 @@
 sampling, prompt serialization, model querying and label remapping — plus the
 optional rule-based remapping that produces the paper's "+" variants.
 
-Two execution modes share the same stages:
+Since the plan/execute refactor the stages live in exactly two places:
 
-* **column-at-a-time** — :meth:`ArcheType.annotate_column` runs all four
-  stages for one column;
-* **set-at-a-time** — :meth:`ArcheType.annotate_columns` runs sampling and
-  serialization for every column first, issues the surviving prompts as one
-  batched (and cached) query through :meth:`QueryEngine.query_batch`, then
-  remaps each response.  Per-column work is ordered exactly as the sequential
-  path orders it, and context sampling is the only consumer of the annotator's
-  RNG, so both modes draw the same random streams and produce bit-identical
-  labels; the batched mode simply amortises model-side work and skips
-  duplicate prompts.  :meth:`ArcheType.annotate_table` is a thin wrapper over
-  the batched mode.
+* :class:`repro.core.plan.ColumnPlanner` builds an immutable
+  :class:`repro.core.plan.ColumnPlan` per column (sample → rule
+  short-circuit → features → serialized prompt);
+* a pluggable :class:`repro.core.executor.Executor` carries out the pending
+  query + remap work — sequentially, batched through the cached engine, or
+  fanned across a thread pool of worker engines.
+
+Every public entry point is a thin wrapper over that split:
+
+* :meth:`ArcheType.annotate_column` — plan one column, execute sequentially;
+* :meth:`ArcheType.annotate_columns` — plan a column set in order, execute
+  with the selected executor (``batch_size=0`` keeps the historical
+  column-at-a-time escape hatch for stateful models);
+* :meth:`ArcheType.annotate_stream` — plan/execute chunk-at-a-time, yielding
+  results as each chunk completes, with O(chunk) memory;
+* :meth:`ArcheType.annotate_table` — the batched mode over a table's columns.
+
+Planning is sequential and RNG-ordered (context sampling is the only consumer
+of the annotator's RNG), so the sequential and batched executors produce
+bit-identical labels, and the concurrent executor produces the same labels for
+the (pure) bundled backends.  Per-stage wall time, call counts and cache hits
+are accumulated in :attr:`ArcheType.stats`.
 
 Typical usage::
 
@@ -34,20 +45,28 @@ Typical usage::
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Sequence
+from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
-from repro.core.features import FeatureConfig, build_feature_strings
+from repro.core.executor import Executor, execute_plan, resolve_executor
+from repro.core.features import FeatureConfig
+from repro.core.plan import AnnotationResult, ColumnPlan, ColumnPlanner, PipelineStats
 from repro.core.querying import QueryEngine
-from repro.core.remapping import NULL_LABEL, Remapper, get_remapper
+from repro.core.remapping import Remapper, get_remapper
 from repro.core.rules import RuleSet
 from repro.core.sampling import ContextSampler, get_sampler
-from repro.core.serialization import PromptSerializer, PromptStyle, SerializedPrompt
+from repro.core.serialization import PromptSerializer, PromptStyle
 from repro.core.table import Column, Table
-from repro.exceptions import ConfigurationError, EmptyColumnError
+from repro.exceptions import ConfigurationError
 from repro.llm.base import GenerationParams, LanguageModel
 from repro.llm.registry import get_model
+
+__all__ = [
+    "AnnotationResult",
+    "ArcheType",
+    "ArcheTypeConfig",
+]
 
 
 @dataclass(frozen=True)
@@ -95,23 +114,6 @@ class ArcheTypeConfig:
         return replace(self, **changes)  # type: ignore[arg-type]
 
 
-@dataclass(frozen=True)
-class AnnotationResult:
-    """The annotation produced for one column."""
-
-    label: str
-    raw_response: str
-    prompt: SerializedPrompt | None
-    remapped: bool
-    rule_applied: bool
-    strategy: str
-    sampled_values: tuple[str, ...] = ()
-
-    @property
-    def recovered(self) -> bool:
-        return self.label != NULL_LABEL
-
-
 class ArcheType:
     """Four-stage LLM column type annotator (Figure 1)."""
 
@@ -149,7 +151,55 @@ class ArcheType:
             params=config.generation,
             cache_size=config.query_cache_size,
         )
+        self.stats = PipelineStats()
+        self.planner = ColumnPlanner(
+            sampler=self.sampler,
+            sample_size=config.sample_size,
+            serializer=self.serializer,
+            label_set=self.label_set,
+            features=config.features,
+            ruleset=config.ruleset,
+            stats=self.stats,
+        )
         self._rng = np.random.default_rng(config.seed)
+
+    # ------------------------------------------------------------ planning
+    def plan_column(
+        self,
+        column: Column,
+        table: Table | None = None,
+        column_index: int | None = None,
+        position: int = 0,
+    ) -> ColumnPlan:
+        """Build the :class:`ColumnPlan` for one column.
+
+        Consumes the annotator's RNG exactly as annotation would, so plan and
+        annotate calls are interchangeable in the random stream.
+        """
+        return self.planner.plan(
+            column,
+            self._rng,
+            table=table,
+            column_index=column_index,
+            position=position,
+        )
+
+    def _plan_set(
+        self,
+        columns: Sequence[Column],
+        per_column_tables: Sequence[Table | None],
+        indices: Sequence[int | None],
+    ) -> list[ColumnPlan]:
+        """Plan a column set in column order (preserving the RNG stream)."""
+        return [
+            self.plan_column(
+                column,
+                table=per_column_tables[position],
+                column_index=indices[position],
+                position=position,
+            )
+            for position, column in enumerate(columns)
+        ]
 
     # ------------------------------------------------------------------ api
     def annotate_column(
@@ -159,67 +209,8 @@ class ArcheType:
         column_index: int | None = None,
     ) -> AnnotationResult:
         """Annotate one column with a label from the configured label set."""
-        # Stage 1: context sampling.  Sampling happens before the rule check
-        # so that enabling rules does not perturb the random stream used for
-        # the remaining columns — the "+" and plain variants of an experiment
-        # then differ only on rule-covered columns.
-        try:
-            sample = self.sampler.sample(column, self.config.sample_size, self._rng)
-        except EmptyColumnError:
-            return AnnotationResult(
-                label=NULL_LABEL,
-                raw_response="",
-                prompt=None,
-                remapped=False,
-                rule_applied=False,
-                strategy="empty-column",
-            )
-
-        # Stage 0 (optional): rule-based assignment before querying.  A match
-        # answers the column directly and skips the LLM entirely.
-        if self.config.ruleset is not None:
-            rule_label = self.config.ruleset.apply(column, self.label_set)
-            if rule_label is not None:
-                return AnnotationResult(
-                    label=rule_label,
-                    raw_response=rule_label,
-                    prompt=None,
-                    remapped=False,
-                    rule_applied=True,
-                    strategy="rule",
-                    sampled_values=tuple(sample.values),
-                )
-        context_strings = build_feature_strings(
-            sample.values,
-            self.config.features,
-            table=table,
-            column_index=column_index,
-            column=column,
-        )
-
-        # Stage 2: prompt serialization.
-        prompt = self.serializer.serialize(context_strings, self.label_set)
-
-        # Stage 3: model querying.
-        response = self.engine.query(prompt.text)
-
-        # Stage 4: label remapping (with optional resampling requeries).
-        # There is deliberately no post-query rule pass: RuleSet.apply is a
-        # deterministic function of the column, so any rule that could rescue
-        # a NULL_LABEL here would already have matched at stage 0 and returned
-        # before the model was queried.
-        requery = lambda attempt: self.engine.requery(prompt.text, attempt)
-        remap = self.remapper.remap(response, list(prompt.label_set), requery)
-
-        return AnnotationResult(
-            label=remap.label,
-            raw_response=response,
-            prompt=prompt,
-            remapped=remap.remapped,
-            rule_applied=False,
-            strategy=self.remapper.name,
-            sampled_values=tuple(sample.values),
-        )
+        plan = self.plan_column(column, table=table, column_index=column_index)
+        return execute_plan(plan, self.engine, self.remapper, self.stats)
 
     def annotate_columns(
         self,
@@ -228,17 +219,27 @@ class ArcheType:
         column_indices: Sequence[int | None] | None = None,
         tables: Sequence[Table | None] | None = None,
         batch_size: int | None = None,
+        executor: Executor | str | None = None,
+        workers: int | None = None,
     ) -> list[AnnotationResult]:
-        """Annotate a set of columns with one batched query per chunk.
+        """Annotate a set of columns through the plan/execute pipeline.
 
-        Stages 1-2 (sampling, rules, serialization) run for every column
-        first, in column order; the surviving prompts are then issued through
-        :meth:`QueryEngine.query_batch` in chunks of ``batch_size`` (all at
-        once when ``None``), and stage 4 remaps each response, issuing
-        per-column resample requeries as needed.  Results are bit-identical
-        to calling :meth:`annotate_column` in a loop, and ``batch_size=0``
-        literally falls back to that loop — the escape hatch for stateful
-        models whose answers depend on call order.
+        Stages 1-2 (sampling, rules, serialization) are planned for every
+        column first, in column order; the selected executor then carries out
+        the pending query + remap work.  With the default ``executor=None``
+        the historical ``batch_size`` semantics apply: prompts are issued
+        through :meth:`QueryEngine.query_batch` in chunks of ``batch_size``
+        (all at once when ``None``), and ``batch_size=0`` falls back to the
+        sequential column-at-a-time loop — the escape hatch for stateful
+        models whose answers depend on call order (pair it with
+        ``query_cache_size=0``, since the default response cache also
+        collapses repeated prompts).  ``executor`` accepts an
+        :class:`repro.core.executor.Executor` instance or one of the names
+        ``"sequential"``, ``"batched"``, ``"concurrent"`` (``workers`` sizes
+        the concurrent thread pool).
+
+        Sequential and batched execution are bit-identical; concurrent
+        execution is label-identical for the pure bundled backends.
 
         ``table`` provides shared table context for every column (as in
         :meth:`annotate_table`); ``tables`` overrides it per column for
@@ -247,106 +248,117 @@ class ArcheType:
         if batch_size is not None and batch_size < 0:
             raise ConfigurationError("batch_size must be None or >= 0")
         columns = list(columns)
+        per_column_tables, indices = self._broadcast_context(
+            len(columns), table, column_indices, tables
+        )
+        chosen = resolve_executor(executor, batch_size=batch_size, workers=workers)
+        plans = self._plan_set(columns, per_column_tables, indices)
+        return chosen.execute(plans, self.engine, self.remapper, self.stats)
+
+    def annotate_stream(
+        self,
+        columns: Iterable[Column],
+        table: Table | None = None,
+        column_indices: Iterable[int | None] | None = None,
+        tables: Iterable[Table | None] | None = None,
+        chunk_size: int = 64,
+        executor: Executor | str | None = None,
+        workers: int | None = None,
+    ) -> Iterator[AnnotationResult]:
+        """Annotate a stream of columns, yielding results in column order.
+
+        ``columns`` may be any iterable — including a generator over a split
+        too large to materialise.  Columns are planned and executed in chunks
+        of ``chunk_size``; each chunk's results are yielded as soon as the
+        chunk completes, so memory stays O(chunk) in plans, prompts and
+        results (the engine's bounded LRU cache aside).  Chunking does not
+        change labels: planning stays in global column order (one RNG
+        stream), and each chunk is executed exactly as a ``batch_size=chunk``
+        batched call would be.
+
+        ``column_indices`` and ``tables`` mirror :meth:`annotate_columns` but
+        are consumed lazily alongside ``columns``.  ``executor`` selects the
+        per-chunk execution strategy (default: batched).
+        """
+        if chunk_size <= 0:
+            raise ConfigurationError("chunk_size must be positive")
+        chosen = resolve_executor(executor, workers=workers)
+        column_iter = iter(columns)
+        index_iter = iter(column_indices) if column_indices is not None else None
+        tables_iter = iter(tables) if tables is not None else None
+        stream_position = 0  # global column position, for shared-table indices
+
+        while True:
+            chunk_columns: list[Column] = []
+            chunk_tables: list[Table | None] = []
+            chunk_indices: list[int | None] = []
+            for column in column_iter:
+                chunk_columns.append(column)
+                try:
+                    chunk_tables.append(
+                        next(tables_iter) if tables_iter is not None else table
+                    )
+                    if index_iter is not None:
+                        chunk_indices.append(next(index_iter))
+                    else:
+                        chunk_indices.append(
+                            None if table is None else stream_position
+                        )
+                except StopIteration:
+                    # Without this, Python would convert the StopIteration
+                    # into an opaque "generator raised StopIteration"
+                    # RuntimeError mid-stream.
+                    raise ConfigurationError(
+                        "tables and column_indices must yield one entry per "
+                        f"column; exhausted at column {stream_position}"
+                    ) from None
+                stream_position += 1
+                if len(chunk_columns) == chunk_size:
+                    break
+            if not chunk_columns:
+                return
+            plans = self._plan_set(chunk_columns, chunk_tables, chunk_indices)
+            yield from chosen.execute(plans, self.engine, self.remapper, self.stats)
+
+    def annotate_table(
+        self,
+        table: Table,
+        batch_size: int | None = None,
+        executor: Executor | str | None = None,
+        workers: int | None = None,
+    ) -> list[AnnotationResult]:
+        """Annotate every column of a table through the batched engine."""
+        return self.annotate_columns(
+            table.columns,
+            table=table,
+            batch_size=batch_size,
+            executor=executor,
+            workers=workers,
+        )
+
+    @staticmethod
+    def _broadcast_context(
+        n_columns: int,
+        table: Table | None,
+        column_indices: Sequence[int | None] | None,
+        tables: Sequence[Table | None] | None,
+    ) -> tuple[list[Table | None], list[int | None]]:
+        """Normalise per-column table context, validating lengths."""
         if tables is None:
-            per_column_tables: list[Table | None] = [table] * len(columns)
+            per_column_tables = [table] * n_columns
         else:
             per_column_tables = list(tables)
         if column_indices is None:
             indices: list[int | None] = (
-                list(range(len(columns))) if table is not None
-                else [None] * len(columns)
+                list(range(n_columns)) if table is not None else [None] * n_columns
             )
         else:
             indices = list(column_indices)
-        if len(per_column_tables) != len(columns) or len(indices) != len(columns):
+        if len(per_column_tables) != n_columns or len(indices) != n_columns:
             raise ConfigurationError(
                 "columns, tables and column_indices must have matching lengths"
             )
-
-        if batch_size == 0:
-            return [
-                self.annotate_column(
-                    column,
-                    table=per_column_tables[position],
-                    column_index=indices[position],
-                )
-                for position, column in enumerate(columns)
-            ]
-
-        results: list[AnnotationResult | None] = [None] * len(columns)
-        pending: list[tuple[int, SerializedPrompt, tuple[str, ...]]] = []
-        for position, column in enumerate(columns):
-            # Stage 1: context sampling, in column order — sampling is the
-            # only consumer of self._rng, so running it for every column
-            # up front draws the same stream as the sequential path.
-            try:
-                sample = self.sampler.sample(column, self.config.sample_size, self._rng)
-            except EmptyColumnError:
-                results[position] = AnnotationResult(
-                    label=NULL_LABEL,
-                    raw_response="",
-                    prompt=None,
-                    remapped=False,
-                    rule_applied=False,
-                    strategy="empty-column",
-                )
-                continue
-
-            # Stage 0 (optional): rule-based assignment before querying.
-            if self.config.ruleset is not None:
-                rule_label = self.config.ruleset.apply(column, self.label_set)
-                if rule_label is not None:
-                    results[position] = AnnotationResult(
-                        label=rule_label,
-                        raw_response=rule_label,
-                        prompt=None,
-                        remapped=False,
-                        rule_applied=True,
-                        strategy="rule",
-                        sampled_values=tuple(sample.values),
-                    )
-                    continue
-
-            # Stage 2: prompt serialization.
-            context_strings = build_feature_strings(
-                sample.values,
-                self.config.features,
-                table=per_column_tables[position],
-                column_index=indices[position],
-                column=column,
-            )
-            prompt = self.serializer.serialize(context_strings, self.label_set)
-            pending.append((position, prompt, tuple(sample.values)))
-
-        # Stage 3: one batched (deduplicated, cached) query per chunk.
-        prompts = [prompt.text for _, prompt, _ in pending]
-        chunk = batch_size if batch_size is not None and batch_size > 0 else len(prompts)
-        responses: list[str] = []
-        for start in range(0, len(prompts), max(chunk, 1)):
-            responses.extend(self.engine.query_batch(prompts[start:start + chunk]))
-
-        # Stage 4: label remapping (with optional per-column requeries).
-        for (position, prompt, sampled_values), response in zip(pending, responses):
-            requery = lambda attempt, text=prompt.text: self.engine.requery(text, attempt)
-            remap = self.remapper.remap(response, list(prompt.label_set), requery)
-            results[position] = AnnotationResult(
-                label=remap.label,
-                raw_response=response,
-                prompt=prompt,
-                remapped=remap.remapped,
-                rule_applied=False,
-                strategy=self.remapper.name,
-                sampled_values=sampled_values,
-            )
-        assert all(result is not None for result in results), \
-            "batched annotation left a column without a result"
-        return results  # type: ignore[return-value]
-
-    def annotate_table(
-        self, table: Table, batch_size: int | None = None
-    ) -> list[AnnotationResult]:
-        """Annotate every column of a table through the batched engine."""
-        return self.annotate_columns(table.columns, table=table, batch_size=batch_size)
+        return per_column_tables, indices
 
     # ------------------------------------------------------------- metrics
     @property
@@ -358,3 +370,18 @@ class ArcheType:
     def cache_hit_count(self) -> int:
         """Prompts served from the engine's cache instead of the model."""
         return self.engine.stats.n_cache_hits
+
+    @property
+    def pipeline_stats(self) -> PipelineStats:
+        """Per-stage wall time / call counts / cache hits (see :class:`PipelineStats`)."""
+        return self.stats
+
+    def reset_stats(self) -> None:
+        """Zero per-stage and engine counters for per-run reporting.
+
+        The engine's response cache survives the reset (cached answers stay
+        valid across runs); only the counters restart, so ``query_count`` and
+        ``cache_hit_count`` report the work of the current run.
+        """
+        self.stats.reset()
+        self.engine.reset_stats()

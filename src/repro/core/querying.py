@@ -25,8 +25,9 @@ stays truthful under caching.
 from __future__ import annotations
 
 from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Callable, Sequence
 
 from repro.llm.base import BatchParams, GenerationParams, LanguageModel, broadcast_params
 
@@ -61,6 +62,15 @@ class QueryStats:
         if self.n_prompts == 0:
             return 0.0
         return self.n_cache_hits / self.n_prompts
+
+    def reset(self) -> None:
+        """Zero every counter (the cache, if any, is left untouched)."""
+        self.n_queries = 0
+        self.n_resamples = 0
+        self.total_prompt_chars = 0
+        self.n_prompts = 0
+        self.n_batches = 0
+        self.n_cache_hits = 0
 
 
 @dataclass
@@ -97,6 +107,16 @@ class QueryEngine:
         """Drop every cached response (stats are left untouched)."""
         self._cache.clear()
 
+    def reset_stats(self) -> None:
+        """Zero the counters so multi-run experiments report per-run numbers.
+
+        The response cache is deliberately kept: cached answers stay valid
+        across runs (backends are pure functions of ``(prompt, params)``), and
+        :class:`QueryStats` already separates requested prompts from prompts
+        that reached the model, so post-reset accounting stays truthful.
+        """
+        self.stats.reset()
+
     @property
     def cache_len(self) -> int:
         return len(self._cache)
@@ -127,6 +147,21 @@ class QueryEngine:
         :meth:`LanguageModel.generate_batch` call, in first-occurrence order.
         Responses come back in the order of ``prompts``.
         """
+        return self._run_batch(prompts, params, self._generate_direct)
+
+    def _run_batch(
+        self,
+        prompts: Sequence[str],
+        params: BatchParams,
+        generate: "Callable[[Sequence[tuple[str, GenerationParams]]], list[str]]",
+    ) -> list[str]:
+        """Shared orchestration for the batch entry points.
+
+        ``generate`` receives the ``(prompt, params)`` pairs that must reach
+        the model — direct dispatch for :meth:`query_batch`, thread-pool
+        fan-out for :meth:`query_batch_fanout`; everything else (cache
+        dedup, stats, reassembly) is identical between the two.
+        """
         if not prompts:
             return []
         effective = [
@@ -136,12 +171,45 @@ class QueryEngine:
 
         if self.cache_size <= 0:
             # Caching disabled: honour call-order semantics for stateful
-            # models by sending every prompt through, duplicates included.
-            completions = self.model.generate_batch(list(prompts), effective)
-            for prompt, prompt_params in zip(prompts, effective):
-                self.stats.record(prompt, prompt_params.resample_index)
+            # models by sending every prompt through, duplicates included,
+            # and mapping completions back positionally.
+            keys = list(zip(prompts, effective))
+            completions = generate(keys)
+            self._absorb_completions(keys, completions, {})
             return completions
 
+        responses, missing = self._partition_cached(prompts, effective)
+        if missing:
+            self._absorb_completions(missing, generate(missing), responses)
+
+        # Every requested prompt that did not trigger a model call — cached
+        # upfront or a duplicate of an earlier batch entry — counts as a hit.
+        for _ in range(len(prompts) - len(missing)):
+            self.stats.record_hit()
+        return [responses[key] for key in zip(prompts, effective)]
+
+    def _generate_direct(
+        self, keys: Sequence[tuple[str, GenerationParams]]
+    ) -> list[str]:
+        """One set-at-a-time model call, in first-occurrence order."""
+        return self.model.generate_batch(
+            [prompt for prompt, _ in keys],
+            [prompt_params for _, prompt_params in keys],
+        )
+
+    def _partition_cached(
+        self,
+        prompts: Sequence[str],
+        effective: Sequence[GenerationParams],
+    ) -> tuple[
+        dict[tuple[str, GenerationParams], str],
+        list[tuple[str, GenerationParams]],
+    ]:
+        """Split a batch into cached responses and unique cache misses.
+
+        Misses come back in first-occurrence order; duplicates of an earlier
+        miss are folded into it.
+        """
         responses: dict[tuple[str, GenerationParams], str] = {}
         missing: list[tuple[str, GenerationParams]] = []
         missing_keys: set[tuple[str, GenerationParams]] = set()
@@ -154,22 +222,109 @@ class QueryEngine:
             else:
                 missing.append(key)
                 missing_keys.add(key)
+        return responses, missing
 
-        if missing:
-            completions = self.model.generate_batch(
-                [prompt for prompt, _ in missing],
-                [prompt_params for _, prompt_params in missing],
+    def _absorb_completions(
+        self,
+        keys: Sequence[tuple[str, GenerationParams]],
+        completions: Sequence[str],
+        responses: dict[tuple[str, GenerationParams], str],
+    ) -> None:
+        """Record, cache and collect model completions for ``keys``.
+
+        The length check makes a miscounting backend fail loudly instead of
+        silently dropping the tail of the batch.
+        """
+        if len(completions) != len(keys):
+            raise RuntimeError(
+                f"model {self.model.name!r} returned {len(completions)} "
+                f"completions for {len(keys)} prompts"
             )
-            for key, response in zip(missing, completions):
-                self.stats.record(key[0], key[1].resample_index)
-                responses[key] = response
-                self._cache_store(key, response)
+        for key, response in zip(keys, completions):
+            self.stats.record(key[0], key[1].resample_index)
+            responses[key] = response
+            self._cache_store(key, response)
 
-        # Every requested prompt that did not trigger a model call — cached
-        # upfront or a duplicate of an earlier batch entry — counts as a hit.
-        for _ in range(len(prompts) - len(missing)):
-            self.stats.record_hit()
-        return [responses[key] for key in zip(prompts, effective)]
+    # ------------------------------------------------------------- fan-out
+    def spawn_worker(self) -> "QueryEngine":
+        """A worker engine for one thread of a concurrent fan-out.
+
+        The worker wraps :meth:`LanguageModel.clone_for_worker` and carries no
+        cache and fresh stats: the *parent* engine owns deduplication, caching
+        and accounting, so worker-side state would only double count.
+        """
+        return QueryEngine(
+            model=self.model.clone_for_worker(),
+            params=self.params,
+            cache_size=0,
+        )
+
+    def query_batch_fanout(
+        self,
+        prompts: Sequence[str],
+        params: BatchParams = None,
+        workers: int = 4,
+        chunk_size: int | None = None,
+    ) -> list[str]:
+        """:meth:`query_batch`, with cache misses fanned across a thread pool.
+
+        Deduplication, caching and stats mirror :meth:`query_batch` exactly;
+        only the physical dispatch differs: the unique cache misses are split
+        into contiguous chunks (``chunk_size`` each, or evenly over
+        ``workers``) and generated in parallel on per-chunk
+        :meth:`LanguageModel.clone_for_worker` model clones, then reassembled
+        in first-occurrence order.  Sound only for backends that are pure
+        functions of ``(prompt, params)`` — the bundled simulators — or whose
+        clone hook returns an independent copy; responses and bookkeeping are
+        then identical to the batched path, calls-per-model aside.
+
+        With caching disabled every prompt is fanned out (duplicates
+        included) and completions map back positionally, matching
+        :meth:`query_batch`'s cache-off call-order semantics.
+        """
+        return self._run_batch(
+            prompts,
+            params,
+            lambda keys: self._fanout_generate(keys, workers, chunk_size),
+        )
+
+    def _fanout_generate(
+        self,
+        keys: Sequence[tuple[str, GenerationParams]],
+        workers: int,
+        chunk_size: int | None,
+    ) -> list[str]:
+        """Generate completions for ``keys``, chunked across a thread pool.
+
+        Each chunk runs on a :meth:`spawn_worker` engine (cache-less, over a
+        :meth:`LanguageModel.clone_for_worker` clone); worker-side stats are
+        discarded — the parent absorbs the completions and does all
+        accounting, so the books match the single-engine batched path.
+        """
+        def generate_chunk(
+            engine: "QueryEngine", chunk_keys: Sequence[tuple[str, GenerationParams]]
+        ) -> list[str]:
+            return engine.query_batch(
+                [prompt for prompt, _ in chunk_keys],
+                [prompt_params for _, prompt_params in chunk_keys],
+            )
+
+        n_workers = max(1, min(workers, len(keys)))
+        chunk = chunk_size or -(-len(keys) // n_workers)  # ceil division
+        chunks = [keys[start:start + chunk] for start in range(0, len(keys), chunk)]
+        if n_workers == 1 or len(chunks) == 1:
+            return generate_chunk(self.spawn_worker(), keys)
+        # One worker engine per chunk: chunks may outnumber threads, and a
+        # stateful model clone must never serve two chunks concurrently.
+        engines = [self.spawn_worker() for _ in chunks]
+        with ThreadPoolExecutor(max_workers=n_workers) as pool:
+            futures = [
+                pool.submit(generate_chunk, engine, chunk_keys)
+                for engine, chunk_keys in zip(engines, chunks)
+            ]
+            return [
+                completion for future in futures for completion in future.result()
+            ]
 
     def requery(self, prompt: str, attempt: int) -> str:
         """Re-query with permuted hyperparameters (remap-resample, Algorithm 3)."""

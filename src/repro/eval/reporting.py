@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from typing import Mapping, Sequence
 
+from repro.core.plan import stage_rows_from_snapshot
+
 
 def format_table(
     rows: Sequence[Mapping[str, object]],
@@ -35,6 +37,20 @@ def format_table(
     for row in rendered_rows:
         lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(columns))))
     return "\n".join(lines)
+
+
+def format_stage_stats(
+    stats: Mapping[str, Mapping[str, float]],
+    title: str | None = "per-stage pipeline stats",
+) -> str:
+    """Render a :meth:`repro.core.plan.PipelineStats.snapshot` as a table.
+
+    One row per pipeline stage (sample / rules / serialize / query / remap)
+    with call counts, wall-clock seconds and cache hits.
+    """
+    return format_table(stage_rows_from_snapshot(stats),
+                        columns=["stage", "calls", "seconds", "cache_hits"],
+                        title=title)
 
 
 def format_score(score_pct: float, ci_pct: float | None = None) -> str:

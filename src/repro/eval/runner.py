@@ -7,24 +7,33 @@ baselines, or the classical baselines through a small adapter), collects
 predictions and remap/rule statistics, and returns an
 :class:`EvaluationResult` that the per-table experiment modules format.
 
-Annotators that additionally expose ``annotate_columns`` (the batched
-ArcheType engine) are driven set-at-a-time: the runner hands them the whole
-evaluation split in ``batch_size`` chunks so prompt batching and the
-query cache can amortise model work.  The batched and sequential drives
-produce bit-identical predictions for the bundled annotators.
+Annotators that expose the plan/execute pipeline's streaming API
+(``annotate_stream``) are driven chunk-at-a-time: the runner consumes results
+as each chunk completes, so evaluation memory stays O(chunk) in annotation
+state regardless of split size (predictions/truth are O(split), as the
+metrics require).  Annotators exposing only ``annotate_columns`` are driven
+set-at-a-time, and plain ``annotate_column`` objects column-at-a-time.  All
+three drives produce bit-identical predictions for the bundled annotators.
+
+``executor`` / ``workers`` select the physical execution strategy
+(sequential, batched, concurrent) for pipeline annotators, and per-stage
+:class:`repro.core.plan.PipelineStats` plus engine counters are captured into
+the result when the annotator exposes them.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Protocol, Sequence, runtime_checkable
+from typing import Iterable, Iterator, Protocol, Sequence, runtime_checkable
 
 from repro.core.pipeline import AnnotationResult
+from repro.core.plan import stage_rows_from_snapshot
 from repro.core.remapping import NULL_LABEL
 from repro.core.table import Column, Table
 from repro.datasets.base import Benchmark, BenchmarkColumn
 from repro.eval.confusion import ConfusionMatrix
 from repro.eval.metrics import ClassificationReport, evaluate_predictions
+from repro.exceptions import ConfigurationError
 
 
 class ColumnAnnotator(Protocol):
@@ -54,6 +63,21 @@ class BatchColumnAnnotator(Protocol):
         ...  # pragma: no cover - protocol definition
 
 
+@runtime_checkable
+class StreamingColumnAnnotator(Protocol):
+    """Anything that can annotate a lazily-consumed stream of columns."""
+
+    def annotate_stream(
+        self,
+        columns: Iterable[Column],
+        table: Table | None = None,
+        column_indices: Iterable[int | None] | None = None,
+        tables: Iterable[Table | None] | None = None,
+        chunk_size: int = 64,
+    ) -> Iterator[AnnotationResult]:
+        ...  # pragma: no cover - protocol definition
+
+
 @dataclass
 class EvaluationResult:
     """Predictions plus aggregate metrics for one (method, benchmark) pair."""
@@ -68,14 +92,24 @@ class EvaluationResult:
     n_rule_applied: int = 0
     n_unmapped: int = 0
     annotations: list[AnnotationResult] = field(default_factory=list)
+    #: Per-stage instrumentation captured from the annotator, when it exposes
+    #: a ``pipeline_stats`` attribute: ``{stage: {calls, seconds, cache_hits}}``.
+    pipeline_stats: dict[str, dict[str, float]] | None = None
+    #: Engine counters captured from the annotator, when exposed.
+    n_queries: int | None = None
+    n_cache_hits: int | None = None
 
     @property
     def weighted_f1_pct(self) -> float:
         return self.report.weighted_f1_pct
 
     def summary_row(self) -> dict[str, object]:
-        """A compact dictionary row for report tables."""
-        return {
+        """A compact dictionary row for report tables.
+
+        When the annotator exposed instrumentation, the row additionally
+        carries the engine counters and the plan/query wall-time split.
+        """
+        row: dict[str, object] = {
             "benchmark": self.benchmark_name,
             "method": self.method_name,
             "micro_f1": round(self.report.weighted_f1_pct, 1),
@@ -85,19 +119,58 @@ class EvaluationResult:
             "n_remapped": self.n_remapped,
             "n_rule_applied": self.n_rule_applied,
         }
+        if self.n_queries is not None:
+            row["n_queries"] = self.n_queries
+        if self.n_cache_hits is not None:
+            row["cache_hits"] = self.n_cache_hits
+        if self.pipeline_stats:
+            plan_s = sum(
+                counters["seconds"]
+                for stage, counters in self.pipeline_stats.items()
+                if stage in ("sample", "rules", "serialize")
+            )
+            execute_s = sum(
+                counters["seconds"]
+                for stage, counters in self.pipeline_stats.items()
+                if stage in ("query", "remap")
+            )
+            row["plan_s"] = round(plan_s, 3)
+            row["execute_s"] = round(execute_s, 3)
+        return row
+
+    def stage_rows(self) -> list[dict[str, object]]:
+        """Per-stage instrumentation rows (empty when none was captured)."""
+        if not self.pipeline_stats:
+            return []
+        return stage_rows_from_snapshot(self.pipeline_stats)
 
 
 @dataclass
 class ExperimentRunner:
     """Evaluate annotators over benchmarks.
 
-    ``batch_size`` controls the set-at-a-time drive for batch-capable
-    annotators: columns per ``annotate_columns`` call (``None`` = the whole
-    split at once, ``0`` = force the sequential column-at-a-time loop).
+    * ``batch_size`` — columns per ``annotate_columns`` call / stream chunk
+      for batch-capable annotators (``0`` = force the sequential
+      column-at-a-time loop; ``None`` = the annotator's default — the whole
+      split at once for plain batch annotators, 64-column chunks for
+      streaming-capable ones, which changes scheduling but never labels);
+    * ``executor`` / ``workers`` — physical execution strategy for pipeline
+      annotators (an :class:`repro.core.executor.Executor`, a name among
+      ``sequential``/``batched``/``concurrent``, or ``None`` for the
+      historical ``batch_size`` semantics);
+    * ``stream_chunk_size`` — chunk for the streaming drive (defaults to
+      ``batch_size`` or 64);
+    * ``reset_stats`` — zero the annotator's engine/pipeline counters before
+      evaluating (when it exposes ``reset_stats``), so multi-run experiments
+      report per-run numbers.
     """
 
     keep_annotations: bool = False
     batch_size: int | None = None
+    executor: object | str | None = None
+    workers: int | None = None
+    stream_chunk_size: int | None = None
+    reset_stats: bool = True
 
     def evaluate(
         self,
@@ -110,21 +183,17 @@ class ExperimentRunner:
         columns: Sequence[BenchmarkColumn] = benchmark.columns
         if max_columns is not None:
             columns = columns[:max_columns]
+        if self.reset_stats and hasattr(annotator, "reset_stats"):
+            annotator.reset_stats()
         truth: list[str] = []
         predictions: list[str] = []
         annotations: list[AnnotationResult] = []
         n_remapped = 0
         n_rule_applied = 0
         n_unmapped = 0
-        # annotate_columns itself honours batch_size=0 by falling back to the
-        # per-column loop, so batch-capable annotators always take this path.
-        use_batched = isinstance(annotator, BatchColumnAnnotator)
-        results = (
-            self._annotate_batched(annotator, columns)
-            if use_batched
-            else self._annotate_sequential(annotator, columns)
-        )
-        for bench_column, result in zip(columns, results, strict=True):
+        for bench_column, result in zip(
+            columns, self._annotate(annotator, columns), strict=True
+        ):
             truth.append(bench_column.label)
             predictions.append(result.label)
             n_remapped += int(result.remapped)
@@ -134,6 +203,8 @@ class ExperimentRunner:
                 annotations.append(result)
         report = evaluate_predictions(truth, predictions)
         confusion = ConfusionMatrix.from_predictions(truth, predictions)
+        stats = getattr(annotator, "pipeline_stats", None)
+        engine_stats = getattr(getattr(annotator, "engine", None), "stats", None)
         return EvaluationResult(
             benchmark_name=benchmark.name,
             method_name=method_name,
@@ -145,6 +216,9 @@ class ExperimentRunner:
             n_rule_applied=n_rule_applied,
             n_unmapped=n_unmapped,
             annotations=annotations,
+            pipeline_stats=stats.snapshot() if stats is not None else None,
+            n_queries=engine_stats.n_queries if engine_stats is not None else None,
+            n_cache_hits=engine_stats.n_cache_hits if engine_stats is not None else None,
         )
 
     @staticmethod
@@ -153,36 +227,95 @@ class ExperimentRunner:
             return None
         return Table(columns=[bench_column.column], name=bench_column.table_name)
 
+    def _annotate(
+        self,
+        annotator: ColumnAnnotator,
+        columns: Sequence[BenchmarkColumn],
+    ) -> Iterator[AnnotationResult]:
+        """Choose the richest drive the annotator supports.
+
+        ``annotate_columns`` itself honours ``batch_size=0`` by falling back
+        to the per-column loop, so batch-capable annotators always take a
+        batched drive; streaming-capable ones are consumed lazily so only one
+        chunk of annotation state is alive at a time.
+        """
+        if isinstance(annotator, StreamingColumnAnnotator):
+            return self._annotate_streaming(annotator, columns)
+        if isinstance(annotator, BatchColumnAnnotator):
+            return iter(self._annotate_batched(annotator, columns))
+        return self._annotate_sequential(annotator, columns)
+
     def _annotate_sequential(
         self,
         annotator: ColumnAnnotator,
         columns: Sequence[BenchmarkColumn],
-    ) -> list[AnnotationResult]:
-        return [
-            annotator.annotate_column(
+    ) -> Iterator[AnnotationResult]:
+        for bench_column in columns:
+            yield annotator.annotate_column(
                 bench_column.column,
                 table=self._column_table(bench_column),
                 column_index=0,
             )
-            for bench_column in columns
-        ]
+
+    def _annotate_streaming(
+        self,
+        annotator: StreamingColumnAnnotator,
+        columns: Sequence[BenchmarkColumn],
+    ) -> Iterator[AnnotationResult]:
+        """Drive a streaming-capable annotator chunk-at-a-time.
+
+        Each benchmark column carries its own single-column table context, so
+        the per-column ``tables`` form is used (with ``column_index=0``
+        everywhere, matching the other drives).  ``batch_size=0`` — the
+        stateful-model escape hatch — selects the sequential executor with a
+        chunk of 1 so call order matches the column-at-a-time loop exactly.
+        """
+        if self.batch_size == 0:
+            if self.executor not in (None, "sequential"):
+                raise ConfigurationError(
+                    "batch_size=0 forces the sequential per-column loop and "
+                    f"conflicts with executor={self.executor!r}"
+                )
+            chunk_size = 1
+            executor: object | str | None = "sequential"
+        else:
+            chunk_size = self.stream_chunk_size or self.batch_size or 64
+            executor = self.executor
+        kwargs: dict[str, object] = {}
+        if executor is not None:
+            kwargs["executor"] = executor
+        if self.workers is not None:
+            kwargs["workers"] = self.workers
+        return annotator.annotate_stream(
+            (bench_column.column for bench_column in columns),
+            tables=(self._column_table(bench_column) for bench_column in columns),
+            column_indices=(0 for _ in columns),
+            chunk_size=chunk_size,
+            **kwargs,
+        )
 
     def _annotate_batched(
         self,
         annotator: BatchColumnAnnotator,
         columns: Sequence[BenchmarkColumn],
     ) -> list[AnnotationResult]:
-        """Drive a batch-capable annotator set-at-a-time.
+        """Drive a batch-capable (but non-streaming) annotator set-at-a-time.
 
-        Each benchmark column carries its own single-column table context, so
-        the per-column ``tables`` form of ``annotate_columns`` is used (with
-        ``column_index=0`` everywhere, matching the sequential drive).
+        ``executor``/``workers`` are forwarded when configured — an annotator
+        whose ``annotate_columns`` cannot accept them fails loudly rather
+        than silently running with a different strategy than requested.
         """
+        kwargs: dict[str, object] = {}
+        if self.executor is not None:
+            kwargs["executor"] = self.executor
+        if self.workers is not None:
+            kwargs["workers"] = self.workers
         return annotator.annotate_columns(
             [bench_column.column for bench_column in columns],
             tables=[self._column_table(bench_column) for bench_column in columns],
             column_indices=[0] * len(columns),
             batch_size=self.batch_size,
+            **kwargs,  # type: ignore[arg-type]
         )
 
     def evaluate_predictions_only(
@@ -194,9 +327,17 @@ class ExperimentRunner:
         """Build an :class:`EvaluationResult` from precomputed predictions.
 
         Used by the classical baselines, which predict in batch rather than
-        through ``annotate_column``.
+        through ``annotate_column``.  ``predictions`` must cover the whole
+        benchmark: a length mismatch means predictions and truth are out of
+        register, and silently truncating would score the wrong pairs.
         """
-        truth = [bc.label for bc in benchmark.columns[: len(predictions)]]
+        if len(predictions) != len(benchmark.columns):
+            raise ConfigurationError(
+                f"{method_name}: got {len(predictions)} predictions for "
+                f"{len(benchmark.columns)} benchmark columns; predictions "
+                "must cover the benchmark exactly"
+            )
+        truth = [bc.label for bc in benchmark.columns]
         report = evaluate_predictions(truth, list(predictions))
         confusion = ConfusionMatrix.from_predictions(truth, list(predictions))
         return EvaluationResult(

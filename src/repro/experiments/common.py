@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from functools import lru_cache
 
 from repro.baselines.llm_baselines import get_zero_shot_method
+from repro.core.executor import EXECUTOR_NAMES
 from repro.datasets.base import Benchmark
 from repro.datasets.registry import load_benchmark
 from repro.eval.runner import EvaluationResult, ExperimentRunner
@@ -56,8 +57,15 @@ def evaluate_zero_shot(
     benchmark: Benchmark,
     seed: int = 0,
     max_columns: int | None = None,
+    runner: ExperimentRunner | None = None,
 ) -> EvaluationResult:
-    """Evaluate one zero-shot method cell over a benchmark."""
+    """Evaluate one zero-shot method cell over a benchmark.
+
+    ``runner`` customises the drive (executor selection, batch size,
+    streaming chunk); the default drives the plan/execute pipeline with its
+    standard batched streaming.  The runner resets the annotator's counters
+    before each run, so repeated cells report per-run query numbers.
+    """
     annotator = get_zero_shot_method(
         spec.method,
         benchmark,
@@ -66,7 +74,7 @@ def evaluate_zero_shot(
         use_rules=spec.use_rules,
         seed=seed,
     )
-    runner = ExperimentRunner()
+    runner = runner or ExperimentRunner()
     return runner.evaluate(
         annotator, benchmark, spec.display_name, max_columns=max_columns
     )
@@ -80,4 +88,22 @@ def standard_argument_parser(description: str) -> argparse.ArgumentParser:
         help="evaluation columns per benchmark (default %(default)s)",
     )
     parser.add_argument("--seed", type=int, default=0, help="benchmark seed")
+    parser.add_argument(
+        "--executor", default=None,
+        choices=list(EXECUTOR_NAMES),
+        help="execution strategy for the query stage (default: batched)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="thread-pool width for --executor concurrent (default 4)",
+    )
     return parser
+
+
+def runner_from_args(args: argparse.Namespace, **overrides: object) -> ExperimentRunner:
+    """Build the :class:`ExperimentRunner` selected by a standard parser's args."""
+    return ExperimentRunner(
+        executor=getattr(args, "executor", None),
+        workers=getattr(args, "workers", None),
+        **overrides,  # type: ignore[arg-type]
+    )

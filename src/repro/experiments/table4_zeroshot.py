@@ -17,7 +17,7 @@ from dataclasses import dataclass
 
 from repro.datasets.registry import ZERO_SHOT_BENCHMARKS
 from repro.eval.reporting import format_score, format_table
-from repro.eval.runner import EvaluationResult
+from repro.eval.runner import EvaluationResult, ExperimentRunner
 from repro.experiments.common import (
     DEFAULT_COLUMNS,
     MethodSpec,
@@ -25,6 +25,7 @@ from repro.experiments.common import (
     ZERO_SHOT_METHODS,
     cached_benchmark,
     evaluate_zero_shot,
+    runner_from_args,
     standard_argument_parser,
 )
 
@@ -53,6 +54,7 @@ def run_table4(
     methods: tuple[str, ...] = ZERO_SHOT_METHODS,
     sample_size: int = 5,
     include_rules: bool = True,
+    runner: ExperimentRunner | None = None,
 ) -> list[ZeroShotCell]:
     """Evaluate every cell of Table 4 and return the raw results."""
     cells: list[ZeroShotCell] = []
@@ -70,7 +72,9 @@ def run_table4(
                         sample_size=sample_size,
                         use_rules=use_rules,
                     )
-                    result = evaluate_zero_shot(spec, bench_view, seed=seed)
+                    result = evaluate_zero_shot(
+                        spec, bench_view, seed=seed, runner=runner
+                    )
                     cells.append(
                         ZeroShotCell(
                             benchmark=benchmark_name,
@@ -97,7 +101,9 @@ def cells_as_rows(cells: list[ZeroShotCell]) -> list[dict[str, object]]:
 def main() -> None:
     parser = standard_argument_parser(__doc__ or "Table 4")
     args = parser.parse_args()
-    cells = run_table4(n_columns=args.columns, seed=args.seed)
+    cells = run_table4(
+        n_columns=args.columns, seed=args.seed, runner=runner_from_args(args)
+    )
     print(format_table(cells_as_rows(cells),
                        title="Table 4: zero-shot CTA (weighted Micro-F1, 0-100)"))
 

@@ -116,5 +116,20 @@ class LanguageModel(ABC):
             for prompt, prompt_params in zip(prompts, broadcast_params(prompts, params))
         ]
 
+    def clone_for_worker(self) -> "LanguageModel":
+        """A model handle safe to call from one worker thread of a fan-out.
+
+        The concurrent executor calls this once per worker before dispatching
+        prompt chunks in parallel.  The base implementation returns ``self``,
+        which is correct for backends whose :meth:`generate` is a pure
+        function of ``(prompt, params)`` with no mutable inference-time state
+        — true of every bundled backend (:class:`repro.llm.simulated.
+        SimulatedLLM` builds a fresh RNG per call; :class:`repro.llm.finetune.
+        FineTunedLLM` only reads its prototypes after ``fit``).  A backend
+        wrapping a stateful resource (an HTTP session, a local inference
+        context) must override this to return an independent copy.
+        """
+        return self
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} {self.name!r} ctx={self.context_window}>"

@@ -19,6 +19,12 @@ internalised the training label space (so prompts do not need to carry the
 label set), it benefits from extended-context features (table name, summary
 statistics, other columns) because they are part of the learned prototypes,
 and it occasionally emits near-miss labels that remapping must fix.
+
+Thread safety: all mutable state (labels, prototypes) is written by ``fit``
+and only read at inference time, so a fitted model is safe to share across
+the concurrent executor's worker threads via the default
+:meth:`repro.llm.base.LanguageModel.clone_for_worker`; calling ``fit`` while
+a fan-out is in flight is not supported.
 """
 
 from __future__ import annotations

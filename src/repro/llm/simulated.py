@@ -16,6 +16,11 @@ Every decision is a deterministic function of (profile, prompt, generation
 parameters), so experiments are exactly reproducible while remap-resample
 retries (which permute the generation parameters) still obtain different
 completions.
+
+Thread safety: the simulator holds no mutable inference-time state — every
+:meth:`SimulatedLLM.generate` call builds its own RNG and parse — so the
+default :meth:`repro.llm.base.LanguageModel.clone_for_worker` (returning
+``self``) is sound and concurrent fan-out may share one instance.
 """
 
 from __future__ import annotations

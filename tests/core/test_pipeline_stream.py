@@ -1,0 +1,117 @@
+"""Tests for the streaming annotation API (ArcheType.annotate_stream)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import ArcheType, ArcheTypeConfig
+from repro.core.table import Column, Table
+from repro.datasets.registry import load_benchmark
+from repro.exceptions import ConfigurationError
+
+LABELS = ["state", "person", "url", "number", "text"]
+
+
+def _annotator(benchmark=None, **overrides) -> ArcheType:
+    label_set = benchmark.label_set if benchmark is not None else LABELS
+    return ArcheType(ArcheTypeConfig(model="gpt", label_set=label_set, **overrides))
+
+
+class TestAnnotateStream:
+    def test_stream_is_lazy(self):
+        """Results are yielded per chunk, before later columns are planned."""
+        state = Column(values=["Alaska", "Colorado", "Kentucky", "Nevada", "Texas"])
+        consumed: list[int] = []
+
+        def column_source():
+            for index in range(6):
+                consumed.append(index)
+                yield state
+
+        stream = _annotator().annotate_stream(column_source(), chunk_size=2)
+        assert consumed == []  # nothing consumed before iteration starts
+        first = next(stream)
+        assert first.label == "state"
+        # Exactly one chunk (plus nothing else) has been pulled from the source.
+        assert consumed == [0, 1]
+
+    @pytest.mark.parametrize("chunk_size", [1, 7, 64])
+    def test_stream_matches_batched_labels(self, chunk_size):
+        benchmark = load_benchmark("sotab-27", n_columns=30, seed=3)
+        columns = [bc.column for bc in benchmark.columns]
+        reference = [
+            r.label for r in _annotator(benchmark, seed=1).annotate_columns(columns)
+        ]
+        streamed = [
+            r.label
+            for r in _annotator(benchmark, seed=1).annotate_stream(
+                iter(columns), chunk_size=chunk_size
+            )
+        ]
+        assert streamed == reference
+
+    def test_stream_with_concurrent_executor(self):
+        benchmark = load_benchmark("d4-20", n_columns=24, seed=6)
+        columns = [bc.column for bc in benchmark.columns]
+        reference = [
+            r.label for r in _annotator(benchmark, seed=0).annotate_columns(columns)
+        ]
+        streamed = [
+            r.label
+            for r in _annotator(benchmark, seed=0).annotate_stream(
+                iter(columns), chunk_size=8, executor="concurrent", workers=4
+            )
+        ]
+        assert streamed == reference
+
+    def test_stream_shared_table_uses_global_column_indices(self, small_table):
+        """Chunking must not reset the shared-table column index."""
+        annotator = _annotator()
+        streamed = list(
+            annotator.annotate_stream(
+                small_table.columns, table=small_table, chunk_size=2
+            )
+        )
+        reference_annotator = _annotator()
+        reference = reference_annotator.annotate_columns(
+            small_table.columns, table=small_table
+        )
+        assert [r.label for r in streamed] == [r.label for r in reference]
+        assert [r.prompt.text if r.prompt else None for r in streamed] == \
+            [r.prompt.text if r.prompt else None for r in reference]
+
+    def test_stream_with_per_column_tables(self, state_column, url_column):
+        tables = [
+            Table(columns=[state_column], name="a.csv"),
+            Table(columns=[url_column], name="b.csv"),
+        ]
+        results = list(
+            _annotator().annotate_stream(
+                iter([state_column, url_column]),
+                tables=iter(tables),
+                column_indices=iter([0, 0]),
+                chunk_size=1,
+            )
+        )
+        assert len(results) == 2
+        assert results[0].label == "state"
+
+    def test_stream_rejects_nonpositive_chunk(self):
+        with pytest.raises(ConfigurationError):
+            list(_annotator().annotate_stream(iter([]), chunk_size=0))
+
+    def test_stream_short_tables_iterable_raises_cleanly(self, state_column):
+        """A short tables/column_indices iterable must raise ConfigurationError,
+        not an opaque PEP-479 'generator raised StopIteration' RuntimeError."""
+        columns = [state_column, state_column, state_column]
+        with pytest.raises(ConfigurationError, match="one entry per"):
+            list(_annotator().annotate_stream(
+                iter(columns), tables=iter([None]), chunk_size=1
+            ))
+        with pytest.raises(ConfigurationError, match="one entry per"):
+            list(_annotator().annotate_stream(
+                iter(columns), column_indices=iter([0, 0]), chunk_size=2
+            ))
+
+    def test_stream_empty_source(self):
+        assert list(_annotator().annotate_stream(iter([]))) == []

@@ -2,13 +2,16 @@
 
 from __future__ import annotations
 
+import pytest
+
 from repro.baselines.llm_baselines import build_archetype_method
 from repro.core.pipeline import AnnotationResult
 from repro.core.remapping import NULL_LABEL
 from repro.core.table import Column, Table
 from repro.datasets.base import Benchmark, BenchmarkColumn
-from repro.eval.reporting import format_score, format_table
+from repro.eval.reporting import format_score, format_stage_stats, format_table
 from repro.eval.runner import EvaluationResult, ExperimentRunner
+from repro.exceptions import ConfigurationError
 
 
 class FixedAnnotator:
@@ -89,6 +92,76 @@ class TestExperimentRunner:
         result = ExperimentRunner().evaluate(annotator, d4_small, "archetype-gpt+")
         assert result.report.n_columns == len(d4_small.columns)
         assert result.report.weighted_f1 > 0.4
+
+
+class TestPredictionsOnlyStrictness:
+    """Regression (ISSUE 2 satellite): no silent truth truncation."""
+
+    def test_matching_lengths_accepted(self):
+        result = ExperimentRunner().evaluate_predictions_only(
+            _tiny_benchmark(), ["x", "y", "x"], "oracle"
+        )
+        assert result.report.n_columns == 3
+
+    @pytest.mark.parametrize("predictions", [["x"], ["x", "y"], ["x", "y", "x", "y"]])
+    def test_length_mismatch_raises(self, predictions):
+        with pytest.raises(ConfigurationError, match="predictions"):
+            ExperimentRunner().evaluate_predictions_only(
+                _tiny_benchmark(), predictions, "oracle"
+            )
+
+
+class TestRunnerDrives:
+    def test_streaming_drive_matches_sequential_drive(self, d4_small):
+        streamed = ExperimentRunner(batch_size=None, stream_chunk_size=16).evaluate(
+            build_archetype_method(d4_small, model="gpt"), d4_small, "streamed"
+        )
+        sequential = ExperimentRunner(batch_size=0).evaluate(
+            build_archetype_method(d4_small, model="gpt"), d4_small, "sequential"
+        )
+        assert streamed.predictions == sequential.predictions
+        assert streamed.weighted_f1_pct == sequential.weighted_f1_pct
+
+    def test_concurrent_drive_matches_label_multiset(self, d4_small):
+        from collections import Counter
+
+        concurrent = ExperimentRunner(executor="concurrent", workers=4).evaluate(
+            build_archetype_method(d4_small, model="gpt"), d4_small, "concurrent"
+        )
+        reference = ExperimentRunner().evaluate(
+            build_archetype_method(d4_small, model="gpt"), d4_small, "reference"
+        )
+        assert Counter(concurrent.predictions) == Counter(reference.predictions)
+
+    def test_per_run_stats_reset_between_evaluates(self, d4_small):
+        # first-k sampling is deterministic, so the second run replays the
+        # exact prompts of the first and is served from the cache.
+        annotator = build_archetype_method(d4_small, model="gpt", sampler="firstk")
+        runner = ExperimentRunner()
+        first = runner.evaluate(annotator, d4_small, "run-1")
+        second = runner.evaluate(annotator, d4_small, "run-2")
+        assert first.n_queries is not None and first.n_queries > 0
+        # The second run reports per-run numbers: the replay is answered from
+        # the engine's surviving cache, not billed as fresh model queries.
+        assert second.n_queries == 0
+        assert second.n_cache_hits is not None and second.n_cache_hits > 0
+
+    def test_batch_size_zero_with_conflicting_executor_rejected(self, d4_small):
+        annotator = build_archetype_method(d4_small, model="gpt")
+        runner = ExperimentRunner(batch_size=0, executor="concurrent", workers=4)
+        with pytest.raises(ConfigurationError, match="batch_size=0"):
+            runner.evaluate(annotator, d4_small, "conflict")
+
+    def test_pipeline_stats_surfaced_in_summary_row(self, d4_small):
+        annotator = build_archetype_method(d4_small, model="gpt")
+        result = ExperimentRunner().evaluate(annotator, d4_small, "instrumented")
+        row = result.summary_row()
+        assert {"n_queries", "cache_hits", "plan_s", "execute_s"} <= set(row)
+        assert result.pipeline_stats is not None
+        assert result.pipeline_stats["query"]["calls"] > 0
+        assert result.stage_rows()
+        rendered = format_stage_stats(result.pipeline_stats)
+        assert "query" in rendered and "cache_hits" in rendered
 
 
 class TestReporting:

@@ -92,3 +92,60 @@ class TestEvaluateCommand:
     def test_parser_requires_subcommand(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestExecutorKnobs:
+    def test_annotate_with_concurrent_executor_and_stats(self, sample_csv, capsys):
+        exit_code = main([
+            "annotate", str(sample_csv),
+            "--labels", "state,url,telephone,person",
+            "--model", "gpt",
+            "--executor", "concurrent", "--workers", "2", "--stats",
+        ])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "per-stage pipeline stats" in captured
+        assert "query" in captured
+
+    def test_evaluate_executor_matches_default_predictions(self, capsys):
+        args = ["evaluate", "--benchmark", "d4-20", "--method", "archetype",
+                "--model", "gpt", "--columns", "30"]
+        assert main(args) == 0
+        default_out = capsys.readouterr().out
+        assert main(args + ["--executor", "concurrent", "--workers", "4"]) == 0
+        concurrent_out = capsys.readouterr().out
+
+        def score_fields(output: str) -> list[str]:
+            # Row fields up to cache_hits; the trailing plan_s/execute_s
+            # columns are wall-clock and differ run to run.
+            return output.splitlines()[3].split()[:10]
+
+        # Identical predictions => identical scores in the summary table.
+        assert score_fields(default_out) == score_fields(concurrent_out)
+
+    def test_parser_rejects_unknown_executor(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["evaluate", "--executor", "warp-drive"]
+            )
+
+    def test_parser_rejects_nonpositive_workers(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["evaluate", "--workers", "0"])
+
+    def test_workers_without_concurrent_executor_is_an_error(self, capsys):
+        exit_code = main([
+            "evaluate", "--benchmark", "d4-20", "--columns", "10",
+            "--workers", "4",
+        ])
+        assert exit_code == 2
+        assert "concurrent" in capsys.readouterr().err
+
+    def test_evaluate_stats_flag_prints_stage_table(self, capsys):
+        exit_code = main([
+            "evaluate", "--benchmark", "d4-20", "--method", "archetype",
+            "--model", "gpt", "--columns", "20", "--stats",
+        ])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "per-stage pipeline stats" in captured
