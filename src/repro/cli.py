@@ -27,11 +27,12 @@ from repro.baselines.llm_baselines import get_zero_shot_method
 from repro.core.executor import EXECUTOR_NAMES
 from repro.core.pipeline import ArcheType, ArcheTypeConfig
 from repro.core.serialization import PromptStyle
+from repro.core.store import STORE_KINDS, open_store
 from repro.core.table import Table
 from repro.datasets.registry import BENCHMARK_NAMES, load_benchmark
 from repro.eval.reporting import format_stage_stats, format_table
 from repro.eval.runner import ExperimentRunner
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, StoreError
 from repro.llm.registry import list_models
 
 
@@ -75,12 +76,20 @@ def _annotate_command(args: argparse.Namespace) -> int:
             seed=args.seed,
         )
     )
-    results = annotator.annotate_table(
-        table,
-        batch_size=args.batch_size,
-        executor=args.executor,
-        workers=args.workers,
-    )
+    store = open_store(args.store, args.cache_dir) if args.cache_dir else None
+    if store is not None:
+        annotator.attach_store(store)
+    try:
+        results = annotator.annotate_table(
+            table,
+            batch_size=args.batch_size,
+            executor=args.executor,
+            workers=args.workers,
+        )
+    finally:
+        if store is not None:
+            annotator.attach_store(None)
+            store.close()
     rows = []
     for index, result in enumerate(results):
         column = table[index]
@@ -113,12 +122,19 @@ def _evaluate_command(args: argparse.Namespace) -> int:
         batch_size=args.batch_size,
         executor=args.executor,
         workers=args.workers,
+        cache_dir=args.cache_dir,
+        store=args.store,
+        run_id=args.run_id,
+        resume=args.resume,
     )
     result = runner.evaluate(
         annotator, benchmark, f"{args.method}-{args.model}{'+' if args.rules else ''}"
     )
     print(format_table([result.summary_row()],
                        title=f"{args.benchmark}: {args.columns} columns"))
+    if result.run_id is not None:
+        print(f"\nrun checkpointed as {result.run_id}; resume an interrupted "
+              f"run with --cache-dir {args.cache_dir} --resume {result.run_id}")
     if args.stats and result.pipeline_stats:
         print()
         print(format_stage_stats(result.pipeline_stats))
@@ -162,6 +178,18 @@ def _add_execution_arguments(parser: argparse.ArgumentParser, default_note: str)
                              "cache hits)")
 
 
+def _add_persistence_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shared persistence knobs: --cache-dir, --store."""
+    parser.add_argument("--cache-dir", default=None,
+                        help="directory for the persistent query store and run "
+                             "manifests; responses are reused across processes "
+                             "so a warm rerun issues ~0 model queries")
+    parser.add_argument("--store", default="sqlite", choices=list(STORE_KINDS),
+                        help="persistent store backend under --cache-dir "
+                             "(default: sqlite; 'none' disables response "
+                             "persistence — use for stateful backends)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
@@ -187,6 +215,7 @@ def build_parser() -> argparse.ArgumentParser:
     annotate.add_argument("--max-rows", type=int, default=None)
     annotate.add_argument("--seed", type=int, default=0)
     _add_execution_arguments(annotate, default_note="the whole table at once")
+    _add_persistence_arguments(annotate)
     annotate.set_defaults(func=_annotate_command)
 
     evaluate = subparsers.add_parser(
@@ -204,6 +233,14 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--seed", type=int, default=0)
     _add_execution_arguments(evaluate,
                              default_note="the split streams in 64-column chunks")
+    _add_persistence_arguments(evaluate)
+    evaluate.add_argument("--run-id", default=None,
+                          help="explicit id for this run's checkpoint manifest "
+                               "(default: generated timestamp-hex id)")
+    evaluate.add_argument("--resume", metavar="RUN_ID", default=None,
+                          help="resume an interrupted run: columns already in "
+                               "RUN_ID's manifest are replayed bit-identically "
+                               "from the journal (requires --cache-dir)")
     evaluate.set_defaults(func=_evaluate_command)
     return parser
 
@@ -214,7 +251,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return int(args.func(args))
-    except ConfigurationError as error:
+    except (ConfigurationError, StoreError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
 

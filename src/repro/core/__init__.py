@@ -13,6 +13,8 @@ Submodules map one-to-one onto the stages in Figure 1 of the paper:
   ``ColumnPlan`` building plus per-stage instrumentation.
 * :mod:`repro.core.executor` — the physical half: sequential, batched and
   concurrent plan executors.
+* :mod:`repro.core.store` — the durability layer: persistent
+  ``(prompt, params) → response`` stores and per-run checkpoint manifests.
 * :mod:`repro.core.pipeline` — the end-to-end ``ArcheType`` annotator.
 """
 
@@ -33,6 +35,13 @@ from repro.core.sampling import (
 )
 from repro.core.serialization import PromptSerializer, PromptStyle
 from repro.core.remapping import get_remapper
+from repro.core.store import (
+    JSONLResponseStore,
+    ResponseStore,
+    RunManifest,
+    SQLiteResponseStore,
+    open_store,
+)
 from repro.core.table import Column, Table
 
 __all__ = [
@@ -47,13 +56,18 @@ __all__ = [
     "ConcurrentExecutor",
     "Executor",
     "FirstKSampler",
+    "JSONLResponseStore",
     "PipelineStats",
     "PromptSerializer",
     "PromptStyle",
+    "ResponseStore",
+    "RunManifest",
+    "SQLiteResponseStore",
     "SequentialExecutor",
     "SimpleRandomSampler",
     "Table",
     "get_executor",
     "get_remapper",
     "get_sampler",
+    "open_store",
 ]

@@ -25,8 +25,9 @@ concurrent path deterministic.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Iterator, Sequence
 
 from repro.core.plan import (
     STAGE_QUERY,
@@ -40,6 +41,21 @@ from repro.core.remapping import Remapper
 from repro.exceptions import ConfigurationError
 
 
+@contextmanager
+def _attributed_hits(
+    engine: QueryEngine, stats: PipelineStats, stage_name: str
+) -> Iterator[None]:
+    """Attribute the engine's LRU/store hit deltas inside the block to a stage."""
+    cache_before = engine.stats.n_cache_hits
+    store_before = engine.stats.n_store_hits
+    try:
+        yield
+    finally:
+        stage = stats.stage(stage_name)
+        stage.cache_hits += engine.stats.n_cache_hits - cache_before
+        stage.store_hits += engine.stats.n_store_hits - store_before
+
+
 def execute_plan(
     plan: ColumnPlan,
     engine: QueryEngine,
@@ -51,10 +67,8 @@ def execute_plan(
         return plan.result
     prompt = plan.prompt
     assert prompt is not None  # ColumnPlan invariant
-    hits_before = engine.stats.n_cache_hits
-    with stats.timed(STAGE_QUERY):
+    with _attributed_hits(engine, stats, STAGE_QUERY), stats.timed(STAGE_QUERY):
         response = engine.query(prompt.text)
-    stats.stage(STAGE_QUERY).cache_hits += engine.stats.n_cache_hits - hits_before
     return _remap_response(plan, response, engine, remapper, stats)
 
 
@@ -68,11 +82,9 @@ def _remap_response(
     """Run stage 4 (label remapping, with resample requeries) for one plan."""
     prompt = plan.prompt
     assert prompt is not None
-    hits_before = engine.stats.n_cache_hits
-    with stats.timed(STAGE_REMAP):
+    with _attributed_hits(engine, stats, STAGE_REMAP), stats.timed(STAGE_REMAP):
         requery = lambda attempt: engine.requery(prompt.text, attempt)
         remap = remapper.remap(response, list(prompt.label_set), requery)
-    stats.stage(STAGE_REMAP).cache_hits += engine.stats.n_cache_hits - hits_before
     return AnnotationResult(
         label=remap.label,
         raw_response=response,
@@ -169,12 +181,10 @@ class BatchedExecutor(Executor):
         responses: list[str] = []
         for start in range(0, len(prompts), max(chunk, 1)):
             chunk_prompts = prompts[start:start + chunk]
-            hits_before = engine.stats.n_cache_hits
-            with stats.timed(STAGE_QUERY, calls=len(chunk_prompts)):
+            with _attributed_hits(engine, stats, STAGE_QUERY), stats.timed(
+                STAGE_QUERY, calls=len(chunk_prompts)
+            ):
                 responses.extend(engine.query_batch(chunk_prompts))
-            stats.stage(STAGE_QUERY).cache_hits += (
-                engine.stats.n_cache_hits - hits_before
-            )
 
         # strict=: a miscounting backend must fail loudly, not silently drop
         # the tail of the column set.
@@ -231,14 +241,12 @@ class ConcurrentExecutor(Executor):
         prompts = [plan.prompt.text for plan in pending]  # type: ignore[union-attr]
         responses: list[str] = []
         if prompts:
-            hits_before = engine.stats.n_cache_hits
-            with stats.timed(STAGE_QUERY, calls=len(prompts)):
+            with _attributed_hits(engine, stats, STAGE_QUERY), stats.timed(
+                STAGE_QUERY, calls=len(prompts)
+            ):
                 responses = engine.query_batch_fanout(
                     prompts, workers=self.workers, chunk_size=self.chunk_size
                 )
-            stats.stage(STAGE_QUERY).cache_hits += (
-                engine.stats.n_cache_hits - hits_before
-            )
 
         for plan, response in zip(pending, responses, strict=True):
             produced[plan.position] = _remap_response(

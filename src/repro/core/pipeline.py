@@ -45,7 +45,7 @@ Typical usage::
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -61,6 +61,9 @@ from repro.core.table import Column, Table
 from repro.exceptions import ConfigurationError
 from repro.llm.base import GenerationParams, LanguageModel
 from repro.llm.registry import get_model
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.core.store import ResponseStore, RunManifest
 
 __all__ = [
     "AnnotationResult",
@@ -264,6 +267,7 @@ class ArcheType:
         chunk_size: int = 64,
         executor: Executor | str | None = None,
         workers: int | None = None,
+        manifest: "RunManifest | None" = None,
     ) -> Iterator[AnnotationResult]:
         """Annotate a stream of columns, yielding results in column order.
 
@@ -279,6 +283,17 @@ class ArcheType:
         ``column_indices`` and ``tables`` mirror :meth:`annotate_columns` but
         are consumed lazily alongside ``columns``.  ``executor`` selects the
         per-chunk execution strategy (default: batched).
+
+        ``manifest`` enables run checkpointing (see :mod:`repro.core.store`):
+        each chunk's results are journaled as the chunk completes, keyed by
+        global column position, and columns the manifest already holds are
+        *not* re-executed — they are still planned (planning is what consumes
+        the annotator's RNG stream, so skipping it would shift sampling for
+        every later column) but their recorded results are yielded directly.
+        Replaying an interrupted run over the same column stream with the
+        same config/seed therefore reproduces the original labels
+        bit-identically while only paying for the columns the crash left
+        unfinished.
         """
         if chunk_size <= 0:
             raise ConfigurationError("chunk_size must be positive")
@@ -317,8 +332,55 @@ class ArcheType:
                     break
             if not chunk_columns:
                 return
+            chunk_start = stream_position - len(chunk_columns)
             plans = self._plan_set(chunk_columns, chunk_tables, chunk_indices)
-            yield from chosen.execute(plans, self.engine, self.remapper, self.stats)
+            if manifest is None:
+                yield from chosen.execute(
+                    plans, self.engine, self.remapper, self.stats
+                )
+            else:
+                yield from self._execute_checkpointed(
+                    plans, chunk_start, manifest, chosen
+                )
+
+    def _execute_checkpointed(
+        self,
+        plans: Sequence[ColumnPlan],
+        chunk_start: int,
+        manifest: "RunManifest",
+        executor: Executor,
+    ) -> Iterator[AnnotationResult]:
+        """Execute one stream chunk against a run manifest.
+
+        Plans whose global position the manifest already holds are answered
+        from the journal; the rest are executed normally and journaled before
+        any result is yielded, so a consumer abandoning the stream mid-chunk
+        still leaves the whole chunk resumable.
+        """
+        recorded: dict[int, AnnotationResult] = {}
+        pending: list[ColumnPlan] = []
+        for plan in plans:
+            result = manifest.get(chunk_start + plan.position)
+            if result is not None:
+                recorded[plan.position] = result
+            else:
+                pending.append(plan)
+        executed: dict[int, AnnotationResult] = {}
+        if pending:
+            results = executor.execute(
+                pending, self.engine, self.remapper, self.stats
+            )
+            # executor.execute returns results ordered by plan position.
+            for plan, result in zip(
+                sorted(pending, key=lambda p: p.position), results, strict=True
+            ):
+                manifest.record(chunk_start + plan.position, result)
+                executed[plan.position] = result
+        for plan in plans:
+            if plan.position in recorded:
+                yield recorded[plan.position]
+            else:
+                yield executed[plan.position]
 
     def annotate_table(
         self,
@@ -360,6 +422,20 @@ class ArcheType:
             )
         return per_column_tables, indices
 
+    # --------------------------------------------------------- persistence
+    def attach_store(self, store: "ResponseStore | None") -> None:
+        """Attach (or detach, with ``None``) a persistent response store.
+
+        The store becomes the durable tier under the engine's LRU cache:
+        LRU miss → store lookup → model call, with fresh completions written
+        through to disk.  The caller keeps ownership of the store's lifetime
+        (open it once, share it across annotators, close it when done).  Do
+        not attach a store when wrapping a stateful, call-order-dependent
+        backend — the same rule as the LRU, which already implies it:
+        ``query_cache_size=0`` bypasses both tiers.
+        """
+        self.engine.store = store
+
     # ------------------------------------------------------------- metrics
     @property
     def query_count(self) -> int:
@@ -368,8 +444,13 @@ class ArcheType:
 
     @property
     def cache_hit_count(self) -> int:
-        """Prompts served from the engine's cache instead of the model."""
+        """Prompts served from the engine's LRU cache instead of the model."""
         return self.engine.stats.n_cache_hits
+
+    @property
+    def store_hit_count(self) -> int:
+        """Prompts served from the persistent store instead of the model."""
+        return self.engine.stats.n_store_hits
 
     @property
     def pipeline_stats(self) -> PipelineStats:

@@ -74,17 +74,24 @@ class AnnotationResult:
 
 @dataclass
 class StageStats:
-    """Counters for one pipeline stage."""
+    """Counters for one pipeline stage.
+
+    ``cache_hits`` counts prompts served from the engine's in-memory LRU;
+    ``store_hits`` counts prompts served from the persistent on-disk store
+    (see :mod:`repro.core.store`).  Both mean "no model call".
+    """
 
     calls: int = 0
     seconds: float = 0.0
     cache_hits: int = 0
+    store_hits: int = 0
 
     def as_dict(self) -> dict[str, float]:
         return {
             "calls": self.calls,
             "seconds": self.seconds,
             "cache_hits": self.cache_hits,
+            "store_hits": self.store_hits,
         }
 
 
@@ -103,6 +110,7 @@ def stage_rows_from_snapshot(
             "calls": int(counters.get("calls", 0)),
             "seconds": round(float(counters.get("seconds", 0.0)), 4),
             "cache_hits": int(counters.get("cache_hits", 0)),
+            "store_hits": int(counters.get("store_hits", 0)),
         }
         for stage, counters in snapshot.items()
     ]
@@ -134,11 +142,13 @@ class PipelineStats:
         seconds: float = 0.0,
         calls: int = 1,
         cache_hits: int = 0,
+        store_hits: int = 0,
     ) -> None:
         stats = self.stage(name)
         stats.calls += calls
         stats.seconds += seconds
         stats.cache_hits += cache_hits
+        stats.store_hits += store_hits
 
     @contextmanager
     def timed(self, name: str, calls: int = 1) -> Iterator[None]:
@@ -176,6 +186,7 @@ class PipelineStats:
                 seconds=counters["seconds"],
                 calls=int(counters["calls"]),
                 cache_hits=int(counters["cache_hits"]),
+                store_hits=int(counters.get("store_hits", 0)),
             )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

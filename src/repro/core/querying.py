@@ -17,9 +17,18 @@ Two throughput features live here rather than in the pipeline:
   is a pure function of ``(prompt, params)``; set ``cache_size=0`` when
   wrapping a stateful test double whose answers depend on call order.
 
+Below the LRU sits an optional **persistent store**
+(:class:`repro.core.store.ResponseStore`): on an LRU miss the engine consults
+the store, promotes hits into the LRU, and writes fresh model completions
+through to disk, so a warm second run of the same workload issues zero model
+queries even in a new process.  The store shares the LRU's purity assumption
+and is therefore bypassed together with it when ``cache_size=0`` (the
+stateful-model escape hatch).
+
 :class:`QueryStats` separates ``n_prompts`` (prompts requested) from
-``n_queries`` (prompts that actually reached the model), so cost accounting
-stays truthful under caching.
+``n_queries`` (prompts that actually reached the model), with hits split by
+tier (``n_cache_hits`` for the LRU, ``n_store_hits`` for disk), so cost
+accounting stays truthful under caching.
 """
 
 from __future__ import annotations
@@ -27,9 +36,12 @@ from __future__ import annotations
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.llm.base import BatchParams, GenerationParams, LanguageModel, broadcast_params
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.core.store import ResponseStore
 
 
 @dataclass
@@ -42,9 +54,10 @@ class QueryStats:
     n_prompts: int = 0
     n_batches: int = 0
     n_cache_hits: int = 0
+    n_store_hits: int = 0
 
     def record(self, prompt: str, resample_index: int) -> None:
-        """Record one prompt that reached the model (a cache miss)."""
+        """Record one prompt that reached the model (a miss in every tier)."""
         self.n_prompts += 1
         self.n_queries += 1
         if resample_index > 0:
@@ -52,38 +65,54 @@ class QueryStats:
         self.total_prompt_chars += len(prompt)
 
     def record_hit(self) -> None:
-        """Record one prompt served from the cache without a model call."""
+        """Record one prompt served from the LRU cache without a model call."""
         self.n_prompts += 1
         self.n_cache_hits += 1
 
+    def record_store_hit(self) -> None:
+        """Record one prompt served from the persistent store (LRU miss)."""
+        self.n_prompts += 1
+        self.n_store_hits += 1
+
+    @property
+    def n_hits(self) -> int:
+        """Prompts served without a model call (LRU or persistent store)."""
+        return self.n_cache_hits + self.n_store_hits
+
     @property
     def hit_rate(self) -> float:
-        """Fraction of requested prompts served from the cache."""
+        """Fraction of requested prompts served without a model call."""
         if self.n_prompts == 0:
             return 0.0
-        return self.n_cache_hits / self.n_prompts
+        return self.n_hits / self.n_prompts
 
     def reset(self) -> None:
-        """Zero every counter (the cache, if any, is left untouched)."""
+        """Zero every counter (the cache and store, if any, are untouched)."""
         self.n_queries = 0
         self.n_resamples = 0
         self.total_prompt_chars = 0
         self.n_prompts = 0
         self.n_batches = 0
         self.n_cache_hits = 0
+        self.n_store_hits = 0
 
 
 @dataclass
 class QueryEngine:
     """Submit prompts to a model with consistent generation parameters.
 
-    ``cache_size`` bounds the LRU prompt cache (0 disables caching).
+    ``cache_size`` bounds the LRU prompt cache.  ``store`` adds the durable
+    tier below it (see :mod:`repro.core.store`).  ``cache_size=0`` disables
+    *both* tiers: it is the escape hatch for stateful backends whose answers
+    depend on call order, and a disk store would violate call-order semantics
+    exactly as the LRU would.
     """
 
     model: LanguageModel
     params: GenerationParams = field(default_factory=GenerationParams)
     stats: QueryStats = field(default_factory=QueryStats)
     cache_size: int = 4096
+    store: "ResponseStore | None" = None
     _cache: "OrderedDict[tuple[str, GenerationParams], str]" = field(
         default_factory=OrderedDict, repr=False
     )
@@ -94,6 +123,28 @@ class QueryEngine:
             return None
         self._cache.move_to_end(key)
         return self._cache[key]
+
+    def _lookup(self, key: tuple[str, GenerationParams]) -> tuple[str | None, bool]:
+        """Consult the cache hierarchy: ``(response, came_from_store)``.
+
+        Store hits are promoted into the LRU so a hot prompt pays the disk
+        read once per process.
+        """
+        cached = self._cache_lookup(key)
+        if cached is not None:
+            return cached, False
+        if self.store is None or self.cache_size <= 0:
+            return None, False
+        stored = self.store.get(key[0], key[1])
+        if stored is None:
+            return None, False
+        self._cache_store(key, stored)
+        return stored, True
+
+    def _store_put(self, key: tuple[str, GenerationParams], response: str) -> None:
+        """Write a fresh model completion through to the persistent store."""
+        if self.store is not None and self.cache_size > 0:
+            self.store.put(key[0], key[1], response)
 
     def _cache_store(self, key: tuple[str, GenerationParams], response: str) -> None:
         if self.cache_size <= 0:
@@ -126,13 +177,17 @@ class QueryEngine:
         """Send one prompt to the model and return its raw completion."""
         effective = params or self.params
         key = (prompt, effective)
-        cached = self._cache_lookup(key)
+        cached, from_store = self._lookup(key)
         if cached is not None:
-            self.stats.record_hit()
+            if from_store:
+                self.stats.record_store_hit()
+            else:
+                self.stats.record_hit()
             return cached
         self.stats.record(prompt, effective.resample_index)
         response = self.model.generate(prompt, effective)
         self._cache_store(key, response)
+        self._store_put(key, response)
         return response
 
     def query_batch(
@@ -178,13 +233,17 @@ class QueryEngine:
             self._absorb_completions(keys, completions, {})
             return completions
 
-        responses, missing = self._partition_cached(prompts, effective)
+        responses, missing, store_hits = self._partition_cached(prompts, effective)
         if missing:
             self._absorb_completions(missing, generate(missing), responses)
 
         # Every requested prompt that did not trigger a model call — cached
-        # upfront or a duplicate of an earlier batch entry — counts as a hit.
-        for _ in range(len(prompts) - len(missing)):
+        # upfront or a duplicate of an earlier batch entry — counts as a hit:
+        # once from the persistent store for each unique key the store
+        # answered, from the LRU for the rest.
+        for _ in range(store_hits):
+            self.stats.record_store_hit()
+        for _ in range(len(prompts) - len(missing) - store_hits):
             self.stats.record_hit()
         return [responses[key] for key in zip(prompts, effective)]
 
@@ -204,25 +263,29 @@ class QueryEngine:
     ) -> tuple[
         dict[tuple[str, GenerationParams], str],
         list[tuple[str, GenerationParams]],
+        int,
     ]:
         """Split a batch into cached responses and unique cache misses.
 
         Misses come back in first-occurrence order; duplicates of an earlier
-        miss are folded into it.
+        miss are folded into it.  The third element counts the unique keys
+        answered by the persistent store rather than the LRU.
         """
         responses: dict[tuple[str, GenerationParams], str] = {}
         missing: list[tuple[str, GenerationParams]] = []
         missing_keys: set[tuple[str, GenerationParams]] = set()
+        store_hits = 0
         for key in zip(prompts, effective):
             if key in responses or key in missing_keys:
                 continue
-            cached = self._cache_lookup(key)
+            cached, from_store = self._lookup(key)
             if cached is not None:
                 responses[key] = cached
+                store_hits += int(from_store)
             else:
                 missing.append(key)
                 missing_keys.add(key)
-        return responses, missing
+        return responses, missing, store_hits
 
     def _absorb_completions(
         self,
@@ -244,14 +307,17 @@ class QueryEngine:
             self.stats.record(key[0], key[1].resample_index)
             responses[key] = response
             self._cache_store(key, response)
+            self._store_put(key, response)
 
     # ------------------------------------------------------------- fan-out
     def spawn_worker(self) -> "QueryEngine":
         """A worker engine for one thread of a concurrent fan-out.
 
         The worker wraps :meth:`LanguageModel.clone_for_worker` and carries no
-        cache and fresh stats: the *parent* engine owns deduplication, caching
-        and accounting, so worker-side state would only double count.
+        cache, no store and fresh stats: the *parent* engine owns
+        deduplication, caching, persistence and accounting, so worker-side
+        state would only double count (and concurrent store writes from
+        workers would race on the same keys for no benefit).
         """
         return QueryEngine(
             model=self.model.clone_for_worker(),

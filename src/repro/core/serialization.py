@@ -181,8 +181,11 @@ class PromptSerializer:
     ) -> SerializedPrompt:
         """Render the prompt for one column.
 
-        Raises :class:`SerializationError` if even an empty context cannot fit
-        inside the context window (i.e. the label set alone is too large).
+        The returned prompt is guaranteed to satisfy ``token_count <=
+        context_window`` under the serializer's tokenizer, even when the
+        tokenizer is non-additive across the skeleton/context join.  Raises
+        :class:`SerializationError` if no prompt can satisfy that — the label
+        set alone is too large, or the tokenizer's counts are inconsistent.
         """
         labels, restricted = self.effective_label_set(label_set, context_values)
         template = self._template()
@@ -203,19 +206,46 @@ class PromptSerializer:
         if self.tokenizer.count(context) > budget:
             context = self.tokenizer.truncate(context, budget)
             truncated = True
-        if self.style is PromptStyle.FINETUNED:
-            text = template.format(context=context)
-        else:
-            text = template.format(context=context, classnames=classnames)
+        text = self._render(template, context, classnames)
+        # Hard post-render check: the budget above assumes token counts are
+        # additive (count(skeleton + context) == count(skeleton) +
+        # count(context)), which a real BPE tokenizer does not guarantee —
+        # merges across the join can push the rendered prompt past the
+        # window even though both halves fit.  Re-truncate against the
+        # observed overshoot until the final prompt fits; the loop terminates
+        # because the budget shrinks by at least one token per pass and an
+        # empty context renders the skeleton, which the precheck bounded.
+        while context and self.tokenizer.count(text) > self.context_window:
+            overshoot = self.tokenizer.count(text) - self.context_window
+            budget = max(0, budget - max(overshoot, 1))
+            shorter = self.tokenizer.truncate(context, budget)
+            # A tokenizer whose truncate refuses to shrink further would spin
+            # here; once the budget is exhausted, drop the context outright.
+            context = "" if (shorter == context and budget == 0) else shorter
+            truncated = True
+            text = self._render(template, context, classnames)
+        final_tokens = self.tokenizer.count(text)
+        if final_tokens > self.context_window:
+            raise SerializationError(
+                "prompt still exceeds the context window after truncation "
+                f"({final_tokens} > {self.context_window} tokens); the "
+                "tokenizer's skeleton count is inconsistent with its "
+                "rendered-prompt count"
+            )
         return SerializedPrompt(
             text=text,
             style=self.style,
             label_set=tuple(labels),
             context_values=tuple(context_values),
             truncated=truncated,
-            token_count=self.tokenizer.count(text),
+            token_count=final_tokens,
             numeric_restricted=restricted,
         )
+
+    def _render(self, template: str, context: str, classnames: str) -> str:
+        if self.style is PromptStyle.FINETUNED:
+            return template.format(context=context)
+        return template.format(context=context, classnames=classnames)
 
     def serialize_table_at_once(
         self,

@@ -114,14 +114,22 @@ class ClassificationReport:
 def evaluate_predictions(
     truth: Sequence[str], predictions: Sequence[str]
 ) -> ClassificationReport:
-    """Compute the full report for a list of (truth, prediction) pairs."""
+    """Compute the full report for a list of (truth, prediction) pairs.
+
+    ``ci95`` is the normal-approximation interval on the column-level
+    *accuracy* — the per-column correct/incorrect outcome is the Bernoulli
+    proportion the approximation applies to.  Weighted F1 is not a
+    proportion, so feeding it into the interval (an earlier bug) produced
+    half-widths with no statistical meaning.
+    """
     _check_lengths(truth, predictions)
     f1 = weighted_f1(truth, predictions)
+    acc = accuracy(truth, predictions)
     return ClassificationReport(
         n_columns=len(truth),
-        accuracy=accuracy(truth, predictions),
+        accuracy=acc,
         weighted_f1=f1,
-        ci95=confidence_interval(f1, len(truth)),
+        ci95=confidence_interval(acc, len(truth)),
         per_class_accuracy=per_class_accuracy(truth, predictions),
         per_class_f1=per_class_f1(truth, predictions),
         support=dict(Counter(truth)),

@@ -46,10 +46,12 @@ def format_stage_stats(
     """Render a :meth:`repro.core.plan.PipelineStats.snapshot` as a table.
 
     One row per pipeline stage (sample / rules / serialize / query / remap)
-    with call counts, wall-clock seconds and cache hits.
+    with call counts, wall-clock seconds, and hits per cache tier (in-memory
+    LRU vs. persistent store).
     """
     return format_table(stage_rows_from_snapshot(stats),
-                        columns=["stage", "calls", "seconds", "cache_hits"],
+                        columns=["stage", "calls", "seconds", "cache_hits",
+                                 "store_hits"],
                         title=title)
 
 

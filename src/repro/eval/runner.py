@@ -24,11 +24,13 @@ the result when the annotator exposes them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Iterable, Iterator, Protocol, Sequence, runtime_checkable
 
 from repro.core.pipeline import AnnotationResult
 from repro.core.plan import stage_rows_from_snapshot
 from repro.core.remapping import NULL_LABEL
+from repro.core.store import ResponseStore, RunManifest, open_store
 from repro.core.table import Column, Table
 from repro.datasets.base import Benchmark, BenchmarkColumn
 from repro.eval.confusion import ConfusionMatrix
@@ -98,6 +100,10 @@ class EvaluationResult:
     #: Engine counters captured from the annotator, when exposed.
     n_queries: int | None = None
     n_cache_hits: int | None = None
+    n_store_hits: int | None = None
+    #: Identifier of the checkpointed run (when a cache directory was used);
+    #: pass it back as ``resume`` to continue an interrupted run.
+    run_id: str | None = None
 
     @property
     def weighted_f1_pct(self) -> float:
@@ -123,6 +129,10 @@ class EvaluationResult:
             row["n_queries"] = self.n_queries
         if self.n_cache_hits is not None:
             row["cache_hits"] = self.n_cache_hits
+        if self.n_store_hits is not None:
+            row["store_hits"] = self.n_store_hits
+        if self.run_id is not None:
+            row["run_id"] = self.run_id
         if self.pipeline_stats:
             plan_s = sum(
                 counters["seconds"]
@@ -162,7 +172,20 @@ class ExperimentRunner:
       ``batch_size`` or 64);
     * ``reset_stats`` — zero the annotator's engine/pipeline counters before
       evaluating (when it exposes ``reset_stats``), so multi-run experiments
-      report per-run numbers.
+      report per-run numbers;
+    * ``cache_dir`` — directory for the persistence layer (see
+      :mod:`repro.core.store`): a durable ``(prompt, params) → response``
+      store shared by every run plus one checkpoint manifest per run.  The
+      store is attached to the annotator's engine for the duration of the
+      evaluation (an engine that already carries a store keeps its own);
+    * ``store`` — store backend under ``cache_dir``: ``"sqlite"`` (default),
+      ``"jsonl"``, or ``"none"`` to checkpoint runs without persisting
+      responses (the right setting for stateful backends);
+    * ``run_id`` — explicit id for the run manifest (default: generated);
+    * ``resume`` — id of an interrupted run to resume: columns already in
+      that run's manifest are replayed from the journal (bit-identically —
+      planning still burns the RNG stream) instead of re-executed.  Requires
+      ``cache_dir`` and a streaming-capable annotator.
     """
 
     keep_annotations: bool = False
@@ -171,6 +194,10 @@ class ExperimentRunner:
     workers: int | None = None
     stream_chunk_size: int | None = None
     reset_stats: bool = True
+    cache_dir: str | Path | None = None
+    store: str = "sqlite"
+    run_id: str | None = None
+    resume: str | None = None
 
     def evaluate(
         self,
@@ -185,41 +212,162 @@ class ExperimentRunner:
             columns = columns[:max_columns]
         if self.reset_stats and hasattr(annotator, "reset_stats"):
             annotator.reset_stats()
-        truth: list[str] = []
-        predictions: list[str] = []
-        annotations: list[AnnotationResult] = []
-        n_remapped = 0
-        n_rule_applied = 0
-        n_unmapped = 0
-        for bench_column, result in zip(
-            columns, self._annotate(annotator, columns), strict=True
-        ):
-            truth.append(bench_column.label)
-            predictions.append(result.label)
-            n_remapped += int(result.remapped)
-            n_rule_applied += int(result.rule_applied)
-            n_unmapped += int(result.label == NULL_LABEL)
-            if self.keep_annotations:
-                annotations.append(result)
-        report = evaluate_predictions(truth, predictions)
-        confusion = ConfusionMatrix.from_predictions(truth, predictions)
-        stats = getattr(annotator, "pipeline_stats", None)
-        engine_stats = getattr(getattr(annotator, "engine", None), "stats", None)
-        return EvaluationResult(
-            benchmark_name=benchmark.name,
-            method_name=method_name,
-            truth=truth,
-            predictions=predictions,
-            report=report,
-            confusion=confusion,
-            n_remapped=n_remapped,
-            n_rule_applied=n_rule_applied,
-            n_unmapped=n_unmapped,
-            annotations=annotations,
-            pipeline_stats=stats.snapshot() if stats is not None else None,
-            n_queries=engine_stats.n_queries if engine_stats is not None else None,
-            n_cache_hits=engine_stats.n_cache_hits if engine_stats is not None else None,
+        store_obj, manifest, attached = self._open_persistence(
+            annotator, benchmark, method_name
         )
+        try:
+            truth: list[str] = []
+            predictions: list[str] = []
+            annotations: list[AnnotationResult] = []
+            n_remapped = 0
+            n_rule_applied = 0
+            n_unmapped = 0
+            for bench_column, result in zip(
+                columns, self._annotate(annotator, columns, manifest), strict=True
+            ):
+                truth.append(bench_column.label)
+                predictions.append(result.label)
+                n_remapped += int(result.remapped)
+                n_rule_applied += int(result.rule_applied)
+                n_unmapped += int(result.label == NULL_LABEL)
+                if self.keep_annotations:
+                    annotations.append(result)
+            report = evaluate_predictions(truth, predictions)
+            confusion = ConfusionMatrix.from_predictions(truth, predictions)
+            stats = getattr(annotator, "pipeline_stats", None)
+            engine_stats = getattr(getattr(annotator, "engine", None), "stats", None)
+            return EvaluationResult(
+                benchmark_name=benchmark.name,
+                method_name=method_name,
+                truth=truth,
+                predictions=predictions,
+                report=report,
+                confusion=confusion,
+                n_remapped=n_remapped,
+                n_rule_applied=n_rule_applied,
+                n_unmapped=n_unmapped,
+                annotations=annotations,
+                pipeline_stats=stats.snapshot() if stats is not None else None,
+                n_queries=engine_stats.n_queries if engine_stats is not None else None,
+                n_cache_hits=engine_stats.n_cache_hits if engine_stats is not None else None,
+                n_store_hits=(
+                    engine_stats.n_store_hits if engine_stats is not None else None
+                ),
+                run_id=manifest.run_id if manifest is not None else None,
+            )
+        finally:
+            if manifest is not None:
+                manifest.close()
+            if attached:
+                getattr(annotator, "engine").store = None
+            if store_obj is not None:
+                store_obj.close()
+
+    def _open_persistence(
+        self,
+        annotator: ColumnAnnotator,
+        benchmark: Benchmark,
+        method_name: str,
+    ) -> tuple[ResponseStore | None, RunManifest | None, bool]:
+        """Open the response store and run manifest configured for this run.
+
+        Returns ``(store, manifest, attached)`` where ``attached`` records
+        whether the store was attached to the annotator's engine by this call
+        (and must therefore be detached when the evaluation finishes — the
+        store object's lifetime belongs to the runner, not the annotator).
+        """
+        if self.cache_dir is None:
+            if self.resume is not None:
+                raise ConfigurationError(
+                    "resume requires cache_dir to locate the run manifest"
+                )
+            return None, None, False
+        store_obj = open_store(self.store, self.cache_dir)
+        attached = False
+        try:
+            if store_obj is not None:
+                engine = getattr(annotator, "engine", None)
+                if engine is not None and getattr(engine, "store", None) is None:
+                    engine.store = store_obj
+                    attached = True
+            manifest: RunManifest | None = None
+            if isinstance(annotator, StreamingColumnAnnotator):
+                if self.resume is not None:
+                    manifest = RunManifest.load(self.cache_dir, self.resume)
+                    try:
+                        self._check_resume_metadata(
+                            manifest, annotator, benchmark, method_name
+                        )
+                    except BaseException:
+                        manifest.close()
+                        raise
+                else:
+                    manifest = RunManifest.create(
+                        self.cache_dir,
+                        run_id=self.run_id,
+                        metadata=self._run_metadata(
+                            annotator, benchmark, method_name
+                        ),
+                    )
+            elif self.resume is not None:
+                raise ConfigurationError(
+                    "resume requires a streaming-capable annotator "
+                    "(one exposing annotate_stream)"
+                )
+        except BaseException:
+            # evaluate()'s try/finally has not started yet, so clean up here:
+            # a store left attached to the annotator's engine after a failed
+            # open would silently serve a closed (or foreign) store on the
+            # next evaluation.
+            if attached:
+                getattr(annotator, "engine").store = None
+            if store_obj is not None:
+                store_obj.close()
+            raise
+        return store_obj, manifest, attached
+
+    @staticmethod
+    def _run_metadata(
+        annotator: ColumnAnnotator, benchmark: Benchmark, method_name: str
+    ) -> dict[str, object]:
+        """Identity of the experiment a manifest belongs to.
+
+        The annotator seed is included when discoverable so a resume with a
+        different seed — which would mix two RNG streams' predictions — is
+        caught, not silently scored.
+        """
+        metadata: dict[str, object] = {
+            "benchmark": benchmark.name,
+            "method": method_name,
+        }
+        seed = getattr(getattr(annotator, "config", None), "seed", None)
+        if seed is not None:
+            metadata["seed"] = seed
+        return metadata
+
+    @classmethod
+    def _check_resume_metadata(
+        cls,
+        manifest: RunManifest,
+        annotator: ColumnAnnotator,
+        benchmark: Benchmark,
+        method_name: str,
+    ) -> None:
+        """Refuse to splice a manifest into a different experiment.
+
+        Resuming replays recorded labels positionally, so a manifest written
+        for another benchmark, method or annotator seed would silently score
+        the wrong predictions.
+        """
+        expected = cls._run_metadata(annotator, benchmark, method_name)
+        for key, value in expected.items():
+            recorded = manifest.metadata.get(key)
+            if recorded is not None and recorded != value:
+                raise ConfigurationError(
+                    f"run {manifest.run_id!r} was recorded for {key}="
+                    f"{recorded!r}, not {value!r}; resuming would splice "
+                    "predictions across experiments"
+                )
 
     @staticmethod
     def _column_table(bench_column: BenchmarkColumn) -> Table | None:
@@ -231,16 +379,19 @@ class ExperimentRunner:
         self,
         annotator: ColumnAnnotator,
         columns: Sequence[BenchmarkColumn],
+        manifest: RunManifest | None = None,
     ) -> Iterator[AnnotationResult]:
         """Choose the richest drive the annotator supports.
 
         ``annotate_columns`` itself honours ``batch_size=0`` by falling back
         to the per-column loop, so batch-capable annotators always take a
         batched drive; streaming-capable ones are consumed lazily so only one
-        chunk of annotation state is alive at a time.
+        chunk of annotation state is alive at a time.  Run checkpointing
+        (``manifest``) is a streaming-drive feature; for the other drives it
+        is ``None`` by construction.
         """
         if isinstance(annotator, StreamingColumnAnnotator):
-            return self._annotate_streaming(annotator, columns)
+            return self._annotate_streaming(annotator, columns, manifest)
         if isinstance(annotator, BatchColumnAnnotator):
             return iter(self._annotate_batched(annotator, columns))
         return self._annotate_sequential(annotator, columns)
@@ -261,6 +412,7 @@ class ExperimentRunner:
         self,
         annotator: StreamingColumnAnnotator,
         columns: Sequence[BenchmarkColumn],
+        manifest: RunManifest | None = None,
     ) -> Iterator[AnnotationResult]:
         """Drive a streaming-capable annotator chunk-at-a-time.
 
@@ -286,6 +438,8 @@ class ExperimentRunner:
             kwargs["executor"] = executor
         if self.workers is not None:
             kwargs["workers"] = self.workers
+        if manifest is not None:
+            kwargs["manifest"] = manifest
         return annotator.annotate_stream(
             (bench_column.column for bench_column in columns),
             tables=(self._column_table(bench_column) for bench_column in columns),

@@ -42,3 +42,8 @@ class SerializationError(ReproError):
 
 class RemappingError(ReproError):
     """A remapping strategy failed in a way that cannot be recovered from."""
+
+
+class StoreError(ReproError):
+    """The persistent query store could not be read or written (corrupted
+    database, unwritable cache directory, closed handle, ...)."""

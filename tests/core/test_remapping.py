@@ -16,6 +16,7 @@ from repro.core.remapping import (
     get_remapper,
     list_remappers,
     normalize,
+    normalized_label_set,
 )
 from repro.exceptions import ConfigurationError
 
@@ -147,3 +148,32 @@ class TestFactory:
         remapper = get_remapper("resample", k=7)
         assert isinstance(remapper, ResampleRemapper)
         assert remapper.k == 7
+
+
+class TestNormalizedLabelSetMemoization:
+    """The hot-path fix: labels are normalized once per distinct label set."""
+
+    def test_memoized_per_label_tuple(self):
+        labels = ["Person_Name", "City", "postal code"]
+        first = normalized_label_set(labels)
+        assert first == ("person name", "city", "postal code")
+        # Same labels (even via a different list object) hit the cache.
+        assert normalized_label_set(list(labels)) is first
+
+    def test_matchers_agree_with_unmemoized_normalize(self):
+        labels = ["Person_Name", "addressLocality", "postal code", "IATA code"]
+        for response in ("person name", "  ADDRESSLOCALITY. ", "the IATA code",
+                         "postal", "no match at all"):
+            expected_exact = next(
+                (l for l in labels if normalize(l) == normalize(response)), None
+            )
+            assert exact_match(response, labels) == expected_exact
+
+    def test_contains_longest_label_and_tie_order_preserved(self):
+        # Both labels are substrings of the response; the longer normalized
+        # form wins, and ties keep first-in-set order.
+        assert contains_match("the postal code value", ["code", "postal code"]) == "postal code"
+        assert contains_match("ab", ["AB", "a_b"]) == "AB"
+
+    def test_empty_labels_are_skipped(self):
+        assert contains_match("anything", ["", "  ", "thing"]) == "thing"

@@ -13,6 +13,7 @@ from repro.core.serialization import (
     prompt_style_from_name,
 )
 from repro.exceptions import ConfigurationError, SerializationError
+from repro.llm.tokenizer import SimpleTokenizer
 
 LABELS = ["state", "person", "url", "number"]
 CONTEXT = ["Alaska", "Colorado", "Kentucky"]
@@ -113,3 +114,78 @@ class TestSerialization:
         serializer = PromptSerializer(style=PromptStyle.S)
         prompt = serializer.serialize(CONTEXT, LABELS)
         assert prompt.token_count > 0
+
+
+class SuperAdditiveTokenizer(SimpleTokenizer):
+    """Adversarial tokenizer: counts are not additive across the join.
+
+    Rendering context into the skeleton costs ``join_penalty`` extra tokens
+    that neither half carries alone — the shape of a real BPE tokenizer whose
+    merges differ once the strings are concatenated.  The old budget logic
+    (window - skeleton) assumed additivity and could emit prompts whose final
+    ``token_count`` exceeded the context window.
+    """
+
+    def __init__(self, join_penalty: int = 12) -> None:
+        self.join_penalty = join_penalty
+
+    def count(self, text: str) -> int:
+        base = super().count(text)
+        # The penalty only fires on a fully rendered prompt: instruction
+        # skeleton AND non-empty context present.
+        if "Column:" in text and "Classes:" in text:
+            rendered_context = text.split("Column:", 1)[1].split(". Classes:", 1)[0]
+            if rendered_context.strip():
+                return base + self.join_penalty
+        return base
+
+
+class TestPostRenderOverflowGuard:
+    def test_nonadditive_tokenizer_cannot_overflow_window(self):
+        tokenizer = SuperAdditiveTokenizer(join_penalty=12)
+        window = 60
+        serializer = PromptSerializer(
+            style=PromptStyle.S, context_window=window, tokenizer=tokenizer
+        )
+        # Sized so skeleton + context fits the naive budget but the rendered
+        # prompt overflows by the join penalty.
+        context = [f"value{i}" for i in range(40)]
+        prompt = serializer.serialize(context, LABELS)
+        assert prompt.token_count <= window
+        assert tokenizer.count(prompt.text) <= window
+        assert prompt.truncated
+
+    def test_additive_tokenizer_behaviour_unchanged(self):
+        window = 60
+        baseline = PromptSerializer(style=PromptStyle.S, context_window=window)
+        adversarial = PromptSerializer(
+            style=PromptStyle.S,
+            context_window=window,
+            tokenizer=SuperAdditiveTokenizer(join_penalty=0),
+        )
+        context = [f"value{i}" for i in range(40)]
+        assert baseline.serialize(context, LABELS).text == adversarial.serialize(
+            context, LABELS
+        ).text
+
+    def test_huge_penalty_degrades_to_skeleton_not_overflow(self):
+        # Even when any non-empty context overflows, serialization must not
+        # emit an over-window prompt: the context is dropped entirely.
+        tokenizer = SuperAdditiveTokenizer(join_penalty=1000)
+        window = 60
+        serializer = PromptSerializer(
+            style=PromptStyle.S, context_window=window, tokenizer=tokenizer
+        )
+        prompt = serializer.serialize(["alpha", "beta"], LABELS)
+        assert prompt.token_count <= window
+        assert prompt.truncated
+
+    def test_every_zero_shot_style_respects_window(self):
+        tokenizer = SuperAdditiveTokenizer(join_penalty=7)
+        context = [f"value{i}" for i in range(60)]
+        for style in PromptStyle.zero_shot_styles():
+            serializer = PromptSerializer(
+                style=style, context_window=120, tokenizer=tokenizer
+            )
+            prompt = serializer.serialize(context, LABELS)
+            assert tokenizer.count(prompt.text) <= 120, style

@@ -1,0 +1,254 @@
+"""Unit tests for the persistent query store and run manifests."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.core.plan import AnnotationResult
+from repro.core.store import (
+    JSONLResponseStore,
+    RunManifest,
+    SQLiteResponseStore,
+    generate_run_id,
+    iter_manifest_rows,
+    list_runs,
+    open_store,
+    params_key,
+)
+from repro.exceptions import ConfigurationError
+from repro.llm.base import GenerationParams
+
+STORE_KINDS = ["sqlite", "jsonl"]
+
+
+def _open(kind: str, tmp_path):
+    store = open_store(kind, tmp_path)
+    assert store is not None
+    return store
+
+
+class TestParamsKey:
+    def test_deterministic_and_compact(self):
+        params = GenerationParams(temperature=0.5, resample_index=2)
+        assert params_key(params) == params_key(
+            GenerationParams(temperature=0.5, resample_index=2)
+        )
+        assert json.loads(params_key(params))["temperature"] == 0.5
+
+    def test_distinguishes_parameters(self):
+        assert params_key(GenerationParams()) != params_key(
+            GenerationParams(resample_index=1)
+        )
+
+
+class TestOpenStore:
+    def test_none_kind_disables_persistence(self, tmp_path):
+        assert open_store("none", tmp_path) is None
+
+    def test_unknown_kind_raises(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            open_store("redis", tmp_path)
+
+    def test_creates_cache_dir(self, tmp_path):
+        nested = tmp_path / "a" / "b"
+        store = open_store("sqlite", nested)
+        assert nested.is_dir()
+        store.close()
+
+    def test_backend_classes(self, tmp_path):
+        with open_store("sqlite", tmp_path / "s") as store:
+            assert isinstance(store, SQLiteResponseStore)
+        with open_store("jsonl", tmp_path / "j") as store:
+            assert isinstance(store, JSONLResponseStore)
+
+
+@pytest.mark.parametrize("kind", STORE_KINDS)
+class TestResponseStoreContract:
+    """Behaviour both backends must share (the parity suite)."""
+
+    def test_round_trip(self, kind, tmp_path):
+        with _open(kind, tmp_path) as store:
+            params = GenerationParams()
+            assert store.get("prompt", params) is None
+            store.put("prompt", params, "answer")
+            assert store.get("prompt", params) == "answer"
+            assert len(store) == 1
+
+    def test_params_distinguish_entries(self, kind, tmp_path):
+        with _open(kind, tmp_path) as store:
+            store.put("p", GenerationParams(), "cold")
+            store.put("p", GenerationParams(resample_index=1), "resampled")
+            assert store.get("p", GenerationParams()) == "cold"
+            assert store.get("p", GenerationParams(resample_index=1)) == "resampled"
+            assert len(store) == 2
+
+    def test_append_only_first_write_wins(self, kind, tmp_path):
+        with _open(kind, tmp_path) as store:
+            store.put("p", GenerationParams(), "first")
+            store.put("p", GenerationParams(), "second")
+            assert store.get("p", GenerationParams()) == "first"
+            assert len(store) == 1
+
+    def test_persists_across_reopen(self, kind, tmp_path):
+        with _open(kind, tmp_path) as store:
+            store.put("p", GenerationParams(), "answer")
+        with _open(kind, tmp_path) as store:
+            assert store.get("p", GenerationParams()) == "answer"
+            assert len(store) == 1
+
+    def test_concurrent_writers_are_safe(self, kind, tmp_path):
+        store = _open(kind, tmp_path)
+        errors: list[Exception] = []
+
+        def write(worker: int) -> None:
+            try:
+                for i in range(25):
+                    store.put(f"prompt-{worker}-{i}", GenerationParams(), f"r{i}")
+                    # Every worker also races on one shared key.
+                    store.put("shared", GenerationParams(), f"from-{worker}")
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=write, args=(w,)) for w in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(store) == 8 * 25 + 1
+        for worker in range(8):
+            assert store.get(f"prompt-{worker}-0", GenerationParams()) == "r0"
+        assert store.get("shared", GenerationParams()).startswith("from-")
+        store.close()
+
+    def test_unicode_and_newlines_round_trip(self, kind, tmp_path):
+        with _open(kind, tmp_path) as store:
+            prompt = "düsseldorf \n \"quoted\" \t 数"
+            store.put(prompt, GenerationParams(), "naïve\nanswer")
+        with _open(kind, tmp_path) as store:
+            assert store.get(prompt, GenerationParams()) == "naïve\nanswer"
+
+
+class TestJSONLCorruptionRecovery:
+    def test_corrupt_lines_are_skipped_not_fatal(self, tmp_path):
+        with _open("jsonl", tmp_path) as store:
+            store.put("good-1", GenerationParams(), "a")
+            store.put("good-2", GenerationParams(), "b")
+        path = tmp_path / "store.jsonl"
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write("not json at all\n")
+            handle.write('{"prompt": "half written", "params": "{\n')  # truncated
+            handle.write('{"prompt": "typed wrong", "params": "{}", "response": 7}\n')
+        with _open("jsonl", tmp_path) as store:
+            assert store.get("good-1", GenerationParams()) == "a"
+            assert store.get("good-2", GenerationParams()) == "b"
+            assert len(store) == 2
+            assert store.corrupt_entries_skipped == 3
+            # The store stays writable after recovery.
+            store.put("good-3", GenerationParams(), "c")
+        with _open("jsonl", tmp_path) as store:
+            assert store.get("good-3", GenerationParams()) == "c"
+
+    def test_truncated_final_line_from_crash(self, tmp_path):
+        with _open("jsonl", tmp_path) as store:
+            store.put("complete", GenerationParams(), "kept")
+        path = tmp_path / "store.jsonl"
+        content = path.read_text(encoding="utf-8")
+        line = json.dumps(
+            {"prompt": "lost", "params": params_key(GenerationParams()),
+             "response": "never flushed"},
+        )
+        path.write_text(content + line[: len(line) // 2], encoding="utf-8")
+        with _open("jsonl", tmp_path) as store:
+            assert store.get("complete", GenerationParams()) == "kept"
+            assert store.get("lost", GenerationParams()) is None
+            assert store.corrupt_entries_skipped == 1
+
+
+def _result(label: str, raw: str | None = None) -> AnnotationResult:
+    return AnnotationResult(
+        label=label,
+        raw_response=raw if raw is not None else label,
+        prompt=None,
+        remapped=False,
+        rule_applied=False,
+        strategy="test",
+    )
+
+
+class TestRunManifest:
+    def test_create_record_load_round_trip(self, tmp_path):
+        manifest = RunManifest.create(tmp_path, run_id="run-a",
+                                      metadata={"benchmark": "sotab-27"})
+        manifest.record(0, _result("person"))
+        manifest.record(1, _result("city", raw="City."))
+        manifest.close()
+
+        loaded = RunManifest.load(tmp_path, "run-a")
+        assert loaded.n_completed == 2
+        assert loaded.metadata["benchmark"] == "sotab-27"
+        assert loaded.get(0).label == "person"
+        assert loaded.get(1).raw_response == "City."
+        assert loaded.get(2) is None
+        assert 1 in loaded and 5 not in loaded
+        loaded.close()
+
+    def test_record_is_idempotent_per_index(self, tmp_path):
+        manifest = RunManifest.create(tmp_path, run_id="run-b")
+        manifest.record(0, _result("first"))
+        manifest.record(0, _result("second"))
+        manifest.close()
+        loaded = RunManifest.load(tmp_path, "run-b")
+        assert loaded.get(0).label == "first"
+        assert loaded.n_completed == 1
+        loaded.close()
+
+    def test_resumed_manifest_keeps_appending(self, tmp_path):
+        manifest = RunManifest.create(tmp_path, run_id="run-c")
+        manifest.record(0, _result("a"))
+        manifest.close()
+        resumed = RunManifest.load(tmp_path, "run-c")
+        resumed.record(1, _result("b"))
+        resumed.close()
+        final = RunManifest.load(tmp_path, "run-c")
+        assert final.completed_indices() == [0, 1]
+        final.close()
+
+    def test_load_missing_run_raises_with_available_runs(self, tmp_path):
+        RunManifest.create(tmp_path, run_id="exists").close()
+        with pytest.raises(ConfigurationError, match="exists"):
+            RunManifest.load(tmp_path, "missing")
+
+    def test_create_refuses_to_clobber_existing_run(self, tmp_path):
+        RunManifest.create(tmp_path, run_id="dup").close()
+        with pytest.raises(ConfigurationError, match="resume"):
+            RunManifest.create(tmp_path, run_id="dup")
+
+    def test_truncated_trailing_record_is_skipped(self, tmp_path):
+        manifest = RunManifest.create(tmp_path, run_id="run-d")
+        manifest.record(0, _result("kept"))
+        manifest.close()
+        path = tmp_path / "runs" / "run-d" / "manifest.jsonl"
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"type":"result","i":1,"label":"lo')
+        loaded = RunManifest.load(tmp_path, "run-d")
+        assert loaded.completed_indices() == [0]
+        assert loaded.corrupt_entries_skipped == 1
+        loaded.close()
+
+    def test_list_runs_and_iter_rows(self, tmp_path):
+        assert list_runs(tmp_path) == []
+        manifest = RunManifest.create(tmp_path, run_id="2026-run")
+        manifest.record(1, _result("b"))
+        manifest.record(0, _result("a"))
+        manifest.close()
+        assert list_runs(tmp_path) == ["2026-run"]
+        rows = list(iter_manifest_rows(tmp_path, "2026-run"))
+        assert [(i, r.label) for i, r in rows] == [(0, "a"), (1, "b")]
+
+    def test_generated_run_ids_are_unique(self):
+        ids = {generate_run_id() for _ in range(32)}
+        assert len(ids) == 32

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import math
+
 import pytest
 
 from repro.eval.metrics import (
@@ -98,3 +100,35 @@ class TestReports:
         predictions = ["x1", "wrong", "y1"]
         groups = {"x1": "x", "x2": "x", "y1": "y"}
         assert grouped_accuracy(truth, predictions, groups) == {"x": 0.5, "y": 1.0}
+
+
+class TestCI95UsesAccuracy:
+    """Regression: ci95 is the proportion interval on column-level accuracy.
+
+    An earlier bug fed weighted F1 (not a proportion) into the
+    normal-approximation interval; the module contract and the paper's ±x.x
+    figures are both defined on accuracy.
+    """
+
+    def test_ci95_pinned_half_width(self):
+        # accuracy = 3/4; weighted F1 = (0.8*3 + (2/3)*1)/4 ≈ 0.7667 ≠ 0.75,
+        # so the pinned value below distinguishes the two sources.
+        truth = ["a", "a", "a", "b"]
+        predictions = ["a", "a", "b", "b"]
+        report = evaluate_predictions(truth, predictions)
+        assert report.accuracy == pytest.approx(0.75)
+        assert report.weighted_f1 != pytest.approx(report.accuracy)
+        expected = 1.96 * math.sqrt(0.75 * 0.25 / 4)
+        assert report.ci95 == pytest.approx(expected)
+        assert report.ci95 == pytest.approx(confidence_interval(report.accuracy, 4))
+
+    def test_ci95_not_derived_from_f1(self):
+        truth = ["a", "a", "a", "b"]
+        predictions = ["a", "a", "b", "b"]
+        report = evaluate_predictions(truth, predictions)
+        f1_based = confidence_interval(report.weighted_f1, len(truth))
+        assert report.ci95 != pytest.approx(f1_based)
+
+    def test_perfect_accuracy_has_zero_interval(self):
+        report = evaluate_predictions(["a", "b"], ["a", "b"])
+        assert report.ci95 == 0.0

@@ -1,0 +1,243 @@
+"""Golden tests for resumable runs: kill mid-stream, resume, bit-identical.
+
+The resume invariant is the acceptance bar of the persistence subsystem: a
+run interrupted at any column and resumed with the same config/seed must
+produce predictions bit-identical to an uninterrupted run.  Planning is the
+only consumer of the annotator's RNG and stays in global column order, so
+replayed (manifest-recorded) columns burn the same random draws as live ones
+and the tail of the stream sees an unshifted RNG stream.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import ArcheType, ArcheTypeConfig
+from repro.core.store import RunManifest, open_store
+from repro.datasets.registry import load_benchmark
+from repro.eval.runner import ExperimentRunner
+from repro.exceptions import ConfigurationError
+
+N_COLUMNS = 48
+CHUNK = 8
+
+
+def _benchmark():
+    return load_benchmark("sotab-27", n_columns=N_COLUMNS, seed=5)
+
+
+def _annotator(label_set) -> ArcheType:
+    # archetype sampling draws from the RNG per column, so any stream shift
+    # between the interrupted and resumed runs would change labels.
+    return ArcheType(
+        ArcheTypeConfig(
+            model="gpt",
+            label_set=label_set,
+            sample_size=5,
+            sampler="archetype",
+            seed=123,
+        )
+    )
+
+
+def _columns(benchmark):
+    return [bench_column.column for bench_column in benchmark.columns]
+
+
+@pytest.fixture(scope="module")
+def golden_labels():
+    """Labels from an uninterrupted run (no store, no manifest)."""
+    benchmark = _benchmark()
+    annotator = _annotator(benchmark.label_set)
+    stream = annotator.annotate_stream(_columns(benchmark), chunk_size=CHUNK)
+    return [result.label for result in stream]
+
+
+class TestStreamResume:
+    def test_killed_then_resumed_stream_is_bit_identical(
+        self, tmp_path, golden_labels
+    ):
+        benchmark = _benchmark()
+
+        # First attempt: consume a prefix that ends mid-chunk, then abandon
+        # the generator — the moral equivalent of the process dying.
+        manifest = RunManifest.create(tmp_path, run_id="killed")
+        annotator = _annotator(benchmark.label_set)
+        stream = annotator.annotate_stream(
+            _columns(benchmark), chunk_size=CHUNK, manifest=manifest
+        )
+        interrupted = [next(stream).label for _ in range(CHUNK + 3)]
+        stream.close()
+        manifest.close()
+        assert interrupted == golden_labels[: CHUNK + 3]
+
+        # Chunks are journaled atomically before their results are yielded,
+        # so the partially consumed second chunk is fully recorded.
+        recorded = RunManifest.load(tmp_path, "killed")
+        assert recorded.n_completed == 2 * CHUNK
+
+        # Resume: a fresh annotator (fresh RNG) replays the stream.
+        resumed_annotator = _annotator(benchmark.label_set)
+        resumed = [
+            result.label
+            for result in resumed_annotator.annotate_stream(
+                _columns(benchmark), chunk_size=CHUNK, manifest=recorded
+            )
+        ]
+        recorded.close()
+        assert resumed == golden_labels
+
+        # The replayed prefix must not have touched the model again.
+        assert resumed_annotator.query_count <= N_COLUMNS - 2 * CHUNK + (
+            resumed_annotator.engine.stats.n_resamples
+        )
+
+    def test_resume_with_store_issues_no_queries_for_recorded_prefix(
+        self, tmp_path, golden_labels
+    ):
+        benchmark = _benchmark()
+        store = open_store("sqlite", tmp_path)
+
+        manifest = RunManifest.create(tmp_path, run_id="partial")
+        annotator = _annotator(benchmark.label_set)
+        annotator.attach_store(store)
+        stream = annotator.annotate_stream(
+            _columns(benchmark), chunk_size=CHUNK, manifest=manifest
+        )
+        for _ in range(CHUNK):
+            next(stream)
+        stream.close()
+        manifest.close()
+
+        # Resume against the same store: the recorded prefix is replayed
+        # from the manifest and the remaining columns' prompts are fresh, so
+        # total model traffic across both attempts equals one clean run.
+        first_attempt_queries = annotator.query_count
+        recorded = RunManifest.load(tmp_path, "partial")
+        resumed_annotator = _annotator(benchmark.label_set)
+        resumed_annotator.attach_store(store)
+        labels = [
+            result.label
+            for result in resumed_annotator.annotate_stream(
+                _columns(benchmark), chunk_size=CHUNK, manifest=recorded
+            )
+        ]
+        recorded.close()
+        store.close()
+        assert labels == golden_labels
+        total = first_attempt_queries + resumed_annotator.query_count
+        clean = _annotator(benchmark.label_set)
+        clean_labels = [
+            r.label for r in clean.annotate_stream(_columns(benchmark), chunk_size=CHUNK)
+        ]
+        assert clean_labels == golden_labels
+        assert total == clean.query_count
+
+
+class TestRunnerResume:
+    def test_interrupted_runner_resumes_bit_identically(self, tmp_path):
+        benchmark = _benchmark()
+
+        # Uninterrupted reference run (no persistence).
+        reference = ExperimentRunner(stream_chunk_size=CHUNK).evaluate(
+            _annotator(benchmark.label_set), benchmark, "archetype"
+        )
+
+        # Partial run: only the first half of the split, checkpointed.
+        partial = ExperimentRunner(
+            stream_chunk_size=CHUNK, cache_dir=tmp_path, run_id="half"
+        ).evaluate(
+            _annotator(benchmark.label_set),
+            benchmark,
+            "archetype",
+            max_columns=N_COLUMNS // 2,
+        )
+        assert partial.run_id == "half"
+        assert partial.predictions == reference.predictions[: N_COLUMNS // 2]
+
+        # Resumed full run: replays the first half from the manifest.
+        resumed = ExperimentRunner(
+            stream_chunk_size=CHUNK, cache_dir=tmp_path, resume="half"
+        ).evaluate(_annotator(benchmark.label_set), benchmark, "archetype")
+        assert resumed.predictions == reference.predictions
+        assert resumed.run_id == "half"
+        # Only the second half issued model traffic (plus its resamples).
+        assert resumed.n_queries <= reference.n_queries
+
+        manifest = RunManifest.load(tmp_path, "half")
+        assert manifest.n_completed == N_COLUMNS
+        manifest.close()
+
+    def test_warm_store_rerun_issues_zero_queries(self, tmp_path):
+        benchmark = _benchmark()
+        runner = ExperimentRunner(stream_chunk_size=CHUNK, cache_dir=tmp_path)
+        cold = runner.evaluate(_annotator(benchmark.label_set), benchmark, "archetype")
+        assert cold.n_queries > 0
+
+        warm = ExperimentRunner(stream_chunk_size=CHUNK, cache_dir=tmp_path).evaluate(
+            _annotator(benchmark.label_set), benchmark, "archetype"
+        )
+        assert warm.predictions == cold.predictions
+        assert warm.n_queries == 0
+        assert warm.n_store_hits > 0
+        row = warm.summary_row()
+        assert row["n_queries"] == 0
+        assert row["store_hits"] == warm.n_store_hits
+
+    def test_resume_requires_cache_dir(self):
+        benchmark = _benchmark()
+        with pytest.raises(ConfigurationError, match="cache_dir"):
+            ExperimentRunner(resume="half").evaluate(
+                _annotator(benchmark.label_set), benchmark, "archetype"
+            )
+
+    def test_resume_refuses_foreign_manifest(self, tmp_path):
+        benchmark = _benchmark()
+        ExperimentRunner(cache_dir=tmp_path, run_id="other").evaluate(
+            _annotator(benchmark.label_set),
+            benchmark,
+            "some-other-method",
+            max_columns=4,
+        )
+        with pytest.raises(ConfigurationError, match="method"):
+            ExperimentRunner(cache_dir=tmp_path, resume="other").evaluate(
+                _annotator(benchmark.label_set), benchmark, "archetype"
+            )
+
+    def test_store_detached_from_annotator_after_evaluate(self, tmp_path):
+        benchmark = _benchmark()
+        annotator = _annotator(benchmark.label_set)
+        ExperimentRunner(cache_dir=tmp_path).evaluate(
+            annotator, benchmark, "archetype", max_columns=4
+        )
+        assert annotator.engine.store is None
+
+    def test_resume_refuses_different_seed(self, tmp_path):
+        benchmark = _benchmark()
+        ExperimentRunner(cache_dir=tmp_path, run_id="seeded").evaluate(
+            _annotator(benchmark.label_set), benchmark, "archetype", max_columns=4
+        )
+        different_seed = ArcheType(
+            ArcheTypeConfig(
+                model="gpt", label_set=benchmark.label_set, sample_size=5,
+                sampler="archetype", seed=999,
+            )
+        )
+        with pytest.raises(ConfigurationError, match="seed"):
+            ExperimentRunner(cache_dir=tmp_path, resume="seeded").evaluate(
+                different_seed, benchmark, "archetype"
+            )
+
+    def test_failed_resume_does_not_leak_attached_store(self, tmp_path):
+        benchmark = _benchmark()
+        annotator = _annotator(benchmark.label_set)
+        with pytest.raises(ConfigurationError):
+            ExperimentRunner(cache_dir=tmp_path, resume="does-not-exist").evaluate(
+                annotator, benchmark, "archetype"
+            )
+        # The store opened before the failure must be detached and closed.
+        assert annotator.engine.store is None
+        # The engine stays usable with no disk tier afterwards.
+        assert annotator.annotate_column(
+            benchmark.columns[0].column
+        ).label is not None
