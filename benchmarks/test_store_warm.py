@@ -18,7 +18,6 @@ import pytest
 from _harness import run_once
 
 from repro.core.pipeline import ArcheType, ArcheTypeConfig
-from repro.core.store import open_store
 from repro.datasets.registry import load_benchmark
 from repro.eval.runner import ExperimentRunner
 

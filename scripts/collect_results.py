@@ -1,111 +1,48 @@
-"""Collect measured numbers for EXPERIMENTS.md.
+"""Collect measured numbers for the paper-vs-measured record.
 
-Runs every experiment harness at a moderate scale and writes a plain-text
-report to ``results/measured.txt``.  Used to populate the paper-vs-measured
-record; re-run after changing the simulator calibration.
+Thin wrapper over the suite orchestrator (this script predates it and used to
+hand-run all 13 experiment harnesses).  Runs the full-scale registered suite
+and leaves ``results.json`` + ``REPORT.md`` under ``results/``; re-run after
+changing the simulator calibration.
+
+Usage::
+
+    python scripts/collect_results.py [--jobs N] [--quick]
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
-import time
 from pathlib import Path
 
-from repro.eval.reporting import format_table
-from repro.experiments import (
-    fig4_sampling,
-    fig5_context_size,
-    fig6_features,
-    fig7_labelset,
-    perclass,
-    shift,
-    table1_cost,
-    table2_rules,
-    table3_finetuned,
-    table4_zeroshot,
-    table5_established,
-    table6_prompts,
-    table7_remap_counts,
-    table8_classnames,
-)
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
-COLUMNS = int(sys.argv[1]) if len(sys.argv) > 1 else 250
-OUT = Path("results/measured.txt")
-OUT.parent.mkdir(exist_ok=True)
+from repro.experiments.suite import SuiteOptions, run_suite  # noqa: E402
 
 
-def section(title: str) -> None:
-    print(f"\n{'=' * 78}\n{title}\n{'=' * 78}")
-
-
-def main() -> None:
-    start = time.time()
-    with OUT.open("w") as handle:
-        original_stdout = sys.stdout
-        sys.stdout = handle  # type: ignore[assignment]
-        try:
-            print(f"# Measured results (evaluation columns per benchmark: {COLUMNS})")
-
-            section("Table 1: cost of CTA benchmarking")
-            print(format_table(table1_cost.run_table1(n_columns=min(COLUMNS, 200))))
-
-            section("Table 2: gains from rule-based remapping")
-            print(format_table([r.as_dict() for r in table2_rules.run_table2(n_columns=COLUMNS)]))
-
-            section("Table 3: fine-tuned CTA on SOTAB-91")
-            print(format_table([
-                r.as_dict() for r in table3_finetuned.run_table3(
-                    n_columns=COLUMNS, n_train_columns=4 * COLUMNS)
-            ]))
-
-            section("Table 4: zero-shot CTA")
-            cells = table4_zeroshot.run_table4(n_columns=COLUMNS)
-            print(format_table(table4_zeroshot.cells_as_rows(cells)))
-
-            section("Table 5: established benchmarks")
-            print(format_table([r.as_dict() for r in table5_established.run_table5(n_columns=COLUMNS)]))
-
-            section("Table 6: prompt ablation (SOTAB-27)")
-            prompt_cells = table6_prompts.run_table6(n_columns=COLUMNS)
-            print(format_table(table6_prompts.cells_as_rows(prompt_cells)))
-            print("best prompt per model:", table6_prompts.best_prompt_per_model(prompt_cells))
-
-            section("Table 7: out-of-label generations")
-            print(format_table([r.as_dict() for r in table7_remap_counts.run_table7(n_columns=COLUMNS)]))
-
-            section("Table 8: classname semantics and ordering (Pubchem-20)")
-            outcome = table8_classnames.run_table8(n_columns=COLUMNS)
-            print(format_table(outcome.as_rows()))
-            print("classes changed by >3%:", outcome.changed_classes())
-
-            for benchmark_name in ("sotab-27", "d4-20", "pubchem-20"):
-                section(f"Per-class accuracy: {benchmark_name}")
-                report = perclass.run_per_class(benchmark_name, n_columns=COLUMNS)
-                print(format_table(report.as_rows()))
-
-            section("Figure 4: sampling ablation")
-            print(format_table(fig4_sampling.cells_as_rows(
-                fig4_sampling.run_fig4(n_columns=COLUMNS))))
-
-            section("Figure 5: context size x remapping (UL2)")
-            print(format_table(fig5_context_size.cells_as_rows(
-                fig5_context_size.run_fig5(n_columns=COLUMNS))))
-
-            section("Figure 6: feature selection")
-            print(format_table(fig6_features.cells_as_rows(
-                fig6_features.run_fig6(n_columns=min(COLUMNS, 150),
-                                       n_train_columns=2 * COLUMNS))))
-
-            section("Figure 7: label-set size")
-            print(format_table(fig7_labelset.cells_as_rows(
-                fig7_labelset.run_fig7(n_columns=COLUMNS))))
-
-            section("Distribution shift (Section 1)")
-            print(format_table([r.as_dict() for r in shift.run_shift(n_columns=COLUMNS)]))
-        finally:
-            sys.stdout = original_stdout
-    print(f"wrote {OUT} in {time.time() - start:.0f}s")
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=2)
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--output-dir", default="results")
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="optional persistent store so re-collection after a calibration "
+        "change is warm where prompts did not move",
+    )
+    args = parser.parse_args(argv)
+    result = run_suite(
+        SuiteOptions(
+            quick=args.quick,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            output_dir=args.output_dir,
+        )
+    )
+    return 0 if result.ok else 1
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

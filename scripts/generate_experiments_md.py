@@ -1,0 +1,54 @@
+"""Regenerate EXPERIMENTS.md from the suite registry.
+
+The per-experiment index is derived, not hand-maintained: every registered
+:class:`repro.experiments.suite.ExperimentSpec` contributes one row.  Run
+after adding or changing an experiment registration::
+
+    python scripts/generate_experiments_md.py [--check]
+
+``--check`` exits non-zero if the committed file is stale (the CI lint job
+uses this).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.experiments.suite import discover, render_experiments_index  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="verify EXPERIMENTS.md is up to date instead of writing it",
+    )
+    parser.add_argument("--output", default=str(REPO_ROOT / "EXPERIMENTS.md"))
+    args = parser.parse_args(argv)
+
+    rendered = render_experiments_index(discover())
+    output = Path(args.output)
+    if args.check:
+        current = output.read_text(encoding="utf-8") if output.exists() else ""
+        if current != rendered:
+            print(
+                f"{output} is stale; regenerate with "
+                "`python scripts/generate_experiments_md.py`",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"{output} is up to date")
+        return 0
+    output.write_text(rendered, encoding="utf-8")
+    print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

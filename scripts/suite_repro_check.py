@@ -1,0 +1,98 @@
+"""CI gate for the experiment suite: a warm replay must cost 0 model queries.
+
+Runs the whole registered suite twice against one persistent store under
+``--cache-dir``:
+
+1. **cold** — pays every model call and fills the response store;
+2. **warm** — must complete every experiment with **zero** model queries and
+   produce bit-identical per-experiment metrics.
+
+Exits non-zero if any experiment fails, the warm pass touched the model, or
+any metric diverged between the passes.  ``results.json`` and ``REPORT.md``
+from each pass are left under ``<cache-dir>/cold/`` and ``<cache-dir>/warm/``
+so CI can upload them as artifacts.
+
+Usage::
+
+    python scripts/suite_repro_check.py [--cache-dir DIR] [--jobs N]
+                                        [--full] [--seed N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.experiments.suite import SuiteOptions, run_suite  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--cache-dir", default="suite-cache")
+    parser.add_argument("--jobs", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="run the full-scale grids instead of --quick "
+        "(the nightly configuration)",
+    )
+    args = parser.parse_args(argv)
+    cache_dir = Path(args.cache_dir)
+
+    passes = {}
+    for label in ("cold", "warm"):
+        print(f"=== {label} pass ===", flush=True)
+        passes[label] = run_suite(
+            SuiteOptions(
+                quick=not args.full,
+                jobs=args.jobs,
+                seed=args.seed,
+                cache_dir=cache_dir,
+                output_dir=cache_dir / label,
+            )
+        )
+
+    failures: list[str] = []
+    for label, result in passes.items():
+        for experiment in result.experiments:
+            if experiment.status != "ok":
+                failures.append(
+                    f"{label}: {experiment.name} failed: "
+                    f"{'; '.join(experiment.errors)}"
+                )
+    warm_queries = passes["warm"].totals["n_queries"]
+    if warm_queries != 0:
+        failures.append(
+            f"warm pass issued {warm_queries} model queries; the persistent "
+            "store should have answered everything"
+        )
+    cold_metrics = {e.name: e.metrics for e in passes["cold"].experiments}
+    warm_metrics = {e.name: e.metrics for e in passes["warm"].experiments}
+    if cold_metrics != warm_metrics:
+        diverged = sorted(
+            name
+            for name in cold_metrics
+            if cold_metrics[name] != warm_metrics.get(name)
+        )
+        failures.append(
+            f"warm metrics diverged from cold for: {', '.join(diverged)}"
+        )
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"OK: warm suite replay issued 0 model queries "
+        f"({passes['warm'].totals['n_store_hits']} store hits) and "
+        f"reproduced all {len(cold_metrics)} experiments bit-identically"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,6 +1,6 @@
 """Command-line interface for the ArcheType reproduction.
 
-Two subcommands cover the common workflows:
+Three subcommands cover the common workflows:
 
 ``annotate``
     Annotate the columns of a CSV file against a user-supplied label set::
@@ -12,7 +12,13 @@ Two subcommands cover the common workflows:
 
         python -m repro.cli evaluate --benchmark d4-20 --method archetype --model gpt
 
-Both subcommands print plain-text tables; ``--help`` lists every option.
+``suite``
+    Replay every registered paper experiment and write ``results.json`` +
+    ``REPORT.md``::
+
+        python -m repro.cli suite --quick --jobs 2 --cache-dir suite-cache
+
+All subcommands print plain-text tables; ``--help`` lists every option.
 """
 
 from __future__ import annotations
@@ -148,6 +154,51 @@ def _evaluate_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def _suite_command(args: argparse.Namespace) -> int:
+    # Imported lazily: the suite registry imports every experiment module,
+    # which the other subcommands never need.
+    from repro.experiments import suite as suite_module
+
+    if args.list:
+        specs = suite_module.discover()
+        selected = suite_module.select_experiments(
+            specs, args.only or None, args.skip or None
+        )
+        rows = [
+            {
+                "experiment": spec.name,
+                "artifact": spec.artifact,
+                "shards": len(spec.shard_values(args.quick)) or 1,
+                "columns": spec.columns_for(args.quick),
+                "targets": len(spec.targets),
+            }
+            for spec in selected
+        ]
+        print(format_table(rows, title=f"{len(rows)} registered experiments"))
+        return 0
+    result = suite_module.run_suite(
+        suite_module.SuiteOptions(
+            quick=args.quick,
+            jobs=args.jobs,
+            only=tuple(args.only),
+            skip=tuple(args.skip),
+            n_columns=args.columns,
+            seed=args.seed,
+            executor=args.executor,
+            workers=args.workers,
+            cache_dir=args.cache_dir,
+            store=args.store,
+            resume=args.resume,
+            output_dir=args.output_dir,
+        )
+    )
+    if not result.ok:
+        failed = [e.name for e in result.experiments if e.status != "ok"]
+        print(f"error: experiments failed: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _batch_size(value: str) -> int:
     parsed = int(value)
     if parsed < 0:
@@ -158,7 +209,7 @@ def _batch_size(value: str) -> int:
 def _positive_int(value: str) -> int:
     parsed = int(value)
     if parsed <= 0:
-        raise argparse.ArgumentTypeError("--workers must be > 0")
+        raise argparse.ArgumentTypeError("must be a positive integer")
     return parsed
 
 
@@ -242,6 +293,49 @@ def build_parser() -> argparse.ArgumentParser:
                                "RUN_ID's manifest are replayed bit-identically "
                                "from the journal (requires --cache-dir)")
     evaluate.set_defaults(func=_evaluate_command)
+
+    suite = subparsers.add_parser(
+        "suite",
+        help="replay every registered paper experiment and write "
+             "results.json + REPORT.md",
+    )
+    suite.add_argument("--quick", action="store_true",
+                       help="small splits and trimmed grids (the CI "
+                            "configuration); a quick pass finishes in well "
+                            "under a minute")
+    suite.add_argument("--jobs", type=_positive_int, default=1,
+                       help="worker processes for the shard DAG (default 1 = "
+                            "inline)")
+    suite.add_argument("--only", action="append", default=[],
+                       metavar="PATTERN",
+                       help="run only experiments matching this glob "
+                            "(repeatable, e.g. --only 'table4*')")
+    suite.add_argument("--skip", action="append", default=[],
+                       metavar="PATTERN",
+                       help="skip experiments matching this glob (repeatable)")
+    suite.add_argument("--columns", type=_positive_int, default=None,
+                       help="override every experiment's evaluation-split "
+                            "size")
+    suite.add_argument("--seed", type=int, default=0, help="benchmark seed")
+    suite.add_argument("--executor", default=None,
+                       choices=list(EXECUTOR_NAMES),
+                       help="execution strategy for the query stage inside "
+                            "each shard")
+    suite.add_argument("--workers", type=_positive_int, default=None,
+                       help="thread-pool width for --executor concurrent")
+    _add_persistence_arguments(suite)
+    suite.add_argument("--resume", metavar="SUITE_RUN_ID", default=None,
+                       help="resume an interrupted suite run: shards already "
+                            "in its journal are replayed, missing ones "
+                            "re-run warm from the store (requires "
+                            "--cache-dir)")
+    suite.add_argument("--output-dir", default=None,
+                       help="directory for results.json and REPORT.md "
+                            "(default: --cache-dir, else the working "
+                            "directory)")
+    suite.add_argument("--list", action="store_true",
+                       help="list the selected experiments and exit")
+    suite.set_defaults(func=_suite_command)
     return parser
 
 

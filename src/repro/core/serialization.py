@@ -27,7 +27,7 @@ class PromptStyle(str, Enum):
 
     C = "C"  # CHORUS-style
     K = "K"  # Korini-style
-    I = "I"  # inverted: context before instruction
+    I = "I"  # noqa: E741 - paper's name for the inverted (context-first) style
     S = "S"  # shortest possible
     N = "N"  # noisy / conversational
     B = "B"  # baseline: technical and formal

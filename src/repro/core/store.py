@@ -111,13 +111,32 @@ class SQLiteResponseStore(ResponseStore):
 
     kind = "sqlite"
 
+    #: Seconds a connection waits on another process's write lock before
+    #: failing.  Suite shards in separate worker processes share one store
+    #: file, so contention is expected and transient rather than fatal.
+    BUSY_TIMEOUT_S = 30.0
+
     def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
         self._lock = threading.Lock()
         try:
             self._conn = sqlite3.connect(
-                str(self.path), check_same_thread=False, isolation_level=None
+                str(self.path),
+                check_same_thread=False,
+                isolation_level=None,
+                timeout=self.BUSY_TIMEOUT_S,
             )
+            self._conn.execute(
+                f"PRAGMA busy_timeout = {int(self.BUSY_TIMEOUT_S * 1000)}"
+            )
+            try:
+                # WAL lets suite shards in other processes read while one
+                # writes; on filesystems that cannot support it (some network
+                # mounts) SQLite keeps the default journal, which is merely
+                # slower under cross-process contention, not wrong.
+                self._conn.execute("PRAGMA journal_mode = WAL")
+            except sqlite3.DatabaseError:
+                pass
             self._conn.execute(
                 "CREATE TABLE IF NOT EXISTS responses ("
                 "  prompt TEXT NOT NULL,"

@@ -16,8 +16,6 @@ comparison:
 
 from __future__ import annotations
 
-from typing import Callable
-
 import numpy as np
 
 from repro.datasets.base import Benchmark, ClassSpec, build_benchmark_columns

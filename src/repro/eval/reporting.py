@@ -39,6 +39,36 @@ def format_table(
     return "\n".join(lines)
 
 
+def format_markdown_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+) -> str:
+    """Render row dictionaries as a GitHub-flavoured markdown table.
+
+    Used by the suite orchestrator's ``REPORT.md``; column selection and
+    missing-key behaviour match :func:`format_table`.  Pipe characters and
+    newlines inside cells are escaped so a value can never break the table
+    grid.
+    """
+    if not rows:
+        return "*(no rows)*"
+    if columns is None:
+        columns = list(rows[0].keys())
+    headers = [str(column) for column in columns]
+
+    def cell(row: Mapping[str, object], column: str) -> str:
+        rendered = _format_cell(row.get(column, ""))
+        return rendered.replace("|", "\\|").replace("\n", "<br>")
+
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "| " + " | ".join("---" for _ in headers) + " |",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(cell(row, c) for c in columns) + " |")
+    return "\n".join(lines)
+
+
 def format_stage_stats(
     stats: Mapping[str, Mapping[str, float]],
     title: str | None = "per-stage pipeline stats",

@@ -156,6 +156,38 @@ class EvaluationResult:
 
 
 @dataclass
+class RunnerTotals:
+    """Counters accumulated across every evaluation a runner performs.
+
+    The suite orchestrator hands one :class:`ExperimentRunner` to an
+    experiment shard and reads these totals afterwards, so a shard's
+    machine-readable result can report how many model queries the whole
+    experiment cost (and how many were absorbed by the LRU / store tiers)
+    without every experiment module threading counters by hand.
+    """
+
+    n_evaluations: int = 0
+    n_queries: int = 0
+    n_cache_hits: int = 0
+    n_store_hits: int = 0
+
+    def add(self, result: "EvaluationResult") -> None:
+        """Fold one evaluation's engine counters into the totals."""
+        self.n_evaluations += 1
+        self.n_queries += result.n_queries or 0
+        self.n_cache_hits += result.n_cache_hits or 0
+        self.n_store_hits += result.n_store_hits or 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "n_evaluations": self.n_evaluations,
+            "n_queries": self.n_queries,
+            "n_cache_hits": self.n_cache_hits,
+            "n_store_hits": self.n_store_hits,
+        }
+
+
+@dataclass
 class ExperimentRunner:
     """Evaluate annotators over benchmarks.
 
@@ -181,6 +213,11 @@ class ExperimentRunner:
     * ``store`` — store backend under ``cache_dir``: ``"sqlite"`` (default),
       ``"jsonl"``, or ``"none"`` to checkpoint runs without persisting
       responses (the right setting for stateful backends);
+    * ``checkpoint`` — whether streaming runs under ``cache_dir`` journal a
+      per-run manifest.  The suite orchestrator disables this: its shards are
+      resumed at shard granularity from the suite journal plus the shared
+      response store, and one manifest directory per evaluation would bury
+      ``cache_dir/runs/`` under hundreds of entries;
     * ``run_id`` — explicit id for the run manifest (default: generated);
     * ``resume`` — id of an interrupted run to resume: columns already in
       that run's manifest are replayed from the journal (bit-identically —
@@ -196,8 +233,10 @@ class ExperimentRunner:
     reset_stats: bool = True
     cache_dir: str | Path | None = None
     store: str = "sqlite"
+    checkpoint: bool = True
     run_id: str | None = None
     resume: str | None = None
+    totals: RunnerTotals = field(default_factory=RunnerTotals)
 
     def evaluate(
         self,
@@ -236,7 +275,7 @@ class ExperimentRunner:
             confusion = ConfusionMatrix.from_predictions(truth, predictions)
             stats = getattr(annotator, "pipeline_stats", None)
             engine_stats = getattr(getattr(annotator, "engine", None), "stats", None)
-            return EvaluationResult(
+            result = EvaluationResult(
                 benchmark_name=benchmark.name,
                 method_name=method_name,
                 truth=truth,
@@ -255,6 +294,8 @@ class ExperimentRunner:
                 ),
                 run_id=manifest.run_id if manifest is not None else None,
             )
+            self.totals.add(result)
+            return result
         finally:
             if manifest is not None:
                 manifest.close()
@@ -301,7 +342,7 @@ class ExperimentRunner:
                     except BaseException:
                         manifest.close()
                         raise
-                else:
+                elif self.checkpoint:
                     manifest = RunManifest.create(
                         self.cache_dir,
                         run_id=self.run_id,
@@ -494,7 +535,7 @@ class ExperimentRunner:
         truth = [bc.label for bc in benchmark.columns]
         report = evaluate_predictions(truth, list(predictions))
         confusion = ConfusionMatrix.from_predictions(truth, list(predictions))
-        return EvaluationResult(
+        result = EvaluationResult(
             benchmark_name=benchmark.name,
             method_name=method_name,
             truth=truth,
@@ -502,3 +543,5 @@ class ExperimentRunner:
             report=report,
             confusion=confusion,
         )
+        self.totals.add(result)
+        return result

@@ -1,14 +1,17 @@
 """Experiment harnesses: one module per table and figure in the paper.
 
-Each module exposes a ``run_*`` function returning structured rows plus a
-``main()`` entry point that prints a paper-style table, so every artefact can
-be regenerated either programmatically (the ``benchmarks/`` suite does this)
-or from the command line, e.g.::
+Each module exposes a ``run_*`` function returning structured rows plus an
+``EXPERIMENT`` spec registered with the suite orchestrator
+(:mod:`repro.experiments.suite`).  Every artefact can be regenerated three
+ways::
 
-    python -m repro.experiments.table4_zeroshot --columns 150
+    python -m repro.cli suite --quick --jobs 2 --cache-dir suite-cache  # all
+    python -m repro.cli suite --only table4_zeroshot                    # one
+    python -m repro.experiments.table4_zeroshot --columns 150           # one
 
-The mapping from paper artefact to module is recorded in DESIGN.md
-("Per-experiment index") and the measured-vs-paper numbers in EXPERIMENTS.md.
+The per-experiment index (EXPERIMENTS.md) is generated from the registry by
+``scripts/generate_experiments_md.py``; a suite run writes ``results.json``
+and ``REPORT.md`` with the measured-vs-paper numbers.
 """
 
 from repro.experiments import common

@@ -8,12 +8,10 @@ thin makes it obvious how each paper artefact is produced.
 
 from __future__ import annotations
 
-import argparse
 from dataclasses import dataclass
 from functools import lru_cache
 
 from repro.baselines.llm_baselines import get_zero_shot_method
-from repro.core.executor import EXECUTOR_NAMES
 from repro.datasets.base import Benchmark
 from repro.datasets.registry import load_benchmark
 from repro.eval.runner import EvaluationResult, ExperimentRunner
@@ -77,33 +75,4 @@ def evaluate_zero_shot(
     runner = runner or ExperimentRunner()
     return runner.evaluate(
         annotator, benchmark, spec.display_name, max_columns=max_columns
-    )
-
-
-def standard_argument_parser(description: str) -> argparse.ArgumentParser:
-    """CLI parser shared by the ``python -m repro.experiments.*`` entry points."""
-    parser = argparse.ArgumentParser(description=description)
-    parser.add_argument(
-        "--columns", type=int, default=DEFAULT_COLUMNS,
-        help="evaluation columns per benchmark (default %(default)s)",
-    )
-    parser.add_argument("--seed", type=int, default=0, help="benchmark seed")
-    parser.add_argument(
-        "--executor", default=None,
-        choices=list(EXECUTOR_NAMES),
-        help="execution strategy for the query stage (default: batched)",
-    )
-    parser.add_argument(
-        "--workers", type=int, default=None,
-        help="thread-pool width for --executor concurrent (default 4)",
-    )
-    return parser
-
-
-def runner_from_args(args: argparse.Namespace, **overrides: object) -> ExperimentRunner:
-    """Build the :class:`ExperimentRunner` selected by a standard parser's args."""
-    return ExperimentRunner(
-        executor=getattr(args, "executor", None),
-        workers=getattr(args, "workers", None),
-        **overrides,  # type: ignore[arg-type]
     )

@@ -13,9 +13,16 @@ from dataclasses import dataclass
 
 from repro.core.pipeline import ArcheType, ArcheTypeConfig
 from repro.core.serialization import PromptStyle
-from repro.eval.reporting import format_table
 from repro.eval.runner import ExperimentRunner
-from repro.experiments.common import DEFAULT_COLUMNS, cached_benchmark, standard_argument_parser
+from repro.experiments.common import DEFAULT_COLUMNS, cached_benchmark
+from repro.experiments.suite import (
+    ExperimentArtifact,
+    ExperimentConfig,
+    ExperimentSpec,
+    PaperTarget,
+    experiment_main,
+    register,
+)
 
 #: The x-axis of Figure 5.
 SAMPLE_SIZES: tuple[int, ...] = (3, 5, 10)
@@ -38,10 +45,11 @@ def run_fig5(
     seed: int = 0,
     model: str = "ul2",
     benchmark_name: str = "sotab-27",
+    runner: ExperimentRunner | None = None,
 ) -> list[ContextSizeCell]:
     """Sweep sample size x remapping strategy with the UL2 backbone."""
     benchmark = cached_benchmark(benchmark_name, n_columns, seed)
-    runner = ExperimentRunner()
+    runner = runner or ExperimentRunner()
     cells: list[ContextSizeCell] = []
     for sample_size in SAMPLE_SIZES:
         for remapper in REMAPPERS:
@@ -76,13 +84,53 @@ def cells_as_rows(cells: list[ContextSizeCell]) -> list[dict[str, object]]:
     return list(grouped.values())
 
 
-def main() -> None:
-    parser = standard_argument_parser(__doc__ or "Figure 5")
-    args = parser.parse_args()
-    cells = run_fig5(n_columns=args.columns, seed=args.seed)
-    print(format_table(cells_as_rows(cells),
-                       title="Figure 5: context size x label remapping (SOTAB-27, UL2)"))
+def _suite_run(config: ExperimentConfig) -> ExperimentArtifact:
+    cells = run_fig5(
+        n_columns=config.n_columns,
+        seed=config.seed,
+        model=str(config.param("model", "ul2")),
+        runner=config.runner,
+    )
+    metrics: dict[str, float] = {
+        f"f1[phi{cell.sample_size}][{cell.remapper}]": cell.micro_f1
+        for cell in cells
+    }
+    margins = []
+    for sample_size in SAMPLE_SIZES:
+        by_remapper = {
+            cell.remapper: cell.micro_f1
+            for cell in cells
+            if cell.sample_size == sample_size
+        }
+        margins.append(
+            by_remapper["contains+resample"]
+            - max(score for name, score in by_remapper.items()
+                  if name != "contains+resample")
+        )
+    metrics["contains_resample_margin_min"] = min(margins)
+    return ExperimentArtifact(rows=cells_as_rows(cells), metrics=metrics)
+
+
+EXPERIMENT = register(ExperimentSpec(
+    name="fig5_context_size",
+    artifact="Figure 5",
+    title="context size and label remapping (SOTAB-27, UL2)",
+    description="Accuracy vs number of context samples for four remapping "
+                "strategies; CONTAINS+RESAMPLE leads at every scale.",
+    module=__name__,
+    order=11,
+    run=_suite_run,
+    targets=(
+        PaperTarget("contains_resample_margin_min",
+                    "CONTAINS+RESAMPLE is best at every context scale",
+                    min_value=-2.0),
+    ),
+))
+
+
+def main(argv: list[str] | None = None) -> int:
+    return experiment_main(EXPERIMENT, argv)
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

@@ -16,12 +16,15 @@ from repro.core.serialization import PromptStyle
 from repro.datasets.base import Benchmark
 from repro.datasets.registry import load_benchmark
 from repro.datasets.sotab import SOTAB_91_TO_27, remap_to_sotab27
-from repro.eval.reporting import format_table
 from repro.eval.runner import ExperimentRunner
-from repro.experiments.common import (
-    DEFAULT_COLUMNS,
-    ZERO_SHOT_ARCHITECTURES,
-    standard_argument_parser,
+from repro.experiments.common import DEFAULT_COLUMNS, ZERO_SHOT_ARCHITECTURES
+from repro.experiments.suite import (
+    ExperimentArtifact,
+    ExperimentConfig,
+    ExperimentSpec,
+    PaperTarget,
+    experiment_main,
+    register,
 )
 
 
@@ -54,10 +57,11 @@ def run_fig7(
     n_columns: int = DEFAULT_COLUMNS,
     seed: int = 0,
     models: tuple[str, ...] = ZERO_SHOT_ARCHITECTURES,
+    runner: ExperimentRunner | None = None,
 ) -> list[LabelSetCell]:
     """Evaluate the 27- and 91-class problems over the same columns."""
     sotab91, sotab27_view = _views(n_columns, seed)
-    runner = ExperimentRunner()
+    runner = runner or ExperimentRunner()
     cells: list[LabelSetCell] = []
     for benchmark in (sotab27_view, sotab91):
         for model in models:
@@ -93,13 +97,53 @@ def cells_as_rows(cells: list[LabelSetCell]) -> list[dict[str, object]]:
     return list(grouped.values())
 
 
-def main() -> None:
-    parser = standard_argument_parser(__doc__ or "Figure 7")
-    args = parser.parse_args()
-    cells = run_fig7(n_columns=args.columns, seed=args.seed)
-    print(format_table(cells_as_rows(cells),
-                       title="Figure 7: label-set-size degradation (SOTAB)"))
+def _suite_run(config: ExperimentConfig) -> ExperimentArtifact:
+    models = tuple(config.param("models", ZERO_SHOT_ARCHITECTURES))
+    cells = run_fig7(
+        n_columns=config.n_columns,
+        seed=config.seed,
+        models=models,
+        runner=config.runner,
+    )
+    metrics: dict[str, float] = {
+        f"f1[{cell.label_set_size}cls][{cell.model}]": cell.micro_f1
+        for cell in cells
+    }
+    degradations = []
+    for model in models:
+        by_size = {
+            cell.label_set_size: cell.micro_f1
+            for cell in cells
+            if cell.model == model
+        }
+        sizes = sorted(by_size)
+        degradation = by_size[sizes[0]] - by_size[sizes[-1]]
+        metrics[f"degradation[{model}]"] = degradation
+        degradations.append(degradation)
+    metrics["degradation_min"] = min(degradations)
+    return ExperimentArtifact(rows=cells_as_rows(cells), metrics=metrics)
+
+
+EXPERIMENT = register(ExperimentSpec(
+    name="fig7_labelset",
+    artifact="Figure 7",
+    title="zero-shot performance degrades as the label set grows",
+    description="The same SOTAB columns as a 27- vs 91-class problem: every "
+                "architecture loses accuracy at 91 labels.",
+    module=__name__,
+    order=13,
+    run=_suite_run,
+    targets=(
+        PaperTarget("degradation_min",
+                    "every architecture degrades from 27 to 91 classes",
+                    min_value=0.0),
+    ),
+))
+
+
+def main(argv: list[str] | None = None) -> int:
+    return experiment_main(EXPERIMENT, argv)
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

@@ -14,14 +14,21 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.eval.confusion import ConfusionMatrix
-from repro.eval.reporting import format_table
+from repro.eval.runner import ExperimentRunner
 from repro.experiments.common import (
     DEFAULT_COLUMNS,
     MethodSpec,
     ZERO_SHOT_ARCHITECTURES,
     cached_benchmark,
     evaluate_zero_shot,
-    standard_argument_parser,
+)
+from repro.experiments.suite import (
+    ExperimentArtifact,
+    ExperimentConfig,
+    ExperimentSpec,
+    PaperTarget,
+    experiment_main,
+    register,
 )
 
 #: Paper table number per benchmark.
@@ -60,6 +67,7 @@ def run_per_class(
     n_columns: int = DEFAULT_COLUMNS,
     seed: int = 0,
     models: tuple[str, ...] = ZERO_SHOT_ARCHITECTURES,
+    runner: ExperimentRunner | None = None,
 ) -> PerClassReport:
     """Compute the per-class accuracy table for one benchmark."""
     if benchmark_name not in PER_CLASS_TABLES:
@@ -74,6 +82,7 @@ def run_per_class(
             MethodSpec(method="archetype", model=model, use_rules=True),
             benchmark,
             seed=seed,
+            runner=runner,
         )
         accuracy_by_model[model] = result.report.per_class_accuracy
         if confusion_union is None:
@@ -91,16 +100,63 @@ def run_per_class(
     )
 
 
-def main() -> None:
-    parser = standard_argument_parser(__doc__ or "Tables 9-11")
-    parser.add_argument(
-        "--benchmark", default="sotab-27", choices=sorted(PER_CLASS_TABLES),
+def _suite_run(config: ExperimentConfig) -> ExperimentArtifact:
+    benchmarks = tuple(
+        config.param("benchmarks", tuple(sorted(PER_CLASS_TABLES)))
     )
-    args = parser.parse_args()
-    report = run_per_class(args.benchmark, n_columns=args.columns, seed=args.seed)
-    title = f"{PER_CLASS_TABLES[args.benchmark]}: per-class accuracy on {args.benchmark}"
-    print(format_table(report.as_rows(), title=title))
+    models = tuple(config.param("models", ZERO_SHOT_ARCHITECTURES))
+    rows: list[dict[str, object]] = []
+    metrics: dict[str, float] = {}
+    for benchmark_name in benchmarks:
+        report = run_per_class(
+            benchmark_name,
+            n_columns=config.n_columns,
+            seed=config.seed,
+            models=models,
+            runner=config.runner,
+        )
+        for row in report.as_rows():
+            rows.append({"Table": PER_CLASS_TABLES[benchmark_name], **row})
+        accuracies = [
+            accuracy
+            for per_class in report.accuracy_by_model.values()
+            for accuracy in per_class.values()
+        ]
+        metrics[f"mean_class_accuracy[{benchmark_name}]"] = (
+            sum(accuracies) / len(accuracies) if accuracies else 0.0
+        )
+        metrics[f"n_classes[{benchmark_name}]"] = float(
+            len(report.class_frequency)
+        )
+    return ExperimentArtifact(rows=rows, metrics=metrics)
+
+
+EXPERIMENT = register(ExperimentSpec(
+    name="perclass",
+    artifact="Tables 9-11",
+    title="per-class accuracy and confusion on the zero-shot benchmarks",
+    description="Appendix per-class accuracy profiles: bimodal, with "
+                "regex-like classes near-perfect and abstract classes near "
+                "zero.",
+    module=__name__,
+    order=14,
+    run=_suite_run,
+    params={"benchmarks": tuple(sorted(PER_CLASS_TABLES))},
+    shard_param="benchmarks",
+    targets=tuple(
+        PaperTarget(
+            f"mean_class_accuracy[{name}]",
+            f"mean per-class accuracy on {name} is non-degenerate",
+            min_value=0.2, max_value=1.0,
+        )
+        for name in sorted(PER_CLASS_TABLES)
+    ),
+))
+
+
+def main(argv: list[str] | None = None) -> int:
+    return experiment_main(EXPERIMENT, argv)
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

@@ -18,8 +18,15 @@ import numpy as np
 from repro.core.sampling import FirstKSampler
 from repro.core.serialization import PromptSerializer, PromptStyle
 from repro.datasets.base import Benchmark
-from repro.experiments.common import cached_benchmark, standard_argument_parser
-from repro.eval.reporting import format_table
+from repro.experiments.common import cached_benchmark
+from repro.experiments.suite import (
+    ExperimentArtifact,
+    ExperimentConfig,
+    ExperimentSpec,
+    PaperTarget,
+    experiment_main,
+    register,
+)
 from repro.llm.tokenizer import CostEstimate, CostModel
 
 #: Size of the real SOTAB test set that Table 1 refers to.
@@ -104,12 +111,49 @@ def run_table1(n_columns: int = 300, seed: int = 0) -> list[dict[str, object]]:
     return rows
 
 
-def main() -> None:
-    parser = standard_argument_parser(__doc__ or "Table 1")
-    args = parser.parse_args()
-    rows = run_table1(n_columns=args.columns, seed=args.seed)
-    print(format_table(rows, title="Table 1: cost of CTA benchmarking with GPT"))
+def _suite_run(config: ExperimentConfig) -> ExperimentArtifact:
+    rows = run_table1(n_columns=config.n_columns, seed=config.seed)
+    by_key = {(row["Method"], row["# Smp."]): row for row in rows}
+    metrics = {
+        "usd_cost[column,10]": float(by_key[("column", 10)]["App. USD Cost"]),
+        "usd_cost[column,1000]": float(by_key[("column", 1000)]["App. USD Cost"]),
+        "usd_cost[table,10]": float(by_key[("table", 10)]["App. USD Cost"]),
+        "pct_gt1k[column,1000]": float(by_key[("column", 1000)]["% >1k"]),
+        "pct_gt1k_table_minus_column[10]": float(by_key[("table", 10)]["% >1k"])
+        - float(by_key[("column", 10)]["% >1k"]),
+    }
+    return ExperimentArtifact(rows=rows, metrics=metrics)
+
+
+EXPERIMENT = register(ExperimentSpec(
+    name="table1_cost",
+    artifact="Table 1",
+    title="cost of CTA benchmarking with a metered (GPT-style) API",
+    description="Prompt-overflow rates and USD cost of column- vs "
+                "table-at-once serialization, scaled to the 15,040-column "
+                "SOTAB test set.",
+    module=__name__,
+    order=2,
+    run=_suite_run,
+    n_columns=300,
+    targets=(
+        PaperTarget(
+            "pct_gt1k[column,1000]",
+            "1000 samples/column overflows a 1k-token window almost always",
+            min_value=90.0,
+        ),
+        PaperTarget(
+            "pct_gt1k_table_minus_column[10]",
+            "table-at-once overflows 1k tokens more often than column-at-once",
+            min_value=0.0,
+        ),
+    ),
+))
+
+
+def main(argv: list[str] | None = None) -> int:
+    return experiment_main(EXPERIMENT, argv)
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

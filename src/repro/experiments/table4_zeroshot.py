@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.datasets.registry import ZERO_SHOT_BENCHMARKS
-from repro.eval.reporting import format_score, format_table
+from repro.eval.reporting import format_score
 from repro.eval.runner import EvaluationResult, ExperimentRunner
 from repro.experiments.common import (
     DEFAULT_COLUMNS,
@@ -25,8 +25,14 @@ from repro.experiments.common import (
     ZERO_SHOT_METHODS,
     cached_benchmark,
     evaluate_zero_shot,
-    runner_from_args,
-    standard_argument_parser,
+)
+from repro.experiments.suite import (
+    ExperimentArtifact,
+    ExperimentConfig,
+    ExperimentSpec,
+    PaperTarget,
+    experiment_main,
+    register,
 )
 
 
@@ -98,15 +104,67 @@ def cells_as_rows(cells: list[ZeroShotCell]) -> list[dict[str, object]]:
     return list(grouped.values())
 
 
-def main() -> None:
-    parser = standard_argument_parser(__doc__ or "Table 4")
-    args = parser.parse_args()
+def _suite_run(config: ExperimentConfig) -> ExperimentArtifact:
+    benchmarks = tuple(config.param("benchmarks", ZERO_SHOT_BENCHMARKS))
     cells = run_table4(
-        n_columns=args.columns, seed=args.seed, runner=runner_from_args(args)
+        n_columns=config.n_columns,
+        seed=config.seed,
+        benchmarks=benchmarks,
+        models=tuple(config.param("models", ZERO_SHOT_ARCHITECTURES)),
+        methods=tuple(config.param("methods", ZERO_SHOT_METHODS)),
+        runner=config.runner,
     )
-    print(format_table(cells_as_rows(cells),
-                       title="Table 4: zero-shot CTA (weighted Micro-F1, 0-100)"))
+    metrics: dict[str, float] = {}
+    for benchmark in benchmarks:
+        per_method: dict[str, list[float]] = {}
+        for cell in cells:
+            if cell.benchmark == benchmark and cell.use_rules:
+                per_method.setdefault(cell.method, []).append(
+                    cell.result.report.weighted_f1_pct
+                )
+        for method, scores in per_method.items():
+            metrics[f"f1[{benchmark}][{method}+]"] = sum(scores) / len(scores)
+        if "archetype" in per_method:
+            best_baseline = max(
+                (sum(s) / len(s) for m, s in per_method.items() if m != "archetype"),
+                default=0.0,
+            )
+            metrics[f"archetype_margin[{benchmark}]"] = (
+                metrics[f"f1[{benchmark}][archetype+]"] - best_baseline
+            )
+    return ExperimentArtifact(rows=cells_as_rows(cells), metrics=metrics)
+
+
+EXPERIMENT = register(ExperimentSpec(
+    name="table4_zeroshot",
+    artifact="Table 4",
+    title="zero-shot CTA across benchmarks, methods and architectures",
+    description="The headline zero-shot grid: ArcheType vs C-/K-Baseline on "
+                "four benchmarks and three architectures, with and without "
+                "rules.",
+    module=__name__,
+    order=5,
+    run=_suite_run,
+    params={"benchmarks": ZERO_SHOT_BENCHMARKS,
+            "models": ZERO_SHOT_ARCHITECTURES,
+            "methods": ZERO_SHOT_METHODS},
+    quick_params={"models": ("t5", "gpt")},
+    shard_param="benchmarks",
+    targets=tuple(
+        PaperTarget(
+            f"archetype_margin[{name}]",
+            f"ArcheType matches or beats both baselines on {name} "
+            "(model-averaged margin)",
+            min_value=-3.0,
+        )
+        for name in ZERO_SHOT_BENCHMARKS
+    ),
+))
+
+
+def main(argv: list[str] | None = None) -> int:
+    return experiment_main(EXPERIMENT, argv)
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

@@ -15,9 +15,20 @@ from dataclasses import dataclass
 from repro.baselines.classical import DoDuoModel, SherlockModel, TURLModel
 from repro.baselines.llm_baselines import build_archetype_method, build_c_baseline
 from repro.datasets.base import Benchmark
-from repro.eval.reporting import format_score, format_table
+from repro.eval.reporting import format_score
 from repro.eval.runner import ExperimentRunner
-from repro.experiments.common import cached_benchmark, standard_argument_parser
+from repro.experiments.common import cached_benchmark
+from repro.experiments.suite import (
+    ExperimentArtifact,
+    ExperimentConfig,
+    ExperimentSpec,
+    PaperTarget,
+    experiment_main,
+    register,
+)
+
+#: The three established benchmarks of Table 5.
+ESTABLISHED_BENCHMARKS: tuple[str, ...] = ("t2d", "efthymiou", "viznet-chorus")
 
 
 @dataclass(frozen=True)
@@ -67,11 +78,16 @@ def _evaluate_zero_shot(
     )
 
 
-def run_table5(n_columns: int = 200, seed: int = 0) -> list[EstablishedRow]:
+def run_table5(
+    n_columns: int = 200,
+    seed: int = 0,
+    benchmarks: tuple[str, ...] = ESTABLISHED_BENCHMARKS,
+    runner: ExperimentRunner | None = None,
+) -> list[EstablishedRow]:
     """Regenerate Table 5 over the three established benchmarks."""
-    runner = ExperimentRunner()
+    runner = runner or ExperimentRunner()
     rows: list[EstablishedRow] = []
-    for benchmark_name in ("t2d", "efthymiou", "viznet-chorus"):
+    for benchmark_name in benchmarks:
         benchmark = cached_benchmark(benchmark_name, n_columns, seed)
         # Fine-tuned classical baselines: trained on the benchmark's own
         # training split (or, lacking one, its evaluation split — matching how
@@ -107,13 +123,61 @@ def run_table5(n_columns: int = 200, seed: int = 0) -> list[EstablishedRow]:
     return rows
 
 
-def main() -> None:
-    parser = standard_argument_parser(__doc__ or "Table 5")
-    args = parser.parse_args()
-    rows = run_table5(n_columns=args.columns, seed=args.seed)
-    print(format_table([r.as_dict() for r in rows],
-                       title="Table 5: established CTA benchmarks"))
+def _suite_run(config: ExperimentConfig) -> ExperimentArtifact:
+    benchmarks = tuple(config.param("benchmarks", ESTABLISHED_BENCHMARKS))
+    rows = run_table5(
+        n_columns=config.n_columns,
+        seed=config.seed,
+        benchmarks=benchmarks,
+        runner=config.runner,
+    )
+    metrics: dict[str, float] = {
+        f"f1[{row.dataset}][{row.method}]": row.score for row in rows
+    }
+    for benchmark in benchmarks:
+        zero_shot = [
+            row.score
+            for row in rows
+            if row.dataset == benchmark and row.method == "ArcheType-ZS-GPT4"
+        ]
+        finetuned = [
+            row.score
+            for row in rows
+            if row.dataset == benchmark and row.method.endswith("-FT")
+        ]
+        if zero_shot and finetuned:
+            metrics[f"zs_gpt4_vs_best_ft[{benchmark}]"] = (
+                zero_shot[0] - max(finetuned)
+            )
+    return ExperimentArtifact(rows=[r.as_dict() for r in rows], metrics=metrics)
+
+
+EXPERIMENT = register(ExperimentSpec(
+    name="table5_established",
+    artifact="Table 5",
+    title="established benchmarks: T2D, Efthymiou and VizNet-CHORUS",
+    description="Zero-shot ArcheType vs fine-tuned TURL/DoDuo/Sherlock and "
+                "zero-shot CHORUS on the established CTA benchmarks.",
+    module=__name__,
+    order=6,
+    run=_suite_run,
+    n_columns=200,
+    params={"benchmarks": ESTABLISHED_BENCHMARKS},
+    shard_param="benchmarks",
+    targets=(
+        PaperTarget(
+            "zs_gpt4_vs_best_ft[t2d]",
+            "zero-shot ArcheType-GPT4 competitive with fine-tuned systems "
+            "on T2D",
+            min_value=-15.0,
+        ),
+    ),
+))
+
+
+def main(argv: list[str] | None = None) -> int:
+    return experiment_main(EXPERIMENT, argv)
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

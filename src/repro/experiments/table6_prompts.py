@@ -13,13 +13,19 @@ from dataclasses import dataclass
 
 from repro.core.pipeline import ArcheType, ArcheTypeConfig
 from repro.core.serialization import PromptStyle
-from repro.eval.reporting import format_table
 from repro.eval.runner import ExperimentRunner
 from repro.experiments.common import (
     DEFAULT_COLUMNS,
     ZERO_SHOT_ARCHITECTURES,
     cached_benchmark,
-    standard_argument_parser,
+)
+from repro.experiments.suite import (
+    ExperimentArtifact,
+    ExperimentConfig,
+    ExperimentSpec,
+    PaperTarget,
+    experiment_main,
+    register,
 )
 
 
@@ -37,10 +43,11 @@ def run_table6(
     seed: int = 0,
     models: tuple[str, ...] = ZERO_SHOT_ARCHITECTURES,
     sample_size: int = 5,
+    runner: ExperimentRunner | None = None,
 ) -> list[PromptCell]:
     """Evaluate the six prompt styles over the chosen architectures."""
     benchmark = cached_benchmark("sotab-27", n_columns, seed)
-    runner = ExperimentRunner()
+    runner = runner or ExperimentRunner()
     cells: list[PromptCell] = []
     for style in PromptStyle.zero_shot_styles():
         for model in models:
@@ -86,14 +93,45 @@ def best_prompt_per_model(cells: list[PromptCell]) -> dict[str, str]:
     return {model: cell.prompt for model, cell in best.items()}
 
 
-def main() -> None:
-    parser = standard_argument_parser(__doc__ or "Table 6")
-    args = parser.parse_args()
-    cells = run_table6(n_columns=args.columns, seed=args.seed)
-    print(format_table(cells_as_rows(cells),
-                       title="Table 6: prompt serialization ablation (SOTAB-27)"))
-    print("best prompt per model:", best_prompt_per_model(cells))
+def _suite_run(config: ExperimentConfig) -> ExperimentArtifact:
+    models = tuple(config.param("models", ZERO_SHOT_ARCHITECTURES))
+    cells = run_table6(
+        n_columns=config.n_columns,
+        seed=config.seed,
+        models=models,
+        sample_size=int(config.param("sample_size", 5)),
+        runner=config.runner,
+    )
+    metrics: dict[str, float] = {
+        f"f1[{cell.prompt}][{cell.model}]": cell.micro_f1 for cell in cells
+    }
+    for model in models:
+        scores = [cell.micro_f1 for cell in cells if cell.model == model]
+        metrics[f"prompt_spread[{model}]"] = max(scores) - min(scores)
+    return ExperimentArtifact(rows=cells_as_rows(cells), metrics=metrics)
+
+
+EXPERIMENT = register(ExperimentSpec(
+    name="table6_prompts",
+    artifact="Table 6",
+    title="prompt-serialization ablation on SOTAB-27",
+    description="Six prompt styles across architectures: every model is "
+                "prompt-sensitive and no style wins everywhere.",
+    module=__name__,
+    order=7,
+    run=_suite_run,
+    params={"sample_size": 5},
+    targets=(
+        PaperTarget("prompt_spread[t5]",
+                    "T5 is sensitive to the prompt (best-worst spread)",
+                    min_value=1.0),
+    ),
+))
+
+
+def main(argv: list[str] | None = None) -> int:
+    return experiment_main(EXPERIMENT, argv)
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

@@ -11,16 +11,22 @@ remapped fraction is inversely correlated with accuracy across benchmarks.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from itertools import product
+from dataclasses import dataclass, replace
 
 from repro.core.pipeline import ArcheType, ArcheTypeConfig
 from repro.core.remapping import exact_match
 from repro.core.serialization import PromptStyle
 from repro.datasets.registry import ZERO_SHOT_BENCHMARKS
-from repro.eval.reporting import format_table
 from repro.eval.runner import ExperimentRunner
-from repro.experiments.common import DEFAULT_COLUMNS, cached_benchmark, standard_argument_parser
+from repro.experiments.common import DEFAULT_COLUMNS, cached_benchmark
+from repro.experiments.suite import (
+    ExperimentArtifact,
+    ExperimentConfig,
+    ExperimentSpec,
+    PaperTarget,
+    experiment_main,
+    register,
+)
 
 #: The "random sample of runs" axis: five configurations differing in
 #: architecture, prompt style and sample size, mirroring Appendix F.
@@ -53,12 +59,21 @@ class RemapCountRow:
 
 
 def run_table7(
-    n_columns: int = DEFAULT_COLUMNS, seed: int = 0
+    n_columns: int = DEFAULT_COLUMNS,
+    seed: int = 0,
+    benchmarks: tuple[str, ...] = ZERO_SHOT_BENCHMARKS,
+    runner: ExperimentRunner | None = None,
 ) -> list[RemapCountRow]:
     """Count out-of-label generations per benchmark over five varied runs."""
-    runner = ExperimentRunner(keep_annotations=True)
+    if runner is None:
+        runner = ExperimentRunner(keep_annotations=True)
+    elif not runner.keep_annotations:
+        # Counting out-of-label generations needs the raw annotations; a
+        # suite-provided runner shares its totals object so query counters
+        # still accumulate where the orchestrator reads them.
+        runner = replace(runner, keep_annotations=True)
     rows: list[RemapCountRow] = []
-    for benchmark_name in ZERO_SHOT_BENCHMARKS:
+    for benchmark_name in benchmarks:
         benchmark = cached_benchmark(benchmark_name, n_columns, seed)
         counts: list[int] = []
         accuracies: list[float] = []
@@ -98,13 +113,42 @@ def run_table7(
     return rows
 
 
-def main() -> None:
-    parser = standard_argument_parser(__doc__ or "Table 7")
-    args = parser.parse_args()
-    rows = run_table7(n_columns=args.columns, seed=args.seed)
-    print(format_table([r.as_dict() for r in rows],
-                       title="Table 7: out-of-label generations per benchmark"))
+def _suite_run(config: ExperimentConfig) -> ExperimentArtifact:
+    rows = run_table7(
+        n_columns=config.n_columns,
+        seed=config.seed,
+        benchmarks=tuple(config.param("benchmarks", ZERO_SHOT_BENCHMARKS)),
+        runner=config.runner,
+    )
+    metrics: dict[str, float] = {}
+    for row in rows:
+        metrics[f"avg_remap_pct[{row.dataset}]"] = row.avg_remap_pct
+        metrics[f"avg_accuracy[{row.dataset}]"] = row.avg_accuracy
+    return ExperimentArtifact(rows=[r.as_dict() for r in rows], metrics=metrics)
+
+
+EXPERIMENT = register(ExperimentSpec(
+    name="table7_remap_counts",
+    artifact="Table 7",
+    title="how often LLMs generate invalid labels",
+    description="Out-of-label generation counts over five varied runs per "
+                "benchmark; remap fraction anticorrelates with accuracy.",
+    module=__name__,
+    order=8,
+    run=_suite_run,
+    params={"benchmarks": ZERO_SHOT_BENCHMARKS},
+    shard_param="benchmarks",
+    targets=(
+        PaperTarget("avg_remap_pct[amstr-56]",
+                    "Amstr has the highest out-of-label rate",
+                    min_value=0.0),
+    ),
+))
+
+
+def main(argv: list[str] | None = None) -> int:
+    return experiment_main(EXPERIMENT, argv)
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

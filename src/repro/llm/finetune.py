@@ -260,5 +260,5 @@ def _safe_unit(vector: np.ndarray) -> np.ndarray:
 
 def _loose_match(guess: str, label: str) -> bool:
     g = guess.strip().lower()
-    l = label.strip().lower()
-    return bool(g) and (g in l or l in g)
+    target = label.strip().lower()
+    return bool(g) and (g in target or target in g)

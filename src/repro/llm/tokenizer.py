@@ -148,7 +148,10 @@ class CostModel:
         """Summarise token counts and cost over a collection of prompts."""
         counts = [self.tokenizer.count(p) for p in prompts]
         n = max(len(counts), 1)
-        over = lambda limit: 100.0 * sum(1 for c in counts if c > limit) / n
+
+        def over(limit: int) -> float:
+            return 100.0 * sum(1 for c in counts if c > limit) / n
+
         total_cost = sum(self.prompt_cost(p) for p in prompts)
         return CostEstimate(
             method=method,

@@ -149,3 +149,42 @@ class TestExecutorKnobs:
         captured = capsys.readouterr().out
         assert exit_code == 0
         assert "per-stage pipeline stats" in captured
+
+
+class TestSuiteCommand:
+    def test_suite_list_prints_registry(self, capsys):
+        assert main(["suite", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "table4_zeroshot" in out and "registered experiments" in out
+
+    def test_suite_list_honours_only_filter(self, capsys):
+        assert main(["suite", "--list", "--only", "fig*"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7_labelset" in out and "table4_zeroshot" not in out
+
+    def test_suite_quick_run_writes_artifacts(self, tmp_path, capsys):
+        cache_dir = tmp_path / "suite-cache"
+        exit_code = main([
+            "suite", "--quick", "--only", "shift", "--only", "table1_cost",
+            "--cache-dir", str(cache_dir),
+        ])
+        assert exit_code == 0
+        assert (cache_dir / "results.json").exists()
+        assert (cache_dir / "REPORT.md").exists()
+        assert "done in" in capsys.readouterr().out
+
+    def test_suite_unknown_pattern_is_an_error(self, tmp_path, capsys):
+        exit_code = main([
+            "suite", "--quick", "--only", "tabel4*",
+            "--output-dir", str(tmp_path),
+        ])
+        assert exit_code == 2
+        assert "matches no experiment" in capsys.readouterr().err
+
+    def test_suite_resume_without_cache_dir_is_an_error(self, tmp_path, capsys):
+        exit_code = main([
+            "suite", "--quick", "--only", "shift", "--resume", "some-run",
+            "--output-dir", str(tmp_path),
+        ])
+        assert exit_code == 2
+        assert "cache-dir" in capsys.readouterr().err
