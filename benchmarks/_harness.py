@@ -8,6 +8,17 @@ as plugins rather than as importable siblings.
 
 from __future__ import annotations
 
+import json
+import platform
+import time
+from pathlib import Path
+
+#: Benchmark records registered by the session, keyed by benchmark name.
+#: ``conftest.pytest_sessionfinish`` serializes these into the
+#: machine-readable ``BENCH_RESULTS.json`` artifact (CI uploads it from the
+#: throughput job, so perf trajectories are diffable across commits).
+_BENCH_RESULTS: dict[str, dict] = {}
+
 
 def run_once(benchmark, func, *args, **kwargs):
     """Run ``func`` exactly once under pytest-benchmark timing.
@@ -17,3 +28,31 @@ def run_once(benchmark, func, *args, **kwargs):
     figure without multiplying the suite's runtime.
     """
     return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def record_bench_result(name: str, **data: object) -> None:
+    """Register one benchmark's machine-readable results for the artifact."""
+    _BENCH_RESULTS[name] = dict(data)
+
+
+def write_bench_results(
+    path: str | Path, bench_columns: int | None = None
+) -> Path | None:
+    """Write ``BENCH_RESULTS.json``; returns the path (None when no data)."""
+    if not _BENCH_RESULTS:
+        return None
+    from repro.experiments.suite import git_sha
+
+    payload = {
+        "schema_version": 1,
+        "git_sha": git_sha(),
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "bench_columns": bench_columns,
+        "benchmarks": _BENCH_RESULTS,
+    }
+    target = Path(path)
+    target.write_text(
+        json.dumps(payload, indent=2, sort_keys=False) + "\n", encoding="utf-8"
+    )
+    return target

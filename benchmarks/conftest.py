@@ -47,6 +47,30 @@ def pytest_addoption(parser: pytest.Parser) -> None:
         help="smoke mode: shrink benchmark workloads so executor regressions "
              "fail fast in CI (wall-clock assertions stay local-only)",
     )
+    parser.addoption(
+        "--bench-results",
+        action="store",
+        default=str(Path(_HERE) / "BENCH_RESULTS.json"),
+        help="path for the machine-readable benchmark artifact (written when "
+             "at least one benchmark registers results)",
+    )
+
+
+def pytest_sessionfinish(session: pytest.Session, exitstatus: int) -> None:
+    """Serialize registered benchmark records into ``BENCH_RESULTS.json``."""
+    from _harness import write_bench_results
+
+    explicit = session.config.getoption("--bench-columns")
+    columns = (
+        int(explicit)
+        if explicit is not None
+        else (QUICK_COLUMNS if session.config.getoption("--quick") else 100)
+    )
+    written = write_bench_results(
+        session.config.getoption("--bench-results"), bench_columns=columns
+    )
+    if written is not None:
+        print(f"\nbenchmark artifact written to {written}")
 
 
 @pytest.fixture(scope="session")

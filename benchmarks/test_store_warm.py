@@ -15,7 +15,7 @@ import os
 from time import perf_counter
 
 import pytest
-from _harness import run_once
+from _harness import record_bench_result, run_once
 
 from repro.core.pipeline import ArcheType, ArcheTypeConfig
 from repro.datasets.registry import load_benchmark
@@ -66,6 +66,7 @@ def test_warm_store_rerun_issues_zero_queries(
 
     info = run_once(benchmark, cold_then_warm)
     benchmark.extra_info.update(info)
+    record_bench_result(f"warm_store_{store_kind}", **info)
 
     # The acceptance assertions are deterministic: a warm rerun re-pays zero
     # model calls, serving every executed prompt from disk.

@@ -1,0 +1,103 @@
+"""CI gate for the request scheduler: fan-out must coalesce, not degrade.
+
+Replays a SOTAB-sized split through the concurrent executor at a high worker
+count, with every column immediately followed by its duplicate — so each
+duplicate prompt is submitted while the original is still pending and must
+land on the scheduler's in-flight table (one model call, one shared future)
+instead of becoming a second request.  The drained ``generate_batch`` calls
+must therefore register as cross-request batches.
+
+A scheduler that silently degrades to per-request model calls — dedup broken,
+microbatcher bypassed, or the fan-out policy no longer routing through
+``submit`` — scores zero on those counters and fails this check, even when
+labels still come out right.  Exits non-zero on any failure, printing the
+scheduler snapshot either way so CI logs show the batch-size histogram.
+
+Usage::
+
+    python scripts/scheduler_coalescing_check.py [--workers N] [--columns N]
+                                                 [--max-batch-wait SECONDS]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.core.pipeline import ArcheType, ArcheTypeConfig  # noqa: E402
+from repro.datasets.registry import load_benchmark  # noqa: E402
+
+
+def _make_annotator(label_set, *, cache_size: int, max_batch_wait: float = 0.0):
+    return ArcheType(
+        ArcheTypeConfig(
+            model="gpt",
+            label_set=label_set,
+            sample_size=5,
+            sampler="firstk",
+            seed=17,
+            query_cache_size=cache_size,
+            max_batch_wait=max_batch_wait,
+        )
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=8)
+    parser.add_argument("--columns", type=int, default=60)
+    parser.add_argument("--max-batch-wait", type=float, default=0.005)
+    parser.add_argument("--benchmark", default="sotab-27")
+    args = parser.parse_args(argv)
+
+    data = load_benchmark(args.benchmark, n_columns=args.columns, seed=11)
+    split = [bench_column.column for bench_column in data.columns]
+    workload = [column for pair in zip(split, split) for column in pair]
+
+    annotator = _make_annotator(
+        data.label_set, cache_size=4096, max_batch_wait=args.max_batch_wait
+    )
+    results = annotator.annotate_columns(
+        workload, executor="concurrent", workers=args.workers
+    )
+
+    reference = _make_annotator(data.label_set, cache_size=4096)
+    expected = [r.label for r in reference.annotate_columns(workload)]
+
+    snapshot = annotator.scheduler_stats
+    print(f"{args.benchmark}: {len(split)} columns x2 (interleaved replay), "
+          f"concurrent executor, {args.workers} workers")
+    print(json.dumps(snapshot, indent=2))
+
+    failures = []
+    if [r.label for r in results] != expected:
+        failures.append("fan-out labels diverged from the batched reference")
+    if annotator.query_count != reference.query_count:
+        failures.append(
+            f"expected {reference.query_count} model calls (the deduplicated "
+            f"batched budget: unique prompts plus resample retries), got "
+            f"{annotator.query_count} — in-flight dedup is not coalescing"
+        )
+    if snapshot["n_coalesced"] == 0:
+        failures.append("n_coalesced == 0 — duplicate submissions each became "
+                        "their own request")
+    if snapshot["n_cross_request_batches"] == 0:
+        failures.append("n_cross_request_batches == 0 — the scheduler degraded "
+                        "to per-request model calls")
+    if not failures:
+        print(f"\nOK: {snapshot['n_coalesced']} submissions coalesced onto "
+              f"in-flight requests; {snapshot['n_cross_request_batches']} of "
+              f"{snapshot['n_batches']} drained batches carried cross-request "
+              f"work.")
+        return 0
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -80,6 +80,8 @@ def _annotate_command(args: argparse.Namespace) -> int:
             prompt_style=PromptStyle(args.prompt) if args.prompt else PromptStyle.S,
             remapper=args.remapper,
             seed=args.seed,
+            max_batch_wait=args.max_batch_wait or 0.0,
+            queue_depth=args.queue_depth,
         )
     )
     store = open_store(args.store, args.cache_dir) if args.cache_dir else None
@@ -128,6 +130,8 @@ def _evaluate_command(args: argparse.Namespace) -> int:
         batch_size=args.batch_size,
         executor=args.executor,
         workers=args.workers,
+        max_batch_wait=args.max_batch_wait,
+        queue_depth=args.queue_depth,
         cache_dir=args.cache_dir,
         store=args.store,
         run_id=args.run_id,
@@ -213,6 +217,13 @@ def _positive_int(value: str) -> int:
     return parsed
 
 
+def _nonnegative_float(value: str) -> float:
+    parsed = float(value)
+    if parsed < 0:
+        raise argparse.ArgumentTypeError("must be >= 0")
+    return parsed
+
+
 def _add_execution_arguments(parser: argparse.ArgumentParser, default_note: str) -> None:
     """The shared execution knobs: --batch-size, --executor, --workers, --stats."""
     parser.add_argument("--batch-size", type=_batch_size, default=None,
@@ -224,6 +235,14 @@ def _add_execution_arguments(parser: argparse.ArgumentParser, default_note: str)
                              "batched, or sequential when --batch-size=0)")
     parser.add_argument("--workers", type=_positive_int, default=None,
                         help="thread-pool width for --executor concurrent (default 4)")
+    parser.add_argument("--max-batch-wait", type=_nonnegative_float, default=None,
+                        help="seconds the request scheduler lingers for "
+                             "stragglers before draining an under-full "
+                             "microbatch (default 0: drain immediately)")
+    parser.add_argument("--queue-depth", type=_positive_int, default=None,
+                        help="bound on the scheduler's admission queue; a full "
+                             "queue blocks submitters instead of dropping "
+                             "requests (default: unbounded)")
     parser.add_argument("--stats", action="store_true",
                         help="print per-stage pipeline stats (wall time, calls, "
                              "cache hits)")

@@ -6,7 +6,11 @@ Submodules map one-to-one onto the stages in Figure 1 of the paper:
 * :mod:`repro.core.sampling` — context sampling (Algorithm 1).
 * :mod:`repro.core.features` — extended-context feature selection (SS/TN/OC).
 * :mod:`repro.core.serialization` — prompt serialization (six prompt styles).
-* :mod:`repro.core.querying` — model querying.
+* :mod:`repro.core.scheduler` — the request scheduler: the single
+  lookup-and-fill pipeline (LRU → store → in-flight dedup → microbatched
+  ``generate_batch`` drains) behind every query path.
+* :mod:`repro.core.querying` — model querying (``QueryEngine``, a thin
+  façade over the scheduler).
 * :mod:`repro.core.remapping` — label remapping (Algorithms 3 and 4).
 * :mod:`repro.core.rules` — rule-based label remapping (the "+" variants).
 * :mod:`repro.core.plan` — the logical half of annotation: per-column
@@ -27,6 +31,8 @@ from repro.core.executor import (
 )
 from repro.core.pipeline import AnnotationResult, ArcheType, ArcheTypeConfig
 from repro.core.plan import ColumnPlan, ColumnPlanner, PipelineStats
+from repro.core.querying import QueryEngine
+from repro.core.scheduler import QueryStats, RequestScheduler, SchedulerStats
 from repro.core.sampling import (
     ArcheTypeSampler,
     FirstKSampler,
@@ -60,9 +66,13 @@ __all__ = [
     "PipelineStats",
     "PromptSerializer",
     "PromptStyle",
+    "QueryEngine",
+    "QueryStats",
+    "RequestScheduler",
     "ResponseStore",
     "RunManifest",
     "SQLiteResponseStore",
+    "SchedulerStats",
     "SequentialExecutor",
     "SimpleRandomSampler",
     "Table",

@@ -1,19 +1,23 @@
 """Plan execution: the physical half of the plan/execute split.
 
 :mod:`repro.core.plan` decides *what* model work each column needs; this
-module decides *how* that work is carried out.  Executors consume a sequence
-of :class:`repro.core.plan.ColumnPlan` objects and return one
-:class:`repro.core.plan.AnnotationResult` per plan, in plan-position order:
+module decides *how* that work is carried out.  Since the scheduler refactor
+the executors own no threading, batching or dedup of their own — the
+:class:`repro.core.scheduler.RequestScheduler` behind the engine does all of
+that — so each executor is just a **submission policy**: how many plans it
+submits to the scheduler before awaiting any of them.
 
-* :class:`SequentialExecutor` — one ``QueryEngine.query`` call per pending
-  plan, bit-identical to the historical column-at-a-time loop;
-* :class:`BatchedExecutor` — pending prompts issued through
-  :meth:`repro.core.querying.QueryEngine.query_batch` in chunks, amortising
-  model-side work and cache lookups (the historical set-at-a-time path);
-* :class:`ConcurrentExecutor` — pending prompts deduplicated against the
-  engine cache, with the cache misses fanned out across a thread pool of
-  worker engines (:meth:`QueryEngine.query_batch_fanout`) and reassembled
-  deterministically.
+* :class:`SequentialExecutor` — submit one, await one: a query/remap
+  round-trip per pending plan, bit-identical to the historical
+  column-at-a-time loop (and the only policy valid for ``cache_size=0``
+  stateful backends, whose answers depend on call order);
+* :class:`BatchedExecutor` — submit a chunk, await the chunk
+  (:meth:`repro.core.querying.QueryEngine.query_batch`): the scheduler
+  drains each chunk as one cross-prompt ``generate_batch`` call;
+* :class:`ConcurrentExecutor` — submit from several threads at once
+  (:meth:`QueryEngine.query_batch_fanout`): each thread becomes a drain
+  leader, so multiple ``generate_batch`` calls run in parallel on pooled
+  model clones while cache/dedup/stats stay centralized in the scheduler.
 
 All three produce identical labels for the pure bundled backends; they differ
 only in wall-clock and in how many times the model is consulted.  Stage 4
@@ -45,15 +49,31 @@ from repro.exceptions import ConfigurationError
 def _attributed_hits(
     engine: QueryEngine, stats: PipelineStats, stage_name: str
 ) -> Iterator[None]:
-    """Attribute the engine's LRU/store hit deltas inside the block to a stage."""
+    """Attribute the engine's hit-tier deltas inside the block to a stage."""
     cache_before = engine.stats.n_cache_hits
     store_before = engine.stats.n_store_hits
+    inflight_before = engine.stats.n_inflight_hits
     try:
         yield
     finally:
         stage = stats.stage(stage_name)
         stage.cache_hits += engine.stats.n_cache_hits - cache_before
         stage.store_hits += engine.stats.n_store_hits - store_before
+        stage.inflight_hits += engine.stats.n_inflight_hits - inflight_before
+
+
+def _split_pending(
+    plans: Sequence[ColumnPlan],
+) -> tuple[dict[int, AnnotationResult], list[ColumnPlan]]:
+    """Separate short-circuited plans from those still awaiting model work."""
+    produced: dict[int, AnnotationResult] = {}
+    pending: list[ColumnPlan] = []
+    for plan in plans:
+        if plan.result is not None:
+            produced[plan.position] = plan.result
+        else:
+            pending.append(plan)
+    return produced, pending
 
 
 def execute_plan(
@@ -127,7 +147,12 @@ class Executor(ABC):
 
 
 class SequentialExecutor(Executor):
-    """Column-at-a-time execution: one engine query per pending plan."""
+    """Submission policy: submit one plan, await it, then the next.
+
+    Bit-identical to the historical column-at-a-time loop, and the only
+    policy that preserves call-order semantics for ``cache_size=0``
+    stateful backends (query and remap interleave per column).
+    """
 
     name = "sequential"
 
@@ -147,11 +172,13 @@ class SequentialExecutor(Executor):
 
 @dataclass
 class BatchedExecutor(Executor):
-    """Set-at-a-time execution through the engine's batched query path.
+    """Submission policy: submit a chunk of plans, then await the chunk.
 
     Pending prompts are issued through :meth:`QueryEngine.query_batch` in
-    chunks of ``batch_size`` (all at once when ``None``), deduplicated and
-    cached by the engine; remapping then runs per plan, in plan order.
+    chunks of ``batch_size`` (all at once when ``None``); the scheduler
+    resolves cache/store hits at submission, coalesces duplicates in flight,
+    and drains each chunk as one ``generate_batch`` call.  Remapping then
+    runs per plan, in plan order.
     """
 
     batch_size: int | None = None
@@ -168,14 +195,7 @@ class BatchedExecutor(Executor):
         remapper: Remapper,
         stats: PipelineStats,
     ) -> list[AnnotationResult]:
-        produced: dict[int, AnnotationResult] = {}
-        pending: list[ColumnPlan] = []
-        for plan in plans:
-            if plan.result is not None:
-                produced[plan.position] = plan.result
-            else:
-                pending.append(plan)
-
+        produced, pending = _split_pending(plans)
         prompts = [plan.prompt.text for plan in pending]  # type: ignore[union-attr]
         chunk = self.batch_size if self.batch_size is not None else len(prompts)
         responses: list[str] = []
@@ -197,18 +217,18 @@ class BatchedExecutor(Executor):
 
 @dataclass
 class ConcurrentExecutor(Executor):
-    """Fan pending prompts across a thread pool of worker engines.
+    """Submission policy: submit plans from ``workers`` threads at once.
 
-    The engine deduplicates the pending prompts against its cache, splits the
-    misses into contiguous chunks, and hands each chunk to a worker
-    :class:`QueryEngine` over a :meth:`LanguageModel.clone_for_worker` model
-    clone.  Responses are reassembled in first-occurrence order, so the
-    results — and the engine's cache/stat bookkeeping — are identical to the
-    batched path for the pure bundled backends.  Remapping (stage 4) runs on
-    the main thread in plan order.
+    Pending prompts go down :meth:`QueryEngine.query_batch_fanout`: each
+    thread submits a contiguous slice into the shared scheduler and then
+    drains it, so several ``generate_batch`` calls run in parallel on pooled
+    :meth:`LanguageModel.clone_for_worker` model clones while dedup, caching
+    and stats stay centralized.  Responses reassemble positionally, so the
+    labels are identical to the batched path for the pure bundled backends.
+    Remapping (stage 4) runs on the main thread in plan order.
 
-    ``chunk_size`` fixes the per-worker-task chunk; by default the misses are
-    split evenly across ``workers``.
+    ``chunk_size`` bounds each thread's drain batches; by default the
+    prompts are split evenly across ``workers``.
     """
 
     workers: int = 4
@@ -230,14 +250,7 @@ class ConcurrentExecutor(Executor):
         remapper: Remapper,
         stats: PipelineStats,
     ) -> list[AnnotationResult]:
-        produced: dict[int, AnnotationResult] = {}
-        pending: list[ColumnPlan] = []
-        for plan in plans:
-            if plan.result is not None:
-                produced[plan.position] = plan.result
-            else:
-                pending.append(plan)
-
+        produced, pending = _split_pending(plans)
         prompts = [plan.prompt.text for plan in pending]  # type: ignore[union-attr]
         responses: list[str] = []
         if prompts:

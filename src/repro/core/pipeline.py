@@ -10,8 +10,9 @@ Since the plan/execute refactor the stages live in exactly two places:
   :class:`repro.core.plan.ColumnPlan` per column (sample → rule
   short-circuit → features → serialized prompt);
 * a pluggable :class:`repro.core.executor.Executor` carries out the pending
-  query + remap work — sequentially, batched through the cached engine, or
-  fanned across a thread pool of worker engines.
+  query + remap work as a submission policy over the engine's shared
+  request scheduler — one at a time, a batch at a time, or from several
+  submitter threads at once (see :mod:`repro.core.scheduler`).
 
 Every public entry point is a thin wrapper over that split:
 
@@ -89,8 +90,11 @@ class ArcheTypeConfig:
     * ``ruleset`` — rule-based remapping; non-None produces "+" behaviour.
     * ``numeric_labels`` — labels eligible for the numeric-context restriction.
 
-    ``query_cache_size`` is an engineering knob (not from the paper): it
-    bounds the engine's LRU prompt-response cache used by batched execution.
+    ``query_cache_size``, ``max_batch_size``, ``max_batch_wait`` and
+    ``queue_depth`` are engineering knobs (not from the paper): they
+    configure the request scheduler behind the engine — the LRU
+    prompt-response cache, the microbatcher's per-drain batch cap and
+    linger window, and the bounded admission queue's backpressure depth.
     """
 
     model: str | LanguageModel = "t5"
@@ -108,9 +112,19 @@ class ArcheTypeConfig:
     context_window: int | None = None
     seed: int = 0
     generation: GenerationParams = field(default_factory=GenerationParams)
-    #: Entries in the engine's (prompt, params) LRU response cache; 0 disables
-    #: caching (required when wrapping a stateful, order-dependent model).
+    #: Entries in the scheduler's (prompt, params) LRU response cache; 0
+    #: disables every lookup tier (required when wrapping a stateful,
+    #: order-dependent model).
     query_cache_size: int = 4096
+    #: Per-drain cap on scheduler microbatches (None = drain everything
+    #: queued, keeping one batched call one model batch).
+    max_batch_size: int | None = None
+    #: Seconds a drain leader lingers for stragglers before generating an
+    #: under-full microbatch (only meaningful with ``max_batch_size``).
+    max_batch_wait: float = 0.0
+    #: Bound on the scheduler's admission queue; a full queue blocks
+    #: submitters (backpressure) instead of dropping requests.
+    queue_depth: int | None = None
 
     def with_updates(self, **changes: object) -> "ArcheTypeConfig":
         """Return a copy of the config with the given fields replaced."""
@@ -153,6 +167,9 @@ class ArcheType:
             model=self.model,
             params=config.generation,
             cache_size=config.query_cache_size,
+            max_batch_size=config.max_batch_size,
+            max_batch_wait=config.max_batch_wait,
+            queue_depth=config.queue_depth,
         )
         self.stats = PipelineStats()
         self.planner = ColumnPlanner(
@@ -451,6 +468,21 @@ class ArcheType:
     def store_hit_count(self) -> int:
         """Prompts served from the persistent store instead of the model."""
         return self.engine.stats.n_store_hits
+
+    @property
+    def inflight_hit_count(self) -> int:
+        """Prompts coalesced onto an identical in-flight request."""
+        return self.engine.stats.n_inflight_hits
+
+    @property
+    def hit_count(self) -> int:
+        """Prompts served without a model call, across every tier."""
+        return self.engine.stats.n_hits
+
+    @property
+    def scheduler_stats(self) -> dict[str, object]:
+        """The request scheduler's telemetry (JSON-serializable snapshot)."""
+        return self.engine.scheduler.stats_snapshot()
 
     @property
     def pipeline_stats(self) -> PipelineStats:

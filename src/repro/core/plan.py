@@ -76,15 +76,18 @@ class AnnotationResult:
 class StageStats:
     """Counters for one pipeline stage.
 
-    ``cache_hits`` counts prompts served from the engine's in-memory LRU;
+    ``cache_hits`` counts prompts served from the scheduler's in-memory LRU;
     ``store_hits`` counts prompts served from the persistent on-disk store
-    (see :mod:`repro.core.store`).  Both mean "no model call".
+    (see :mod:`repro.core.store`); ``inflight_hits`` counts prompts coalesced
+    onto an identical request already in the scheduler's admission queue.
+    All three mean "no model call".
     """
 
     calls: int = 0
     seconds: float = 0.0
     cache_hits: int = 0
     store_hits: int = 0
+    inflight_hits: int = 0
 
     def as_dict(self) -> dict[str, float]:
         return {
@@ -92,6 +95,7 @@ class StageStats:
             "seconds": self.seconds,
             "cache_hits": self.cache_hits,
             "store_hits": self.store_hits,
+            "inflight_hits": self.inflight_hits,
         }
 
 
@@ -111,6 +115,7 @@ def stage_rows_from_snapshot(
             "seconds": round(float(counters.get("seconds", 0.0)), 4),
             "cache_hits": int(counters.get("cache_hits", 0)),
             "store_hits": int(counters.get("store_hits", 0)),
+            "inflight_hits": int(counters.get("inflight_hits", 0)),
         }
         for stage, counters in snapshot.items()
     ]
@@ -143,12 +148,14 @@ class PipelineStats:
         calls: int = 1,
         cache_hits: int = 0,
         store_hits: int = 0,
+        inflight_hits: int = 0,
     ) -> None:
         stats = self.stage(name)
         stats.calls += calls
         stats.seconds += seconds
         stats.cache_hits += cache_hits
         stats.store_hits += store_hits
+        stats.inflight_hits += inflight_hits
 
     @contextmanager
     def timed(self, name: str, calls: int = 1) -> Iterator[None]:
@@ -187,6 +194,7 @@ class PipelineStats:
                 calls=int(counters["calls"]),
                 cache_hits=int(counters["cache_hits"]),
                 store_hits=int(counters.get("store_hits", 0)),
+                inflight_hits=int(counters.get("inflight_hits", 0)),
             )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -6,157 +6,122 @@ returns the raw responses, while tracking how many model calls were issued
 Keeping it separate from the pipeline makes the Section 5.4.3 model-querying
 ablation a one-line model swap.
 
-Two throughput features live here rather than in the pipeline:
+Since the scheduler refactor, :class:`QueryEngine` is a thin façade over one
+shared :class:`repro.core.scheduler.RequestScheduler`, which owns the whole
+lookup-and-fill pipeline: LRU cache → persistent store → in-flight dedup →
+microbatched ``generate_batch`` drains.  The engine's entry points are pure
+submission policies:
 
-* :meth:`QueryEngine.query_batch` submits a whole batch through
-  :meth:`repro.llm.base.LanguageModel.generate_batch`, deduplicating repeated
-  ``(prompt, params)`` pairs within the batch;
-* an LRU **prompt cache** keyed on ``(prompt, params)`` serves repeated
-  prompts — duplicate columns, resamples replayed across experiments —
-  without touching the model.  Caching is sound because every bundled backend
-  is a pure function of ``(prompt, params)``; set ``cache_size=0`` when
-  wrapping a stateful test double whose answers depend on call order.
+* :meth:`QueryEngine.query` submits one request and awaits it — the caller
+  becomes the drain leader immediately, so nothing is slower than a direct
+  model call;
+* :meth:`QueryEngine.query_batch` submits a whole batch before awaiting any
+  of it, so the scheduler drains it as one ``generate_batch`` call with
+  duplicates coalesced in-flight (first-occurrence order);
+* :meth:`QueryEngine.query_batch_fanout` submits from several threads at
+  once, which makes each thread a concurrent drain leader — the continuous-
+  batching path, where independent callers' requests coalesce into shared
+  cross-request batches.
 
-Below the LRU sits an optional **persistent store**
-(:class:`repro.core.store.ResponseStore`): on an LRU miss the engine consults
-the store, promotes hits into the LRU, and writes fresh model completions
-through to disk, so a warm second run of the same workload issues zero model
-queries even in a new process.  The store shares the LRU's purity assumption
-and is therefore bypassed together with it when ``cache_size=0`` (the
-stateful-model escape hatch).
+Caching, store tiering and coalescing are sound because every bundled backend
+is a pure function of ``(prompt, params)``; set ``cache_size=0`` when wrapping
+a stateful test double whose answers depend on call order — the scheduler
+then bypasses every tier and preserves FIFO per-occurrence semantics.
 
-:class:`QueryStats` separates ``n_prompts`` (prompts requested) from
-``n_queries`` (prompts that actually reached the model), with hits split by
-tier (``n_cache_hits`` for the LRU, ``n_store_hits`` for disk), so cost
-accounting stays truthful under caching.
+:class:`QueryStats` (defined next to the scheduler, re-exported here)
+separates ``n_prompts`` (prompts requested) from ``n_queries`` (prompts that
+actually reached the model), with hits split by tier (``n_cache_hits`` for
+the LRU, ``n_store_hits`` for disk, ``n_inflight_hits`` for requests
+coalesced onto an identical pending one), so cost accounting stays truthful
+under caching.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Sequence
+from typing import TYPE_CHECKING, Sequence
 
+from repro.core.scheduler import QueryStats, RequestScheduler, SchedulerStats
 from repro.llm.base import BatchParams, GenerationParams, LanguageModel, broadcast_params
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from repro.core.store import ResponseStore
 
-
-@dataclass
-class QueryStats:
-    """Counters accumulated by a :class:`QueryEngine` over its lifetime."""
-
-    n_queries: int = 0
-    n_resamples: int = 0
-    total_prompt_chars: int = 0
-    n_prompts: int = 0
-    n_batches: int = 0
-    n_cache_hits: int = 0
-    n_store_hits: int = 0
-
-    def record(self, prompt: str, resample_index: int) -> None:
-        """Record one prompt that reached the model (a miss in every tier)."""
-        self.n_prompts += 1
-        self.n_queries += 1
-        if resample_index > 0:
-            self.n_resamples += 1
-        self.total_prompt_chars += len(prompt)
-
-    def record_hit(self) -> None:
-        """Record one prompt served from the LRU cache without a model call."""
-        self.n_prompts += 1
-        self.n_cache_hits += 1
-
-    def record_store_hit(self) -> None:
-        """Record one prompt served from the persistent store (LRU miss)."""
-        self.n_prompts += 1
-        self.n_store_hits += 1
-
-    @property
-    def n_hits(self) -> int:
-        """Prompts served without a model call (LRU or persistent store)."""
-        return self.n_cache_hits + self.n_store_hits
-
-    @property
-    def hit_rate(self) -> float:
-        """Fraction of requested prompts served without a model call."""
-        if self.n_prompts == 0:
-            return 0.0
-        return self.n_hits / self.n_prompts
-
-    def reset(self) -> None:
-        """Zero every counter (the cache and store, if any, are untouched)."""
-        self.n_queries = 0
-        self.n_resamples = 0
-        self.total_prompt_chars = 0
-        self.n_prompts = 0
-        self.n_batches = 0
-        self.n_cache_hits = 0
-        self.n_store_hits = 0
+__all__ = ["QueryEngine", "QueryStats", "SchedulerStats"]
 
 
-@dataclass
 class QueryEngine:
     """Submit prompts to a model with consistent generation parameters.
 
-    ``cache_size`` bounds the LRU prompt cache.  ``store`` adds the durable
-    tier below it (see :mod:`repro.core.store`).  ``cache_size=0`` disables
-    *both* tiers: it is the escape hatch for stateful backends whose answers
-    depend on call order, and a disk store would violate call-order semantics
-    exactly as the LRU would.
+    A façade over :class:`RequestScheduler`: construction wires up the
+    scheduler, and every query method reduces to "submit, then wait".
+    ``cache_size`` bounds the LRU prompt cache; ``store`` adds the durable
+    tier below it (see :mod:`repro.core.store`); ``cache_size=0`` disables
+    both tiers *and* in-flight coalescing — the escape hatch for stateful
+    backends whose answers depend on call order.  ``max_batch_size``,
+    ``max_batch_wait`` and ``queue_depth`` pass through to the scheduler's
+    microbatcher (see its docs); the defaults reproduce the historical
+    engine behaviour exactly.
     """
 
-    model: LanguageModel
-    params: GenerationParams = field(default_factory=GenerationParams)
-    stats: QueryStats = field(default_factory=QueryStats)
-    cache_size: int = 4096
-    store: "ResponseStore | None" = None
-    _cache: "OrderedDict[tuple[str, GenerationParams], str]" = field(
-        default_factory=OrderedDict, repr=False
-    )
+    def __init__(
+        self,
+        model: LanguageModel,
+        params: GenerationParams | None = None,
+        stats: QueryStats | None = None,
+        cache_size: int = 4096,
+        store: "ResponseStore | None" = None,
+        *,
+        max_batch_size: int | None = None,
+        max_batch_wait: float = 0.0,
+        queue_depth: int | None = None,
+    ) -> None:
+        self.scheduler = RequestScheduler(
+            model,
+            params,
+            cache_size=cache_size,
+            store=store,
+            stats=stats,
+            max_batch_size=max_batch_size,
+            max_wait=max_batch_wait,
+            queue_depth=queue_depth,
+        )
 
-    # ------------------------------------------------------------- caching
-    def _cache_lookup(self, key: tuple[str, GenerationParams]) -> str | None:
-        if self.cache_size <= 0 or key not in self._cache:
-            return None
-        self._cache.move_to_end(key)
-        return self._cache[key]
+    # ------------------------------------------------------ scheduler views
+    @property
+    def model(self) -> LanguageModel:
+        return self.scheduler.model
 
-    def _lookup(self, key: tuple[str, GenerationParams]) -> tuple[str | None, bool]:
-        """Consult the cache hierarchy: ``(response, came_from_store)``.
+    @property
+    def params(self) -> GenerationParams:
+        return self.scheduler.params
 
-        Store hits are promoted into the LRU so a hot prompt pays the disk
-        read once per process.
-        """
-        cached = self._cache_lookup(key)
-        if cached is not None:
-            return cached, False
-        if self.store is None or self.cache_size <= 0:
-            return None, False
-        stored = self.store.get(key[0], key[1])
-        if stored is None:
-            return None, False
-        self._cache_store(key, stored)
-        return stored, True
+    @property
+    def stats(self) -> QueryStats:
+        return self.scheduler.stats
 
-    def _store_put(self, key: tuple[str, GenerationParams], response: str) -> None:
-        """Write a fresh model completion through to the persistent store."""
-        if self.store is not None and self.cache_size > 0:
-            self.store.put(key[0], key[1], response)
+    @property
+    def scheduler_stats(self) -> SchedulerStats:
+        return self.scheduler.scheduler_stats
 
-    def _cache_store(self, key: tuple[str, GenerationParams], response: str) -> None:
-        if self.cache_size <= 0:
-            return
-        self._cache[key] = response
-        self._cache.move_to_end(key)
-        while len(self._cache) > self.cache_size:
-            self._cache.popitem(last=False)
+    @property
+    def cache_size(self) -> int:
+        return self.scheduler.cache_size
+
+    @property
+    def store(self) -> "ResponseStore | None":
+        return self.scheduler.store
+
+    @store.setter
+    def store(self, store: "ResponseStore | None") -> None:
+        self.scheduler.store = store
+
+    @property
+    def cache_len(self) -> int:
+        return self.scheduler.cache_len
 
     def clear_cache(self) -> None:
         """Drop every cached response (stats are left untouched)."""
-        self._cache.clear()
+        self.scheduler.clear_cache()
 
     def reset_stats(self) -> None:
         """Zero the counters so multi-run experiments report per-run numbers.
@@ -166,29 +131,18 @@ class QueryEngine:
         :class:`QueryStats` already separates requested prompts from prompts
         that reached the model, so post-reset accounting stays truthful.
         """
-        self.stats.reset()
-
-    @property
-    def cache_len(self) -> int:
-        return len(self._cache)
+        self.scheduler.reset_stats()
 
     # ------------------------------------------------------------ querying
     def query(self, prompt: str, params: GenerationParams | None = None) -> str:
-        """Send one prompt to the model and return its raw completion."""
-        effective = params or self.params
-        key = (prompt, effective)
-        cached, from_store = self._lookup(key)
-        if cached is not None:
-            if from_store:
-                self.stats.record_store_hit()
-            else:
-                self.stats.record_hit()
-            return cached
-        self.stats.record(prompt, effective.resample_index)
-        response = self.model.generate(prompt, effective)
-        self._cache_store(key, response)
-        self._store_put(key, response)
-        return response
+        """Send one prompt to the model and return its raw completion.
+
+        Submit-and-wait: on a miss in every tier the calling thread drains
+        the admission queue itself, so a lone query costs exactly one model
+        call with no scheduling latency.
+        """
+        future = self.scheduler.submit(prompt, params, on_full="drain")
+        return self.scheduler.wait([future])[0]
 
     def query_batch(
         self,
@@ -197,117 +151,20 @@ class QueryEngine:
     ) -> list[str]:
         """Send a batch of prompts through the model's set-at-a-time path.
 
-        Cache hits (including duplicates within the batch) never reach the
-        model; the remaining unique ``(prompt, params)`` pairs go down in one
-        :meth:`LanguageModel.generate_batch` call, in first-occurrence order.
-        Responses come back in the order of ``prompts``.
-        """
-        return self._run_batch(prompts, params, self._generate_direct)
-
-    def _run_batch(
-        self,
-        prompts: Sequence[str],
-        params: BatchParams,
-        generate: "Callable[[Sequence[tuple[str, GenerationParams]]], list[str]]",
-    ) -> list[str]:
-        """Shared orchestration for the batch entry points.
-
-        ``generate`` receives the ``(prompt, params)`` pairs that must reach
-        the model — direct dispatch for :meth:`query_batch`, thread-pool
-        fan-out for :meth:`query_batch_fanout`; everything else (cache
-        dedup, stats, reassembly) is identical between the two.
+        Submit-all-then-wait: cache and store hits resolve at submission,
+        duplicates within the batch coalesce onto one in-flight request, and
+        the remaining unique ``(prompt, params)`` pairs drain in one
+        :meth:`LanguageModel.generate_batch` call, in first-occurrence
+        order.  Responses come back in the order of ``prompts``.
         """
         if not prompts:
             return []
-        effective = [
-            p or self.params for p in broadcast_params(prompts, params)
+        effective = [p or self.params for p in broadcast_params(prompts, params)]
+        futures = [
+            self.scheduler.submit(prompt, prompt_params, on_full="drain")
+            for prompt, prompt_params in zip(prompts, effective)
         ]
-        self.stats.n_batches += 1
-
-        if self.cache_size <= 0:
-            # Caching disabled: honour call-order semantics for stateful
-            # models by sending every prompt through, duplicates included,
-            # and mapping completions back positionally.
-            keys = list(zip(prompts, effective))
-            completions = generate(keys)
-            self._absorb_completions(keys, completions, {})
-            return completions
-
-        responses, missing, store_hits = self._partition_cached(prompts, effective)
-        if missing:
-            self._absorb_completions(missing, generate(missing), responses)
-
-        # Every requested prompt that did not trigger a model call — cached
-        # upfront or a duplicate of an earlier batch entry — counts as a hit:
-        # once from the persistent store for each unique key the store
-        # answered, from the LRU for the rest.
-        for _ in range(store_hits):
-            self.stats.record_store_hit()
-        for _ in range(len(prompts) - len(missing) - store_hits):
-            self.stats.record_hit()
-        return [responses[key] for key in zip(prompts, effective)]
-
-    def _generate_direct(
-        self, keys: Sequence[tuple[str, GenerationParams]]
-    ) -> list[str]:
-        """One set-at-a-time model call, in first-occurrence order."""
-        return self.model.generate_batch(
-            [prompt for prompt, _ in keys],
-            [prompt_params for _, prompt_params in keys],
-        )
-
-    def _partition_cached(
-        self,
-        prompts: Sequence[str],
-        effective: Sequence[GenerationParams],
-    ) -> tuple[
-        dict[tuple[str, GenerationParams], str],
-        list[tuple[str, GenerationParams]],
-        int,
-    ]:
-        """Split a batch into cached responses and unique cache misses.
-
-        Misses come back in first-occurrence order; duplicates of an earlier
-        miss are folded into it.  The third element counts the unique keys
-        answered by the persistent store rather than the LRU.
-        """
-        responses: dict[tuple[str, GenerationParams], str] = {}
-        missing: list[tuple[str, GenerationParams]] = []
-        missing_keys: set[tuple[str, GenerationParams]] = set()
-        store_hits = 0
-        for key in zip(prompts, effective):
-            if key in responses or key in missing_keys:
-                continue
-            cached, from_store = self._lookup(key)
-            if cached is not None:
-                responses[key] = cached
-                store_hits += int(from_store)
-            else:
-                missing.append(key)
-                missing_keys.add(key)
-        return responses, missing, store_hits
-
-    def _absorb_completions(
-        self,
-        keys: Sequence[tuple[str, GenerationParams]],
-        completions: Sequence[str],
-        responses: dict[tuple[str, GenerationParams], str],
-    ) -> None:
-        """Record, cache and collect model completions for ``keys``.
-
-        The length check makes a miscounting backend fail loudly instead of
-        silently dropping the tail of the batch.
-        """
-        if len(completions) != len(keys):
-            raise RuntimeError(
-                f"model {self.model.name!r} returned {len(completions)} "
-                f"completions for {len(keys)} prompts"
-            )
-        for key, response in zip(keys, completions):
-            self.stats.record(key[0], key[1].resample_index)
-            responses[key] = response
-            self._cache_store(key, response)
-            self._store_put(key, response)
+        return self.scheduler.wait(futures)
 
     # ------------------------------------------------------------- fan-out
     def spawn_worker(self) -> "QueryEngine":
@@ -332,66 +189,37 @@ class QueryEngine:
         workers: int = 4,
         chunk_size: int | None = None,
     ) -> list[str]:
-        """:meth:`query_batch`, with cache misses fanned across a thread pool.
+        """:meth:`query_batch`, submitted concurrently from ``workers`` threads.
 
-        Deduplication, caching and stats mirror :meth:`query_batch` exactly;
-        only the physical dispatch differs: the unique cache misses are split
-        into contiguous chunks (``chunk_size`` each, or evenly over
-        ``workers``) and generated in parallel on per-chunk
-        :meth:`LanguageModel.clone_for_worker` model clones, then reassembled
-        in first-occurrence order.  Sound only for backends that are pure
-        functions of ``(prompt, params)`` — the bundled simulators — or whose
-        clone hook returns an independent copy; responses and bookkeeping are
-        then identical to the batched path, calls-per-model aside.
+        Each thread submits a contiguous slice of the batch and then drains
+        the shared admission queue (``chunk_size``-bounded batches, or an
+        even split over ``workers``), so several ``generate_batch`` calls run
+        in parallel on pooled :meth:`LanguageModel.clone_for_worker` clones
+        while cache, store, dedup and stats stay centralized in the one
+        scheduler.  Sound only for backends that are pure functions of
+        ``(prompt, params)`` — the bundled simulators — or whose clone hook
+        returns an independent copy; responses and bookkeeping then match
+        the batched path, timing-dependent hit-tier attribution aside.
 
-        With caching disabled every prompt is fanned out (duplicates
-        included) and completions map back positionally, matching
-        :meth:`query_batch`'s cache-off call-order semantics.
+        With caching disabled every prompt is submitted per-occurrence
+        (duplicates included) and completions map back positionally,
+        matching :meth:`query_batch`'s cache-off call-order semantics.
         """
-        return self._run_batch(
-            prompts,
-            params,
-            lambda keys: self._fanout_generate(keys, workers, chunk_size),
+        if not prompts:
+            return []
+        effective = [p or self.params for p in broadcast_params(prompts, params)]
+        keys = list(zip(prompts, effective))
+        n_workers = max(1, min(workers, len(keys)))
+        batch_limit = chunk_size or -(-len(keys) // n_workers)  # ceil division
+        return self.scheduler.run_wave(
+            keys, submitters=n_workers, batch_limit=batch_limit
         )
 
-    def _fanout_generate(
-        self,
-        keys: Sequence[tuple[str, GenerationParams]],
-        workers: int,
-        chunk_size: int | None,
-    ) -> list[str]:
-        """Generate completions for ``keys``, chunked across a thread pool.
-
-        Each chunk runs on a :meth:`spawn_worker` engine (cache-less, over a
-        :meth:`LanguageModel.clone_for_worker` clone); worker-side stats are
-        discarded — the parent absorbs the completions and does all
-        accounting, so the books match the single-engine batched path.
-        """
-        def generate_chunk(
-            engine: "QueryEngine", chunk_keys: Sequence[tuple[str, GenerationParams]]
-        ) -> list[str]:
-            return engine.query_batch(
-                [prompt for prompt, _ in chunk_keys],
-                [prompt_params for _, prompt_params in chunk_keys],
-            )
-
-        n_workers = max(1, min(workers, len(keys)))
-        chunk = chunk_size or -(-len(keys) // n_workers)  # ceil division
-        chunks = [keys[start:start + chunk] for start in range(0, len(keys), chunk)]
-        if n_workers == 1 or len(chunks) == 1:
-            return generate_chunk(self.spawn_worker(), keys)
-        # One worker engine per chunk: chunks may outnumber threads, and a
-        # stateful model clone must never serve two chunks concurrently.
-        engines = [self.spawn_worker() for _ in chunks]
-        with ThreadPoolExecutor(max_workers=n_workers) as pool:
-            futures = [
-                pool.submit(generate_chunk, engine, chunk_keys)
-                for engine, chunk_keys in zip(engines, chunks)
-            ]
-            return [
-                completion for future in futures for completion in future.result()
-            ]
-
     def requery(self, prompt: str, attempt: int) -> str:
-        """Re-query with permuted hyperparameters (remap-resample, Algorithm 3)."""
+        """Re-query with permuted hyperparameters (remap-resample, Algorithm 3).
+
+        Routed through the scheduler like a first attempt, so concurrent
+        retries of the same ``(prompt, attempt)`` dedup onto one model call
+        and the completion is cached and persisted like any other.
+        """
         return self.query(prompt, self.params.permuted(attempt))

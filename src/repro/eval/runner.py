@@ -101,6 +101,10 @@ class EvaluationResult:
     n_queries: int | None = None
     n_cache_hits: int | None = None
     n_store_hits: int | None = None
+    n_inflight_hits: int | None = None
+    #: Request-scheduler telemetry snapshot (batches drained, coalesced
+    #: requests, batch-size histogram …), when the annotator exposes one.
+    scheduler: dict[str, object] | None = None
     #: Identifier of the checkpointed run (when a cache directory was used);
     #: pass it back as ``resume`` to continue an interrupted run.
     run_id: str | None = None
@@ -131,6 +135,11 @@ class EvaluationResult:
             row["cache_hits"] = self.n_cache_hits
         if self.n_store_hits is not None:
             row["store_hits"] = self.n_store_hits
+        if self.n_inflight_hits is not None:
+            row["inflight_hits"] = self.n_inflight_hits
+        if self.scheduler is not None:
+            row["n_batches"] = self.scheduler.get("n_batches", 0)
+            row["n_coalesced"] = self.scheduler.get("n_coalesced", 0)
         if self.run_id is not None:
             row["run_id"] = self.run_id
         if self.pipeline_stats:
@@ -170,13 +179,24 @@ class RunnerTotals:
     n_queries: int = 0
     n_cache_hits: int = 0
     n_store_hits: int = 0
+    n_inflight_hits: int = 0
+    n_coalesced: int = 0
+    n_batches: int = 0
+    n_cross_request_batches: int = 0
 
     def add(self, result: "EvaluationResult") -> None:
-        """Fold one evaluation's engine counters into the totals."""
+        """Fold one evaluation's engine/scheduler counters into the totals."""
         self.n_evaluations += 1
         self.n_queries += result.n_queries or 0
         self.n_cache_hits += result.n_cache_hits or 0
         self.n_store_hits += result.n_store_hits or 0
+        self.n_inflight_hits += result.n_inflight_hits or 0
+        if result.scheduler is not None:
+            self.n_coalesced += int(result.scheduler.get("n_coalesced", 0))  # type: ignore[arg-type]
+            self.n_batches += int(result.scheduler.get("n_batches", 0))  # type: ignore[arg-type]
+            self.n_cross_request_batches += int(
+                result.scheduler.get("n_cross_request_batches", 0)  # type: ignore[arg-type]
+            )
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -184,6 +204,10 @@ class RunnerTotals:
             "n_queries": self.n_queries,
             "n_cache_hits": self.n_cache_hits,
             "n_store_hits": self.n_store_hits,
+            "n_inflight_hits": self.n_inflight_hits,
+            "n_coalesced": self.n_coalesced,
+            "n_batches": self.n_batches,
+            "n_cross_request_batches": self.n_cross_request_batches,
         }
 
 
@@ -202,6 +226,10 @@ class ExperimentRunner:
       historical ``batch_size`` semantics);
     * ``stream_chunk_size`` — chunk for the streaming drive (defaults to
       ``batch_size`` or 64);
+    * ``max_batch_wait`` / ``queue_depth`` — request-scheduler knobs applied
+      to the annotator's engine when it exposes one: the microbatcher's
+      linger window for cross-request coalescing, and the bound on the
+      admission queue (full queue = backpressure, never drops);
     * ``reset_stats`` — zero the annotator's engine/pipeline counters before
       evaluating (when it exposes ``reset_stats``), so multi-run experiments
       report per-run numbers;
@@ -230,6 +258,8 @@ class ExperimentRunner:
     executor: object | str | None = None
     workers: int | None = None
     stream_chunk_size: int | None = None
+    max_batch_wait: float | None = None
+    queue_depth: int | None = None
     reset_stats: bool = True
     cache_dir: str | Path | None = None
     store: str = "sqlite"
@@ -251,6 +281,7 @@ class ExperimentRunner:
             columns = columns[:max_columns]
         if self.reset_stats and hasattr(annotator, "reset_stats"):
             annotator.reset_stats()
+        self._configure_scheduler(annotator)
         store_obj, manifest, attached = self._open_persistence(
             annotator, benchmark, method_name
         )
@@ -274,7 +305,9 @@ class ExperimentRunner:
             report = evaluate_predictions(truth, predictions)
             confusion = ConfusionMatrix.from_predictions(truth, predictions)
             stats = getattr(annotator, "pipeline_stats", None)
-            engine_stats = getattr(getattr(annotator, "engine", None), "stats", None)
+            engine = getattr(annotator, "engine", None)
+            engine_stats = getattr(engine, "stats", None)
+            scheduler = getattr(engine, "scheduler", None)
             result = EvaluationResult(
                 benchmark_name=benchmark.name,
                 method_name=method_name,
@@ -292,6 +325,12 @@ class ExperimentRunner:
                 n_store_hits=(
                     engine_stats.n_store_hits if engine_stats is not None else None
                 ),
+                n_inflight_hits=(
+                    engine_stats.n_inflight_hits if engine_stats is not None else None
+                ),
+                scheduler=(
+                    scheduler.stats_snapshot() if scheduler is not None else None
+                ),
                 run_id=manifest.run_id if manifest is not None else None,
             )
             self.totals.add(result)
@@ -303,6 +342,28 @@ class ExperimentRunner:
                 getattr(annotator, "engine").store = None
             if store_obj is not None:
                 store_obj.close()
+
+    def _configure_scheduler(self, annotator: ColumnAnnotator) -> None:
+        """Apply the runner's scheduler knobs to the annotator's engine.
+
+        A no-op for annotators without a scheduler-backed engine; configuring
+        an unconfigurable annotator while asking for scheduler behaviour is
+        an error rather than a silently ignored request.
+        """
+        if self.max_batch_wait is None and self.queue_depth is None:
+            return
+        scheduler = getattr(getattr(annotator, "engine", None), "scheduler", None)
+        if scheduler is None:
+            raise ConfigurationError(
+                "max_batch_wait/queue_depth require a scheduler-backed "
+                f"annotator; {type(annotator).__name__} has none"
+            )
+        kwargs: dict[str, object] = {}
+        if self.max_batch_wait is not None:
+            kwargs["max_wait"] = self.max_batch_wait
+        if self.queue_depth is not None:
+            kwargs["queue_depth"] = self.queue_depth
+        scheduler.configure(**kwargs)
 
     def _open_persistence(
         self,

@@ -522,6 +522,12 @@ class ExperimentResult:
     rows: list[dict[str, object]]
     shards: list[dict[str, object]]
     errors: list[str] = field(default_factory=list)
+    # Request-scheduler counters (absent in pre-scheduler results.json files,
+    # hence the .get defaults in from_dict).
+    n_inflight_hits: int = 0
+    n_coalesced: int = 0
+    n_batches: int = 0
+    n_cross_request_batches: int = 0
 
     def to_dict(self) -> dict[str, object]:
         return {
@@ -534,6 +540,10 @@ class ExperimentResult:
             "n_queries": self.n_queries,
             "n_cache_hits": self.n_cache_hits,
             "n_store_hits": self.n_store_hits,
+            "n_inflight_hits": self.n_inflight_hits,
+            "n_coalesced": self.n_coalesced,
+            "n_batches": self.n_batches,
+            "n_cross_request_batches": self.n_cross_request_batches,
             "metrics": self.metrics,
             "rows": self.rows,
             "shards": self.shards,
@@ -552,6 +562,12 @@ class ExperimentResult:
             n_queries=data["n_queries"],  # type: ignore[arg-type]
             n_cache_hits=data["n_cache_hits"],  # type: ignore[arg-type]
             n_store_hits=data["n_store_hits"],  # type: ignore[arg-type]
+            n_inflight_hits=data.get("n_inflight_hits", 0),  # type: ignore[arg-type]
+            n_coalesced=data.get("n_coalesced", 0),  # type: ignore[arg-type]
+            n_batches=data.get("n_batches", 0),  # type: ignore[arg-type]
+            n_cross_request_batches=data.get(  # type: ignore[arg-type]
+                "n_cross_request_batches", 0
+            ),
             metrics=dict(data["metrics"]),  # type: ignore[arg-type]
             rows=list(data["rows"]),  # type: ignore[arg-type]
             shards=list(data["shards"]),  # type: ignore[arg-type]
@@ -582,12 +598,20 @@ class SuiteResult:
             "n_queries": 0,
             "n_cache_hits": 0,
             "n_store_hits": 0,
+            "n_inflight_hits": 0,
+            "n_coalesced": 0,
+            "n_batches": 0,
+            "n_cross_request_batches": 0,
         }
         for experiment in self.experiments:
             totals["n_evaluations"] += experiment.n_evaluations
             totals["n_queries"] += experiment.n_queries
             totals["n_cache_hits"] += experiment.n_cache_hits
             totals["n_store_hits"] += experiment.n_store_hits
+            totals["n_inflight_hits"] += experiment.n_inflight_hits
+            totals["n_coalesced"] += experiment.n_coalesced
+            totals["n_batches"] += experiment.n_batches
+            totals["n_cross_request_batches"] += experiment.n_cross_request_batches
         return totals
 
     @property
@@ -678,7 +702,9 @@ def _merge_experiment(
     metrics: dict[str, float] = {}
     errors: list[str] = []
     totals = {"n_evaluations": 0, "n_queries": 0,
-              "n_cache_hits": 0, "n_store_hits": 0}
+              "n_cache_hits": 0, "n_store_hits": 0,
+              "n_inflight_hits": 0, "n_coalesced": 0,
+              "n_batches": 0, "n_cross_request_batches": 0}
     wall = 0.0
     shards: list[dict[str, object]] = []
     for record in shard_results:
@@ -714,6 +740,10 @@ def _merge_experiment(
         n_queries=totals["n_queries"],
         n_cache_hits=totals["n_cache_hits"],
         n_store_hits=totals["n_store_hits"],
+        n_inflight_hits=totals["n_inflight_hits"],
+        n_coalesced=totals["n_coalesced"],
+        n_batches=totals["n_batches"],
+        n_cross_request_batches=totals["n_cross_request_batches"],
         metrics=metrics,
         rows=rows,
         shards=shards,
@@ -913,7 +943,11 @@ def render_report(
         f"({totals['n_evaluations']} evaluations)",
         f"- model queries: {totals['n_queries']} "
         f"(LRU hits: {totals['n_cache_hits']}, "
-        f"store hits: {totals['n_store_hits']})",
+        f"store hits: {totals['n_store_hits']}, "
+        f"in-flight hits: {totals['n_inflight_hits']})",
+        f"- scheduler: {totals['n_batches']} batches drained, "
+        f"{totals['n_coalesced']} requests coalesced, "
+        f"{totals['n_cross_request_batches']} cross-request batches",
         "",
         "## Measured vs. paper targets",
         "",

@@ -113,7 +113,11 @@ class TestQueryBatch:
         engine.query_batch(["x", "y", "x", "x"])
         assert model.batch_calls == [["x", "y"]]
         assert engine.stats.n_queries == 2
-        assert engine.stats.n_cache_hits == 2
+        # Duplicates of a *pending* prompt coalesce onto its in-flight
+        # request rather than hitting the (not yet filled) LRU.
+        assert engine.stats.n_inflight_hits == 2
+        assert engine.stats.n_cache_hits == 0
+        assert engine.stats.n_hits == 2
         assert engine.stats.n_prompts == 4
         assert engine.stats.n_batches == 1
 

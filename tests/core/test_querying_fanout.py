@@ -38,7 +38,9 @@ class TestQueryBatchFanout:
 
         assert got == expected
         assert fanned.stats.n_queries == batched.stats.n_queries
-        assert fanned.stats.n_cache_hits == batched.stats.n_cache_hits
+        # Which tier absorbs a duplicate (LRU vs in-flight coalescing) is
+        # timing-dependent under fan-out; the combined hit count is not.
+        assert fanned.stats.n_hits == batched.stats.n_hits
         assert fanned.stats.n_prompts == batched.stats.n_prompts
 
     def test_fanout_uses_multiple_threads(self):
@@ -62,7 +64,7 @@ class TestQueryBatchFanout:
         called = [prompt for prompt, _ in model.calls]
         assert called.count("p0") == 1  # served from cache on the fan-out
         assert called.count("p1") == 1  # in-batch duplicate answered once
-        assert engine.stats.n_cache_hits == 2
+        assert engine.stats.n_hits == 2  # one LRU hit + one coalesced dupe
 
     def test_fanout_cache_disabled_sends_everything(self):
         model = RecordingModel()

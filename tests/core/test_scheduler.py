@@ -1,0 +1,353 @@
+"""Tests for the request scheduler: in-flight dedup, backpressure, failures.
+
+The golden-label and querying-module tests pin the scheduler's *sequential*
+behaviour (bit-identical labels and stats through the façade); this module
+pins the concurrent machinery those tests cannot reach: cross-thread
+coalescing, bounded-queue backpressure, exception propagation to coalesced
+futures, microbatch lingering, and the requery path's scheduling.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.core.querying import QueryEngine
+from repro.core.scheduler import RequestScheduler
+from repro.exceptions import ConfigurationError
+from repro.llm.base import GenerationParams, LanguageModel
+
+
+class CountingModel(LanguageModel):
+    """Pure test double: deterministic output, records every call."""
+
+    name = "counting"
+    context_window = 128
+
+    def __init__(self) -> None:
+        self.calls: list[str] = []
+        self.batch_calls: list[list[str]] = []
+        self._lock = threading.Lock()
+
+    def generate(self, prompt: str, params: GenerationParams | None = None) -> str:
+        params = params or GenerationParams()
+        with self._lock:
+            self.calls.append(prompt)
+        return f"ans:{prompt}:{params.resample_index}"
+
+    def generate_batch(self, prompts, params=None):
+        with self._lock:
+            self.batch_calls.append(list(prompts))
+        return super().generate_batch(prompts, params)
+
+
+class GatedModel(CountingModel):
+    """Blocks inside ``generate`` until the test releases it."""
+
+    name = "gated"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.started = threading.Event()
+        self.release = threading.Event()
+
+    def generate(self, prompt: str, params: GenerationParams | None = None) -> str:
+        self.started.set()
+        assert self.release.wait(timeout=10.0), "test never released the model"
+        return super().generate(prompt, params)
+
+
+class ExplodingModel(CountingModel):
+    """Raises for prompts containing "boom", answers everything else."""
+
+    name = "exploding"
+
+    def generate(self, prompt: str, params: GenerationParams | None = None) -> str:
+        if "boom" in prompt:
+            raise ValueError(f"cannot answer {prompt!r}")
+        return super().generate(prompt, params)
+
+
+def _wait_until(predicate, timeout=5.0, message="condition never became true"):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.001)
+    raise AssertionError(message)
+
+
+class TestInflightDedup:
+    def test_n_threads_same_prompt_one_model_call(self):
+        """The satellite contract: N concurrent submitters, one model call."""
+        model = GatedModel()
+        scheduler = RequestScheduler(model)
+        n_threads = 8
+        results: list[str | None] = [None] * n_threads
+        errors: list[BaseException] = []
+
+        def worker(index: int) -> None:
+            try:
+                future = scheduler.submit("shared", on_full="drain")
+                results[index] = scheduler.wait([future])[0]
+            except BaseException as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(n_threads)
+        ]
+        threads[0].start()
+        # The leader is now inside generate(); the request stays in the
+        # in-flight table until its batch settles, so every late submitter
+        # must coalesce onto it instead of issuing its own model call.
+        assert model.started.wait(timeout=5.0)
+        for thread in threads[1:]:
+            thread.start()
+        _wait_until(
+            lambda: scheduler.scheduler_stats.n_coalesced == n_threads - 1,
+            message="late submitters did not coalesce onto the leader",
+        )
+        model.release.set()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert not errors
+        assert results == ["ans:shared:0"] * n_threads
+        assert model.calls == ["shared"]
+        assert scheduler.stats.n_queries == 1
+        assert scheduler.stats.n_inflight_hits == n_threads - 1
+
+    def test_duplicate_submissions_share_one_future(self):
+        scheduler = RequestScheduler(CountingModel())
+        first = scheduler.submit("p")
+        second = scheduler.submit("p")
+        assert first is second
+        assert scheduler.wait([first, second]) == ["ans:p:0", "ans:p:0"]
+        assert scheduler.scheduler_stats.n_coalesced == 1
+
+    def test_distinct_params_do_not_coalesce(self):
+        model = CountingModel()
+        scheduler = RequestScheduler(model)
+        first = scheduler.submit("p", GenerationParams(resample_index=0))
+        second = scheduler.submit("p", GenerationParams(resample_index=1))
+        assert first is not second
+        scheduler.wait([first, second])
+        assert len(model.calls) == 2
+
+    def test_cache_off_disables_coalescing(self):
+        model = CountingModel()
+        scheduler = RequestScheduler(model, cache_size=0)
+        futures = [scheduler.submit("p"), scheduler.submit("p")]
+        assert futures[0] is not futures[1]
+        scheduler.wait(futures)
+        assert model.calls == ["p", "p"]
+        assert scheduler.stats.n_inflight_hits == 0
+
+
+class TestBackpressure:
+    def test_full_queue_blocks_submitters_not_drops(self):
+        """The satellite contract: a full admission queue blocks, never drops."""
+        model = CountingModel()
+        scheduler = RequestScheduler(model, queue_depth=1)
+        first = scheduler.submit("a")  # fills the queue
+
+        blocked_result: list[str] = []
+
+        def blocked_submitter() -> None:
+            future = scheduler.submit("b", on_full="block")
+            blocked_result.append(scheduler.wait([future])[0])
+
+        thread = threading.Thread(target=blocked_submitter)
+        thread.start()
+        _wait_until(lambda: scheduler.scheduler_stats.n_submitted == 2)
+        time.sleep(0.05)
+        # The submitter is parked inside submit(): nothing dropped, nothing
+        # enqueued past the bound, no exception.
+        assert thread.is_alive()
+        assert not blocked_result
+        assert scheduler.scheduler_stats.n_enqueued == 1
+
+        # Draining the queue frees space and wakes the parked submitter.
+        assert scheduler.wait([first]) == ["ans:a:0"]
+        thread.join(timeout=10.0)
+        assert not thread.is_alive()
+        assert blocked_result == ["ans:b:0"]
+        assert scheduler.scheduler_stats.n_enqueued == 2
+        assert model.calls == ["a", "b"]
+
+    def test_on_full_drain_makes_progress_single_threaded(self):
+        # A single-threaded caller submitting more than queue_depth requests
+        # before awaiting any would deadlock under pure blocking; on_full
+        # "drain" has the submitter clear the queue itself instead.
+        model = CountingModel()
+        engine = QueryEngine(model=model, queue_depth=2)
+        prompts = [f"p{i}" for i in range(10)]
+        assert engine.query_batch(prompts) == [f"ans:p{i}:0" for i in range(10)]
+        assert len(model.calls) == 10
+        assert all(len(batch) <= 2 for batch in model.batch_calls)
+
+    def test_invalid_on_full_rejected(self):
+        scheduler = RequestScheduler(CountingModel())
+        with pytest.raises(ConfigurationError, match="on_full"):
+            scheduler.submit("p", on_full="drop")
+
+    def test_invalid_knobs_rejected(self):
+        with pytest.raises(ConfigurationError, match="max_batch_size"):
+            RequestScheduler(CountingModel(), max_batch_size=0)
+        with pytest.raises(ConfigurationError, match="max_wait"):
+            RequestScheduler(CountingModel(), max_wait=-1.0)
+        with pytest.raises(ConfigurationError, match="queue_depth"):
+            RequestScheduler(CountingModel(), queue_depth=-3)
+        scheduler = RequestScheduler(CountingModel())
+        with pytest.raises(ConfigurationError, match="queue_depth"):
+            scheduler.configure(queue_depth=0)
+
+
+class TestFailurePropagation:
+    def test_exception_reaches_every_coalesced_future(self):
+        """The satellite contract: one failed batch fails all its waiters."""
+        scheduler = RequestScheduler(ExplodingModel())
+        first = scheduler.submit("boom")
+        second = scheduler.submit("boom")  # coalesced onto the first
+        with pytest.raises(ValueError, match="cannot answer"):
+            scheduler.wait([first])
+        assert isinstance(second.exception(), ValueError)
+        # ... and the drain loop is not wedged: later requests still flow.
+        healthy = scheduler.submit("fine")
+        assert scheduler.wait([healthy]) == ["ans:fine:0"]
+        assert scheduler.stats.n_queries == 1  # the failed batch is not billed
+
+    def test_failed_request_leaves_inflight_table(self):
+        scheduler = RequestScheduler(ExplodingModel())
+        future = scheduler.submit("boom")
+        with pytest.raises(ValueError):
+            scheduler.wait([future])
+        # A resubmission gets a fresh request (and fails again), rather than
+        # coalescing onto the dead future forever.
+        retry = scheduler.submit("boom")
+        assert retry is not future
+        with pytest.raises(ValueError):
+            scheduler.wait([retry])
+
+    def test_engine_batch_failure_then_recovery(self):
+        engine = QueryEngine(model=ExplodingModel())
+        with pytest.raises(ValueError, match="cannot answer"):
+            engine.query_batch(["ok1", "boom", "ok2"])
+        assert engine.query("fine") == "ans:fine:0"
+
+    def test_miscounting_backend_fails_loudly(self):
+        class ShortModel(CountingModel):
+            name = "short"
+
+            def generate_batch(self, prompts, params=None):
+                return ["only-one"]
+
+        engine = QueryEngine(model=ShortModel())
+        with pytest.raises(RuntimeError, match="completions for"):
+            engine.query_batch(["a", "b"])
+
+
+class TestMicrobatching:
+    def test_batch_size_cap_splits_drains(self):
+        model = CountingModel()
+        engine = QueryEngine(model=model, max_batch_size=2)
+        engine.query_batch([f"p{i}" for i in range(5)])
+        assert [len(batch) for batch in model.batch_calls] == [2, 2, 1]
+        assert engine.stats.n_batches == 3
+
+    def test_max_wait_lingers_for_cross_request_batches(self):
+        model = CountingModel()
+        scheduler = RequestScheduler(model, max_batch_size=2, max_wait=5.0)
+        barrier = threading.Barrier(2)
+        results: dict[str, str] = {}
+
+        def submitter(prompt: str) -> None:
+            barrier.wait()
+            future = scheduler.submit(prompt, on_full="drain")
+            results[prompt] = scheduler.wait([future])[0]
+
+        threads = [
+            threading.Thread(target=submitter, args=(p,)) for p in ("a", "b")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=20.0)
+        assert results == {"a": "ans:a:0", "b": "ans:b:0"}
+        # The first leader lingered until the second submitter's request
+        # arrived, so the two independent requests shared one model batch.
+        assert len(model.batch_calls) == 1
+        assert sorted(model.batch_calls[0]) == ["a", "b"]
+        assert scheduler.scheduler_stats.n_cross_request_batches == 1
+
+    def test_stats_snapshot_is_json_safe(self):
+        engine = QueryEngine(model=CountingModel())
+        engine.query_batch(["a", "b", "c"])
+        engine.query("d")
+        snapshot = engine.scheduler.stats_snapshot()
+        assert snapshot["batch_size_histogram"] == {"3": 1, "1": 1}
+        assert snapshot["n_batches"] == 2
+        round_tripped = json.loads(json.dumps(snapshot))
+        assert round_tripped == snapshot
+
+    def test_reset_stats_clears_scheduler_telemetry(self):
+        engine = QueryEngine(model=CountingModel())
+        engine.query_batch(["a", "b"])
+        assert engine.scheduler_stats.n_batches == 1
+        engine.reset_stats()
+        snapshot = engine.scheduler.stats_snapshot()
+        assert snapshot["n_batches"] == 0
+        assert snapshot["batch_size_histogram"] == {}
+        assert engine.cache_len == 2  # the cache survives, as for QueryStats
+
+
+class TestRequeryScheduling:
+    """Satellite regression: requery routes through the scheduler."""
+
+    def test_requery_goes_through_the_scheduler(self):
+        model = CountingModel()
+        engine = QueryEngine(model=model)
+        engine.query("p")
+        engine.requery("p", attempt=1)
+        # Both calls drained through generate_batch — the scheduler path —
+        # not a direct generate() side door.
+        assert model.batch_calls == [["p"], ["p"]]
+        assert engine.stats.n_queries == 2
+        assert engine.stats.n_resamples == 1
+        assert engine.stats.n_batches == 2
+
+    def test_repeated_requery_is_cached_and_stats_pinned(self):
+        model = CountingModel()
+        engine = QueryEngine(model=model)
+        first = engine.requery("p", attempt=2)
+        second = engine.requery("p", attempt=2)
+        assert first == second == "ans:p:2"
+        assert len(model.calls) == 1
+        assert engine.stats.n_queries == 1
+        assert engine.stats.n_resamples == 1
+        assert engine.stats.n_cache_hits == 1
+        assert engine.stats.n_prompts == 2
+
+    def test_concurrent_requeries_coalesce(self):
+        model = GatedModel()
+        engine = QueryEngine(model=model)
+        outcomes: list[str] = []
+
+        def retry() -> None:
+            outcomes.append(engine.requery("p", attempt=1))
+
+        leader = threading.Thread(target=retry)
+        leader.start()
+        assert model.started.wait(timeout=5.0)
+        follower = threading.Thread(target=retry)
+        follower.start()
+        _wait_until(lambda: engine.scheduler_stats.n_coalesced == 1)
+        model.release.set()
+        leader.join(timeout=10.0)
+        follower.join(timeout=10.0)
+        assert outcomes == ["ans:p:1", "ans:p:1"]
+        assert model.calls == ["p"]
+        assert engine.stats.n_queries == 1
+        assert engine.stats.n_inflight_hits == 1
