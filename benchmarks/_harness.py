@@ -35,6 +35,21 @@ def record_bench_result(name: str, **data: object) -> None:
     _BENCH_RESULTS[name] = dict(data)
 
 
+def default_bench_results_path(directory: Path) -> Path:
+    """The per-commit artifact path: ``BENCH_<shortsha>.json``.
+
+    One file per commit turns the benchmark output into a trajectory — keep
+    a few around locally and ``scripts/bench_regression_check.py`` (or a
+    plain diff) shows how the numbers moved.  Falls back to
+    ``BENCH_unknown.json`` outside a git checkout.
+    """
+    from repro.experiments.suite import git_sha
+
+    sha = git_sha()
+    short = sha[:10] if sha and sha != "unknown" else "unknown"
+    return directory / f"BENCH_{short}.json"
+
+
 def write_bench_results(
     path: str | Path, bench_columns: int | None = None
 ) -> Path | None:

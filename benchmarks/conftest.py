@@ -50,15 +50,17 @@ def pytest_addoption(parser: pytest.Parser) -> None:
     parser.addoption(
         "--bench-results",
         action="store",
-        default=str(Path(_HERE) / "BENCH_RESULTS.json"),
+        default=None,
         help="path for the machine-readable benchmark artifact (written when "
-             "at least one benchmark registers results)",
+             "at least one benchmark registers results; default: "
+             "benchmarks/BENCH_<shortsha>.json — one file per commit, so "
+             "the artifacts form a perf trajectory)",
     )
 
 
 def pytest_sessionfinish(session: pytest.Session, exitstatus: int) -> None:
-    """Serialize registered benchmark records into ``BENCH_RESULTS.json``."""
-    from _harness import write_bench_results
+    """Serialize registered benchmark records into ``BENCH_<shortsha>.json``."""
+    from _harness import default_bench_results_path, write_bench_results
 
     explicit = session.config.getoption("--bench-columns")
     columns = (
@@ -66,9 +68,10 @@ def pytest_sessionfinish(session: pytest.Session, exitstatus: int) -> None:
         if explicit is not None
         else (QUICK_COLUMNS if session.config.getoption("--quick") else 100)
     )
-    written = write_bench_results(
-        session.config.getoption("--bench-results"), bench_columns=columns
-    )
+    target = session.config.getoption("--bench-results")
+    if target is None:
+        target = default_bench_results_path(Path(_HERE))
+    written = write_bench_results(target, bench_columns=columns)
     if written is not None:
         print(f"\nbenchmark artifact written to {written}")
 

@@ -1,0 +1,182 @@
+"""CI gate for the perf trajectory: benchmarks must not regress the baseline.
+
+The benchmark suite writes one machine-readable ``BENCH_<shortsha>.json`` per
+commit (see ``benchmarks/conftest.py``), turning the artifacts into a
+trajectory.  This script closes the loop: it loads the newest artifact (or an
+explicit ``--bench-file``) and replays every check declared in the committed
+``benchmarks/baseline.json`` against it, failing the run — the same way the
+suite gate fails on metric divergence — when a bound is violated.
+
+Two gate classes keep the check meaningful everywhere it runs:
+
+* ``always`` — deterministic counters (model-call ratios, coalescing
+  counts).  Scale-invariant, so they gate CI's ``--quick`` runs too; a
+  violation means an executor, cache, or scheduler actually broke.
+* ``full-scale`` — wall-clock speedup ratios.  Only trusted on quiet
+  machines at representative workload size, so they gate only when the
+  artifact was produced at ``bench_columns >= 100`` outside CI (force with
+  ``--timing``); elsewhere they are reported as SKIP.
+
+Bounds are declared with an explicit ``tolerance``: a ``min`` check passes at
+``min * (1 - tolerance)``, a ``max`` check at ``max * (1 + tolerance)``.
+
+Usage::
+
+    python scripts/bench_regression_check.py [--bench-file PATH]
+                                             [--baseline PATH]
+                                             [--timing | --no-timing]
+                                             [--strict]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+_REPO = Path(__file__).resolve().parents[1]
+_BENCH_DIR = _REPO / "benchmarks"
+
+#: Wall-clock checks only gate artifacts produced at representative scale.
+FULL_SCALE_COLUMNS = 100
+
+
+def newest_bench_file(directory: Path) -> Path | None:
+    """The most recently written ``BENCH_*.json`` artifact (excluding the
+    baseline, which matches no ``BENCH_`` prefix anyway)."""
+    candidates = sorted(
+        directory.glob("BENCH_*.json"), key=lambda p: p.stat().st_mtime
+    )
+    return candidates[-1] if candidates else None
+
+
+def read_metric(record: dict, spec: str) -> float:
+    """Resolve a metric spec against one benchmark record.
+
+    ``spec`` is either a dotted path (``scheduler.n_coalesced``) or a ratio
+    of two dotted paths (``model_calls_batched / model_calls_sequential``).
+    """
+    if "/" in spec:
+        left, right = (part.strip() for part in spec.split("/", 1))
+        denominator = read_metric(record, right)
+        if denominator == 0:
+            raise ValueError(f"denominator {right!r} is zero")
+        return read_metric(record, left) / denominator
+    value: object = record
+    for key in spec.split("."):
+        if not isinstance(value, dict) or key not in value:
+            raise KeyError(f"metric path {spec!r} missing at {key!r}")
+        value = value[key]
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise TypeError(f"metric {spec!r} is not a number: {value!r}")
+    return float(value)
+
+
+def run_checks(
+    payload: dict,
+    baseline: dict,
+    *,
+    timing: bool,
+    strict: bool,
+) -> int:
+    benchmarks = payload.get("benchmarks", {})
+    failures = 0
+    print(f"{'status':8s} {'benchmark':34s} {'metric':44s} value      bound")
+    for check in baseline["checks"]:
+        name = check["benchmark"]
+        spec = check["metric"]
+        gate = check.get("gate", "always")
+        label = f"{name:34s} {spec:44s}"
+
+        if gate == "full-scale" and not timing:
+            print(f"{'SKIP':8s} {label} (wall-clock check; untrusted timing environment)")
+            continue
+        record = benchmarks.get(name)
+        if record is None:
+            status = "FAIL" if strict else "SKIP"
+            failures += strict
+            print(f"{status:8s} {label} (benchmark missing from artifact)")
+            continue
+        try:
+            value = read_metric(record, spec)
+        except (KeyError, TypeError, ValueError) as exc:
+            failures += 1
+            print(f"{'FAIL':8s} {label} ({exc})")
+            continue
+
+        tolerance = float(check.get("tolerance", 0.0))
+        bounds = []
+        ok = True
+        if "min" in check:
+            floor = float(check["min"]) * (1.0 - tolerance)
+            bounds.append(f">= {floor:g}")
+            ok = ok and value >= floor
+        if "max" in check:
+            ceiling = float(check["max"]) * (1.0 + tolerance)
+            bounds.append(f"<= {ceiling:g}")
+            ok = ok and value <= ceiling
+        failures += not ok
+        print(
+            f"{'OK' if ok else 'FAIL':8s} {label} {value:<10.4g} "
+            f"{' and '.join(bounds) or '(no bound)'}"
+        )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--bench-file",
+        type=Path,
+        default=None,
+        help="benchmark artifact to check (default: newest benchmarks/BENCH_*.json)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=_BENCH_DIR / "baseline.json",
+        help="committed baseline with the declared bounds",
+    )
+    parser.add_argument(
+        "--timing",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="force wall-clock checks on/off (default: on outside CI when the "
+        f"artifact was produced at bench_columns >= {FULL_SCALE_COLUMNS})",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail (instead of skip) when a baselined benchmark is missing "
+        "from the artifact",
+    )
+    args = parser.parse_args(argv)
+
+    bench_file = args.bench_file or newest_bench_file(_BENCH_DIR)
+    if bench_file is None or not bench_file.exists():
+        print("no BENCH_*.json artifact found; run `pytest benchmarks/ "
+              "--benchmark-only` first", file=sys.stderr)
+        return 2
+    payload = json.loads(bench_file.read_text(encoding="utf-8"))
+    baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
+
+    timing = args.timing
+    if timing is None:
+        columns = payload.get("bench_columns") or 0
+        timing = not os.environ.get("CI") and columns >= FULL_SCALE_COLUMNS
+
+    print(f"artifact: {bench_file.name} (git {payload.get('git_sha', '?')[:10]}, "
+          f"bench_columns={payload.get('bench_columns')}, "
+          f"timing checks {'on' if timing else 'off'})")
+    failures = run_checks(payload, baseline, timing=timing, strict=args.strict)
+    if failures:
+        print(f"\n{failures} check(s) failed against {args.baseline.name}")
+        return 1
+    print(f"\nall checks passed against {args.baseline.name}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -26,8 +26,9 @@ from __future__ import annotations
 import argparse
 import csv
 import sys
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Sequence
+from typing import Iterator, Sequence
 
 from repro.baselines.llm_baselines import get_zero_shot_method
 from repro.core.executor import EXECUTOR_NAMES
@@ -55,6 +56,36 @@ def read_csv_table(path: Path, has_header: bool = True, max_rows: int | None = N
     if max_rows is not None:
         rows = rows[:max_rows]
     return Table.from_rows(rows, column_names=header, name=path.name)
+
+
+@contextmanager
+def _maybe_profile(enabled: bool, destination: Path) -> Iterator[None]:
+    """Wrap a block in cProfile when ``--profile`` is set.
+
+    The stats land as a ``pstats`` dump at ``destination`` — load them with
+    ``python -m pstats`` (or ``snakeviz``) to hunt hot loops with
+    measurements instead of guesses.
+    """
+    if not enabled:
+        yield
+        return
+    import cProfile
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield
+    finally:
+        profiler.disable()
+        destination.parent.mkdir(parents=True, exist_ok=True)
+        profiler.dump_stats(str(destination))
+        print(f"profile written to {destination}", file=sys.stderr)
+
+
+def _profile_destination(args: argparse.Namespace, name: str) -> Path:
+    """Where a subcommand's profile dump lands (next to its other artifacts)."""
+    base = Path(args.cache_dir) if getattr(args, "cache_dir", None) else Path(".")
+    return base / "profiles" / f"{name}.pstats"
 
 
 def _annotate_command(args: argparse.Namespace) -> int:
@@ -88,12 +119,13 @@ def _annotate_command(args: argparse.Namespace) -> int:
     if store is not None:
         annotator.attach_store(store)
     try:
-        results = annotator.annotate_table(
-            table,
-            batch_size=args.batch_size,
-            executor=args.executor,
-            workers=args.workers,
-        )
+        with _maybe_profile(args.profile, _profile_destination(args, "annotate")):
+            results = annotator.annotate_table(
+                table,
+                batch_size=args.batch_size,
+                executor=args.executor,
+                workers=args.workers,
+            )
     finally:
         if store is not None:
             annotator.attach_store(None)
@@ -137,9 +169,10 @@ def _evaluate_command(args: argparse.Namespace) -> int:
         run_id=args.run_id,
         resume=args.resume,
     )
-    result = runner.evaluate(
-        annotator, benchmark, f"{args.method}-{args.model}{'+' if args.rules else ''}"
-    )
+    with _maybe_profile(args.profile, _profile_destination(args, "evaluate")):
+        result = runner.evaluate(
+            annotator, benchmark, f"{args.method}-{args.model}{'+' if args.rules else ''}"
+        )
     print(format_table([result.summary_row()],
                        title=f"{args.benchmark}: {args.columns} columns"))
     if result.run_id is not None:
@@ -194,6 +227,7 @@ def _suite_command(args: argparse.Namespace) -> int:
             store=args.store,
             resume=args.resume,
             output_dir=args.output_dir,
+            profile=args.profile,
         )
     )
     if not result.ok:
@@ -234,7 +268,12 @@ def _add_execution_arguments(parser: argparse.ArgumentParser, default_note: str)
                         help="execution strategy for the query stage (default: "
                              "batched, or sequential when --batch-size=0)")
     parser.add_argument("--workers", type=_positive_int, default=None,
-                        help="thread-pool width for --executor concurrent (default 4)")
+                        help="pool width for --executor concurrent (threads) "
+                             "or process (worker processes); default 4")
+    parser.add_argument("--profile", action="store_true",
+                        help="wrap the run in cProfile and dump pstats under "
+                             "<cache-dir>/profiles/ (or ./profiles/), so "
+                             "hot-loop hunts are measured, not guessed")
     parser.add_argument("--max-batch-wait", type=_nonnegative_float, default=None,
                         help="seconds the request scheduler lingers for "
                              "stragglers before draining an under-full "
@@ -341,7 +380,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="execution strategy for the query stage inside "
                             "each shard")
     suite.add_argument("--workers", type=_positive_int, default=None,
-                       help="thread-pool width for --executor concurrent")
+                       help="pool width for --executor concurrent or process")
+    suite.add_argument("--profile", action="store_true",
+                       help="profile every shard with cProfile and dump "
+                            "per-shard pstats next to results.json "
+                            "(<output-dir>/profiles/)")
     _add_persistence_arguments(suite)
     suite.add_argument("--resume", metavar="SUITE_RUN_ID", default=None,
                        help="resume an interrupted suite run: shards already "

@@ -21,9 +21,12 @@ from __future__ import annotations
 
 import statistics
 from dataclasses import dataclass
+from fractions import Fraction
 from typing import Sequence
 
-from repro.core.table import Column, Table, is_numeric_string
+import numpy as np
+
+from repro.core.table import Column, Table, all_numeric_strings
 
 
 def _format_stat(value: float) -> str:
@@ -64,7 +67,75 @@ class SummaryStatistics:
 
 
 def _to_float(value: str) -> float:
+    """Scalar reference parser (the vectorized path must match it exactly)."""
     return float(value.replace(",", ""))
+
+
+#: The stdlib's correctly-rounded ``sqrt(p/q)`` (what ``pstdev`` rounds its
+#: exact rational variance through).  Private, so feature-detected; when a
+#: future stdlib renames it the slow exact path below simply stays on
+#: ``statistics.pstdev``.
+_SQRT_OF_FRAC = getattr(statistics, "_float_sqrt_of_frac", None)
+
+#: Columns shorter than this keep the stdlib sort for the median;
+#: ``np.median``'s fixed call overhead loses below a few hundred elements.
+_NP_MEDIAN_MIN_SIZE = 512
+
+
+def _population_std(arr: np.ndarray, numbers: list[float]) -> float:
+    """Bit-identical :func:`statistics.pstdev` over a finite float64 array.
+
+    ``pstdev`` computes the exact rational variance (per-value
+    ``as_integer_ratio`` folded into ``Fraction`` partials — the dominant
+    per-value cost of the whole summary sketch) and takes a correctly
+    rounded square root.  This does the same arithmetic vectorized: split
+    every value into an exact int64 mantissa and exponent via ``frexp``,
+    group by exponent, and accumulate the sums of mantissas and squared
+    mantissas as exact Python integers (squares via a 27-bit hi/lo split and
+    256-element chunks so every intermediate fits int64).  The variance
+    fraction is then exact, and the stdlib's own rounding turns it into the
+    identical float.
+    """
+    n = arr.size
+    if _SQRT_OF_FRAC is None or not np.isfinite(arr).all():
+        return statistics.pstdev(numbers)
+    mantissa, exponent = np.frexp(arr)
+    ints = np.ldexp(mantissa, 53).astype(np.int64)  # exact: |m * 2**53| <= 2**53
+    exponent = exponent.astype(np.int64)
+    order = np.argsort(exponent, kind="stable")
+    exp_sorted = exponent[order]
+    ints_sorted = ints[order]
+    hi = ints_sorted >> 27
+    lo = ints_sorted - (hi << 27)
+    starts = [0] + (np.flatnonzero(np.diff(exp_sorted)) + 1).tolist() + [n]
+    emin = int(exp_sorted[0]) - 53
+    sum_x = 0  # sum(values)    == sum_x  * 2**emin
+    sum_xx = 0  # sum(values**2) == sum_xx * 2**(2 * emin)
+    for group in range(len(starts) - 1):
+        begin, end = starts[group], starts[group + 1]
+        shift = int(exp_sorted[begin]) - 53 - emin
+        part_x = 0
+        part_xx = 0
+        for left in range(begin, end, 256):
+            right = min(left + 256, end)
+            ci = ints_sorted[left:right]
+            ch = hi[left:right]
+            cl = lo[left:right]
+            part_x += int(ci.sum())
+            part_xx += (
+                (int((ch * ch).sum()) << 54)
+                + (int((ch * cl).sum()) << 28)
+                + int((cl * cl).sum())
+            )
+        sum_x += part_x << shift
+        sum_xx += part_xx << (2 * shift)
+    # pstdev's exact formula: mss = (n * sxx - sx**2) / n**2, sqrt rounded once.
+    numerator = n * sum_xx - sum_x * sum_x
+    if emin >= 0:
+        mss = Fraction(numerator << (2 * emin), n * n)
+    else:
+        mss = Fraction(numerator, (n * n) << (-2 * emin))
+    return _SQRT_OF_FRAC(mss.numerator, mss.denominator)
 
 
 def summary_statistics(values: Sequence[str]) -> SummaryStatistics | None:
@@ -73,29 +144,54 @@ def summary_statistics(values: Sequence[str]) -> SummaryStatistics | None:
     Returns None if there are no non-empty values to summarise.  When any
     sampled value is non-numeric the statistics are computed over string
     lengths instead of the values themselves (and ``over_lengths`` is set).
+
+    This runs over *every* value of the column (not just the context
+    sample), so it is sized by table length, and its hot loops are
+    vectorized where profiling says numpy wins — exactly, so the formatted
+    prompt strings never drift from the historical per-value path
+    (property-tested):
+
+    * the all-numeric gate is one joined regex pass
+      (:func:`repro.core.table.all_numeric_strings`);
+    * the number extraction is one array-wide float64 parse (numpy's string
+      parser is correctly-rounded like ``float``, so the array matches the
+      scalar ``_to_float`` loop bit-for-bit);
+    * the population std runs ``pstdev``'s exact rational arithmetic over
+      integer mantissa partials (:func:`_population_std`), the dominant
+      per-value cost of the sketch;
+    * mode and mean stay on :func:`statistics.mode` / :func:`statistics.fmean`
+      (measured faster than their numpy counterparts at column scale), and
+      the median switches to ``np.median`` only past the size where its
+      call overhead amortizes — both median branches produce the identical
+      float.
     """
     usable = [v for v in values if v.strip()]
     if not usable:
         return None
-    all_numeric = all(is_numeric_string(v) for v in usable)
-    if all_numeric:
-        numbers = [_to_float(v) for v in usable]
+    if all_numeric_strings(usable):
+        stripped = [v.replace(",", "") for v in usable]
+        arr = np.array(stripped, dtype=np.float64)
         over_lengths = False
     else:
-        numbers = [float(len(v)) for v in usable]
+        arr = np.fromiter(map(len, usable), dtype=np.float64, count=len(usable))
         over_lengths = True
-    std = statistics.pstdev(numbers) if len(numbers) > 1 else 0.0
+    numbers = arr.tolist()
+    std = _population_std(arr, numbers) if len(numbers) > 1 else 0.0
     try:
         mode = float(statistics.mode(numbers))
-    except statistics.StatisticsError:  # pragma: no cover - multimode fallback
+    except statistics.StatisticsError:  # pragma: no cover - 3.8+ never raises
         mode = numbers[0]
+    if arr.size >= _NP_MEDIAN_MIN_SIZE:
+        median = float(np.median(arr))
+    else:
+        median = float(statistics.median(numbers))
     return SummaryStatistics(
         std=std,
         mean=statistics.fmean(numbers),
         mode=mode,
-        median=statistics.median(numbers),
-        maximum=max(numbers),
-        minimum=min(numbers),
+        median=median,
+        maximum=float(arr.max()),
+        minimum=float(arr.min()),
         over_lengths=over_lengths,
     )
 

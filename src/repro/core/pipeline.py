@@ -125,6 +125,14 @@ class ArcheTypeConfig:
     #: Bound on the scheduler's admission queue; a full queue blocks
     #: submitters (backpressure) instead of dropping requests.
     queue_depth: int | None = None
+    #: Default execution strategy for ``annotate_columns``/``annotate_stream``
+    #: (one of :data:`repro.core.executor.EXECUTOR_NAMES`); ``None`` keeps the
+    #: historical per-call ``batch_size`` semantics.  A per-call ``executor``
+    #: argument overrides this.
+    executor: str | None = None
+    #: Default pool width for the ``"concurrent"`` (threads) and ``"process"``
+    #: (worker processes) executors; ``None`` means the executor's own default.
+    workers: int | None = None
 
     def with_updates(self, **changes: object) -> "ArcheTypeConfig":
         """Return a copy of the config with the given fields replaced."""
@@ -255,11 +263,13 @@ class ArcheType:
         ``query_cache_size=0``, since the default response cache also
         collapses repeated prompts).  ``executor`` accepts an
         :class:`repro.core.executor.Executor` instance or one of the names
-        ``"sequential"``, ``"batched"``, ``"concurrent"`` (``workers`` sizes
-        the concurrent thread pool).
+        ``"sequential"``, ``"batched"``, ``"concurrent"``, ``"process"``
+        (``workers`` sizes the concurrent thread pool or the process pool);
+        when both are omitted, the config's ``executor``/``workers`` defaults
+        apply.
 
-        Sequential and batched execution are bit-identical; concurrent
-        execution is label-identical for the pure bundled backends.
+        Sequential and batched execution are bit-identical; concurrent and
+        process execution are label-identical for the pure bundled backends.
 
         ``table`` provides shared table context for every column (as in
         :meth:`annotate_table`); ``tables`` overrides it per column for
@@ -271,9 +281,24 @@ class ArcheType:
         per_column_tables, indices = self._broadcast_context(
             len(columns), table, column_indices, tables
         )
-        chosen = resolve_executor(executor, batch_size=batch_size, workers=workers)
+        chosen = self._resolve_executor(executor, batch_size, workers)
         plans = self._plan_set(columns, per_column_tables, indices)
         return chosen.execute(plans, self.engine, self.remapper, self.stats)
+
+    def _resolve_executor(
+        self,
+        executor: Executor | str | None,
+        batch_size: int | None,
+        workers: int | None,
+    ) -> Executor:
+        """Per-call knobs override the config's executor/workers defaults."""
+        if executor is None and batch_size is None:
+            executor = self.config.executor
+        if workers is None and isinstance(executor, str) and executor in (
+            "concurrent", "process"
+        ):
+            workers = self.config.workers
+        return resolve_executor(executor, batch_size=batch_size, workers=workers)
 
     def annotate_stream(
         self,
@@ -314,7 +339,7 @@ class ArcheType:
         """
         if chunk_size <= 0:
             raise ConfigurationError("chunk_size must be positive")
-        chosen = resolve_executor(executor, workers=workers)
+        chosen = self._resolve_executor(executor, None, workers)
         column_iter = iter(columns)
         index_iter = iter(column_indices) if column_indices is not None else None
         tables_iter = iter(tables) if tables is not None else None

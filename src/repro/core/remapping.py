@@ -29,9 +29,15 @@ substring/resample/similarity recoveries.
 
 Matching is a per-response hot path — every model response is compared
 against the full label set (91 labels for SOTAB), potentially several times
-per column under resampling — so the normalized form of each distinct label
-set is computed once and memoized (:func:`normalized_label_set`) instead of
-re-normalizing every label on every call.
+per column under resampling — so each distinct label set is compiled once
+into a :class:`_LabelSetMatcher` and memoized: exact matching becomes one
+dict lookup on the normalized response, and the CONTAINS scan walks the
+labels pre-sorted by descending normalized length so the first hit *is* the
+longest-label winner (ties keep label-set order — the historical semantics)
+and the scan stops there.  Matchers also keep a bounded per-response result
+cache, since real model output repeats heavily (resample retries, duplicate
+responses across columns).  :func:`normalized_label_set` remains the public
+memoized view of the per-label normalization.
 """
 
 from __future__ import annotations
@@ -71,13 +77,78 @@ def normalized_label_set(label_set: Sequence[str]) -> tuple[str, ...]:
     return _normalized_label_cache(tuple(label_set))
 
 
+#: Sentinel distinguishing "cached None" from "not cached" in the matcher's
+#: per-response result cache.
+_MISS = object()
+
+
+class _LabelSetMatcher:
+    """Precompiled matching state for one distinct label set.
+
+    * ``exact`` — normalized label → original label; ``setdefault`` keeps the
+      *first* label per normalized form, matching the historical scan order.
+    * ``by_length`` — ``(normalized, label)`` pairs sorted by descending
+      normalized length (stable, so equal lengths keep label-set order).
+      The historical CONTAINS picked the strictly-longest matching label,
+      earliest on ties; scanning this order, the first hit is exactly that
+      winner, so the scan early-exits instead of always walking all labels.
+    * a bounded normalized-response → result cache for CONTAINS: resample
+      retries and duplicate model output re-ask the same questions, and a
+      full rescan per repeat is pure waste.  Cleared wholesale on overflow —
+      eviction bookkeeping would cost more than the rescans it saves.
+    """
+
+    __slots__ = ("labels", "exact", "by_length", "_contains_cache")
+
+    _CONTAINS_CACHE_LIMIT = 4096
+
+    def __init__(self, label_set: tuple[str, ...]) -> None:
+        self.labels = label_set
+        normalized = _normalized_label_cache(label_set)
+        self.exact: dict[str, str] = {}
+        for label, normalized_label in zip(label_set, normalized):
+            self.exact.setdefault(normalized_label, label)
+        self.by_length: list[tuple[str, str]] = sorted(
+            (
+                (normalized_label, label)
+                for label, normalized_label in zip(label_set, normalized)
+                if normalized_label
+            ),
+            key=lambda pair: -len(pair[0]),
+        )
+        self._contains_cache: dict[str, str | None] = {}
+
+    def contains(self, normalized_response: str) -> str | None:
+        """The CONTAINS winner for an already-normalized response."""
+        cached = self._contains_cache.get(normalized_response, _MISS)
+        if cached is not _MISS:
+            return cached  # type: ignore[return-value]
+        best: str | None = None
+        for normalized_label, label in self.by_length:
+            if (
+                normalized_label in normalized_response
+                or normalized_response in normalized_label
+            ):
+                best = label
+                break
+        if len(self._contains_cache) >= self._CONTAINS_CACHE_LIMIT:
+            self._contains_cache.clear()
+        self._contains_cache[normalized_response] = best
+        return best
+
+
+@lru_cache(maxsize=128)
+def _label_set_matcher_cache(label_set: tuple[str, ...]) -> _LabelSetMatcher:
+    return _LabelSetMatcher(label_set)
+
+
+def _matcher(label_set: Sequence[str]) -> _LabelSetMatcher:
+    return _label_set_matcher_cache(tuple(label_set))
+
+
 def exact_match(response: str, label_set: Sequence[str]) -> str | None:
     """Return the label equal to ``response`` under normalization, if any."""
-    normalized = normalize(response)
-    for label, normalized_label in zip(label_set, normalized_label_set(label_set)):
-        if normalized_label == normalized:
-            return label
-    return None
+    return _matcher(label_set).exact.get(normalize(response))
 
 
 @dataclass(frozen=True)
@@ -155,21 +226,14 @@ def contains_match(response: str, label_set: Sequence[str]) -> str | None:
     """The CONTAINS rule: bidirectional substring match, longest label wins.
 
     Ties on normalized length keep the earliest label in ``label_set``,
-    matching the historical ``max``-based implementation.
+    matching the historical ``max``-based implementation (see
+    :class:`_LabelSetMatcher` for how the precompiled scan preserves that
+    exact semantics while early-exiting on the first hit).
     """
     normalized = normalize(response)
     if not normalized:
         return None
-    best: str | None = None
-    best_length = -1
-    for label, normalized_label in zip(label_set, normalized_label_set(label_set)):
-        if not normalized_label:
-            continue
-        if normalized_label in normalized or normalized in normalized_label:
-            if len(normalized_label) > best_length:
-                best = label
-                best_length = len(normalized_label)
-    return best
+    return _matcher(label_set).contains(normalized)
 
 
 class ContainsRemapper(Remapper):

@@ -19,6 +19,7 @@ experiments are reproducible.
 
 from __future__ import annotations
 
+import re
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Callable, Sequence
@@ -28,6 +29,14 @@ import numpy as np
 from repro.core.table import Column
 from repro.exceptions import ConfigurationError, EmptyColumnError
 
+#: Scalar importance ``f(sigma) -> weight``.  A function may additionally
+#: carry a ``batch`` attribute — ``batch(values) -> np.ndarray[float64]`` —
+#: scoring a whole value list in one vectorized pass; the sampler uses it
+#: when present and falls back to the scalar loop otherwise, so custom
+#: importance functions keep working unchanged.  A ``batch`` implementation
+#: MUST produce the exact float64 weight the scalar form produces for every
+#: value (the property tests pin this), because the weights feed the RNG and
+#: any drift would silently change every sampled context downstream.
 ImportanceFunction = Callable[[str], float]
 
 
@@ -39,6 +48,24 @@ def length_importance(value: str) -> float:
     columns with many blanks.
     """
     return float(len(value)) if value.strip() else 0.01
+
+
+def _length_importance_batch(values: Sequence[str]) -> np.ndarray:
+    """Vectorized :func:`length_importance` over a value list.
+
+    Exactness: every string length is an integer well below 2**53, so the
+    float64 lengths (and the 0.01 blank weight) are bit-identical to the
+    scalar path's ``float(len(value))``.
+    """
+    count = len(values)
+    lengths = np.fromiter(map(len, values), dtype=np.float64, count=count)
+    blank = np.fromiter(
+        (not value.strip() for value in values), dtype=bool, count=count
+    )
+    return np.where(blank, 0.01, lengths)
+
+
+length_importance.batch = _length_importance_batch  # type: ignore[attr-defined]
 
 
 def make_label_containment_importance(
@@ -53,6 +80,11 @@ def make_label_containment_importance(
     distinctive tokens (length >= 4, e.g. "pennsylvania").  Note that this
     uses only the label *set*, never the ground-truth label of the column, so
     it remains a legitimate zero-shot heuristic.
+
+    The needle scan is compiled once into a single alternation regex (needle
+    order is irrelevant — the score only asks whether *any* needle occurs),
+    so scoring a value is one C-level search instead of a Python loop over
+    the needle set; ``importance.batch`` scores a whole value list that way.
     """
     generic = {"article", "from", "with", "name", "label", "type", "other",
                "title", "person", "column", "alternative"}
@@ -66,13 +98,28 @@ def make_label_containment_importance(
             if len(token) >= 4 and token not in generic:
                 needles.add(token)
 
+    pattern = (
+        re.compile("|".join(re.escape(needle) for needle in sorted(needles)))
+        if needles
+        else None
+    )
+
     def importance(value: str) -> float:
-        haystack = value.lower()
-        for needle in needles:
-            if needle in haystack:
-                return 1.0
+        if pattern is not None and pattern.search(value.lower()) is not None:
+            return 1.0
         return 0.1
 
+    def batch(values: Sequence[str]) -> np.ndarray:
+        if pattern is None:
+            return np.full(len(values), 0.1)
+        search = pattern.search
+        return np.fromiter(
+            (1.0 if search(value.lower()) else 0.1 for value in values),
+            dtype=np.float64,
+            count=len(values),
+        )
+
+    importance.batch = batch  # type: ignore[attr-defined]
     return importance
 
 
@@ -154,7 +201,10 @@ class FirstKSampler(ContextSampler):
         rng: np.random.Generator,
     ) -> SampleResult:
         values = self._validate(column, sample_size)
-        taken = [values[i % len(values)] for i in range(sample_size)]
+        if sample_size <= len(values):
+            taken = values[:sample_size]  # the common case: one slice, no loop
+        else:
+            taken = [values[i % len(values)] for i in range(sample_size)]
         return SampleResult(
             values=taken,
             with_replacement=sample_size > len(values),
@@ -176,7 +226,16 @@ class ArcheTypeSampler(ContextSampler):
         self.importance = importance or length_importance
 
     def _probabilities(self, values: Sequence[str]) -> np.ndarray:
-        weights = np.array([max(self.importance(v), 0.0) for v in values])
+        batch = getattr(self.importance, "batch", None)
+        if batch is not None:
+            # One vectorized pass; the clamp mirrors the scalar max(f, 0.0).
+            weights = np.maximum(
+                np.asarray(batch(values), dtype=np.float64), 0.0
+            )
+        else:
+            # Custom importance functions without a batch form keep the
+            # scalar loop — correctness over speed for user extensions.
+            weights = np.array([max(self.importance(v), 0.0) for v in values])
         total = float(weights.sum())
         if total <= 0.0:
             return np.full(len(values), 1.0 / len(values))

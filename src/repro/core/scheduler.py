@@ -55,7 +55,7 @@ import time
 from collections import OrderedDict, deque
 from concurrent.futures import Future
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 from repro.exceptions import ConfigurationError
 from repro.llm.base import GenerationParams, LanguageModel
@@ -127,6 +127,32 @@ class QueryStats:
         if self.n_prompts == 0:
             return 0.0
         return self.n_hits / self.n_prompts
+
+    def as_dict(self) -> dict[str, int]:
+        """A plain-dict copy of every counter (the ``merge`` wire format)."""
+        return {
+            "n_queries": self.n_queries,
+            "n_resamples": self.n_resamples,
+            "total_prompt_chars": self.total_prompt_chars,
+            "n_prompts": self.n_prompts,
+            "n_batches": self.n_batches,
+            "n_cache_hits": self.n_cache_hits,
+            "n_store_hits": self.n_store_hits,
+            "n_inflight_hits": self.n_inflight_hits,
+        }
+
+    def merge(self, delta: "Mapping[str, int]") -> None:
+        """Fold another instance's counters (as an ``as_dict`` mapping) in.
+
+        Used by the process executor to absorb worker-process accounting into
+        the parent engine, so ``query_count``/hit counters stay truthful no
+        matter which process paid for the model call.
+        """
+        for name in (
+            "n_queries", "n_resamples", "total_prompt_chars", "n_prompts",
+            "n_batches", "n_cache_hits", "n_store_hits", "n_inflight_hits",
+        ):
+            setattr(self, name, getattr(self, name) + int(delta.get(name, 0)))
 
     def reset(self) -> None:
         """Zero every counter (the cache and store, if any, are untouched)."""
@@ -609,6 +635,17 @@ class RequestScheduler:
         with self._lock:
             self.stats.reset()
             self.scheduler_stats.reset()
+
+    def absorb_stats(self, delta: Mapping[str, int]) -> None:
+        """Fold external per-prompt counters into this scheduler's stats.
+
+        The process executor runs the query/remap stages in worker processes,
+        each with its own scheduler; their :meth:`QueryStats.as_dict` deltas
+        are absorbed here so the parent annotator's ``query_count`` and hit
+        tiers describe the whole run, not just parent-side work.
+        """
+        with self._lock:
+            self.stats.merge(delta)
 
     def stats_snapshot(self) -> dict[str, object]:
         """The scheduler telemetry as a JSON-serializable dict."""

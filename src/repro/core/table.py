@@ -29,6 +29,45 @@ def is_numeric_string(value: str) -> bool:
     return bool(_NUMERIC_RE.match(value))
 
 
+#: ``_NUMERIC_RE`` without anchors, for the joined single-pass test below.
+#: Two rewrites keep the joined form safe: the edge whitespace is
+#: ``[^\S\n]`` (whitespace *except* newline) so a body can never swallow
+#: the ``\n`` separators — otherwise a blank value between two numeric
+#: ones would be absorbed and wrongly accepted — and the digit core is
+#: ``\d[\d,]*(?:\.\d*)?`` rather than the anchored pattern's equivalent
+#: ``\d[\d,]*\.?\d*``, because the latter parses a digit run ambiguously
+#: (digits may split across ``[\d,]*`` and ``\d*``) and under ``(\n...)*``
+#: those per-line parse choices multiply into exponential backtracking
+#: when the overall match fails.  The unambiguous core admits exactly one
+#: parse per line, so rejection stays linear in the join length.
+_NUMERIC_BODY = r"[^\S\n]*[-+]?(?:\d[\d,]*(?:\.\d*)?|\.\d+)(?:[eE][-+]?\d+)?[^\S\n]*"
+_ALL_NUMERIC_RE = re.compile(f"{_NUMERIC_BODY}(?:\n{_NUMERIC_BODY})*\\Z")
+
+
+def all_numeric_strings(values: Sequence[str]) -> bool:
+    """``all(is_numeric_string(v) for v in values)`` as one C-level pass.
+
+    Joins the values with newlines and matches the whole block against a
+    line-per-value form of ``_NUMERIC_RE``, so columns pay one regex call
+    instead of one per value.  The rewrite is exact: within one value the
+    digit core is contiguous (whitespace only at the edges), each joined
+    line must independently contain a digit core (the newline-free edge
+    whitespace cannot cross a separator), and for newline-free values the
+    anchored ``\\s`` edges and the body's ``[^\\S\\n]`` edges accept the
+    same strings.  Values containing embedded newlines fall back to the
+    per-value loop (the join could not tell their newlines from
+    separators), as does a non-numeric first value (preserving the early
+    exit on text columns).
+    """
+    if not values:
+        return True
+    if not is_numeric_string(values[0]):
+        return False
+    if any("\n" in v for v in values):
+        return all(is_numeric_string(v) for v in values)
+    return _ALL_NUMERIC_RE.match("\n".join(values)) is not None
+
+
 def is_numeric_like(value: str) -> bool:
     """Return True for numbers possibly followed by a short unit suffix.
 

@@ -222,8 +222,8 @@ class ExperimentRunner:
       streaming-capable ones, which changes scheduling but never labels);
     * ``executor`` / ``workers`` — physical execution strategy for pipeline
       annotators (an :class:`repro.core.executor.Executor`, a name among
-      ``sequential``/``batched``/``concurrent``, or ``None`` for the
-      historical ``batch_size`` semantics);
+      ``sequential``/``batched``/``concurrent``/``process``, or ``None``
+      for the historical ``batch_size`` semantics);
     * ``stream_chunk_size`` — chunk for the streaming drive (defaults to
       ``batch_size`` or 64);
     * ``max_batch_wait`` / ``queue_depth`` — request-scheduler knobs applied

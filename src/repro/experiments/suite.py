@@ -62,6 +62,10 @@ SHARD_JOURNAL_FILENAME = "shards.jsonl"
 RESULTS_FILENAME = "results.json"
 REPORT_FILENAME = "REPORT.md"
 
+#: Directory (next to ``results.json``) holding per-shard cProfile dumps
+#: when the suite runs with ``--profile``.
+PROFILES_DIRNAME = "profiles"
+
 #: Evaluation-split size used by ``--quick`` (chosen inside the range the
 #: shape tests exercise, so quick-mode numbers stay in tested territory).
 QUICK_COLUMNS = 60
@@ -392,7 +396,21 @@ def _execute_shard(payload: dict) -> dict:
             params=payload["params"],
             runner=runner,
         )
-        artifact = spec.run(config)
+        profile_dir = payload.get("profile_dir")
+        if profile_dir:
+            import cProfile
+
+            profiler = cProfile.Profile()
+            profiler.enable()
+            try:
+                artifact = spec.run(config)
+            finally:
+                profiler.disable()
+                record["profile"] = _dump_shard_profile(
+                    profiler, profile_dir, payload["experiment"], payload["shard"]
+                )
+        else:
+            artifact = spec.run(config)
         record.update(
             status="ok",
             rows=artifact.rows,
@@ -409,6 +427,29 @@ def _execute_shard(payload: dict) -> dict:
     return record
 
 
+def _dump_shard_profile(
+    profiler: "object", profile_dir: str, experiment: str, shard: str
+) -> str:
+    """Write one shard's cProfile stats; returns the artifact path."""
+    directory = Path(profile_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    safe_shard = "".join(
+        ch if ch.isalnum() or ch in "._-" else "-" for ch in str(shard)
+    )
+    path = directory / f"{experiment}__{safe_shard}.pstats"
+    profiler.dump_stats(str(path))  # type: ignore[attr-defined]
+    return str(path)
+
+
+def suite_output_dir(options: "SuiteOptions") -> Path:
+    """Where the suite's artifacts (results.json, REPORT.md, profiles) land."""
+    return Path(
+        options.output_dir
+        if options.output_dir is not None
+        else (options.cache_dir or ".")
+    )
+
+
 def _shard_payload(task: ShardTask, options: "SuiteOptions") -> dict:
     return {
         "experiment": task.experiment,
@@ -422,6 +463,11 @@ def _shard_payload(task: ShardTask, options: "SuiteOptions") -> dict:
         "workers": options.workers,
         "cache_dir": str(options.cache_dir) if options.cache_dir else None,
         "store": options.store,
+        "profile_dir": (
+            str(suite_output_dir(options) / PROFILES_DIRNAME)
+            if options.profile
+            else None
+        ),
     }
 
 
@@ -502,6 +548,9 @@ class SuiteOptions:
     store: str = "sqlite"
     resume: str | None = None
     output_dir: str | Path | None = None
+    #: Wrap every shard's ``spec.run`` in cProfile and dump per-shard pstats
+    #: under ``<output_dir>/profiles/`` (next to ``results.json``).
+    profile: bool = False
     progress: Callable[[str], None] | None = print
 
 
@@ -809,11 +858,7 @@ def run_suite(options: SuiteOptions) -> SuiteResult:
         experiments=experiments,
     )
 
-    output_dir = Path(
-        options.output_dir
-        if options.output_dir is not None
-        else (options.cache_dir or ".")
-    )
+    output_dir = suite_output_dir(options)
     output_dir.mkdir(parents=True, exist_ok=True)
     result.write(output_dir / RESULTS_FILENAME)
     (output_dir / REPORT_FILENAME).write_text(
@@ -1085,7 +1130,7 @@ def experiment_main(
                         choices=list(EXECUTOR_NAMES),
                         help="execution strategy for the query stage")
     parser.add_argument("--workers", type=int, default=None,
-                        help="thread-pool width for --executor concurrent")
+                        help="pool width for --executor concurrent or process")
     parser.add_argument("--cache-dir", default=None,
                         help="persistent response store directory")
     parser.add_argument("--store", default="sqlite",

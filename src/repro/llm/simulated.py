@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import hashlib
 import math
+import time
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -84,6 +85,7 @@ class SimulatedLLM(LanguageModel):
         profile: ModelProfile | str,
         resolver: LabelResolver | None = None,
         seed: int = 0,
+        latency: float = 0.0,
     ) -> None:
         if isinstance(profile, str):
             profile = get_profile(profile)
@@ -94,6 +96,17 @@ class SimulatedLLM(LanguageModel):
         self.open_source = profile.open_source
         self.resolver = resolver or DEFAULT_RESOLVER
         self.seed = seed
+        #: Simulated API round-trip, in seconds per :meth:`generate` /
+        #: :meth:`generate_batch` call.  The paper's deployment pays a
+        #: network round trip per (batched) completion request; the default
+        #: ``0.0`` keeps the bundled profiles instant, while executor
+        #: benchmarks opt in to measure scheduling policies under the
+        #: latency the real backends impose.  Completions are unaffected.
+        self.latency = float(latency)
+
+    def _simulate_round_trip(self) -> None:
+        if self.latency > 0.0:
+            time.sleep(self.latency)
 
     # ------------------------------------------------------------------ rng
     def _rng(self, prompt: str, params: GenerationParams) -> np.random.Generator:
@@ -232,6 +245,7 @@ class SimulatedLLM(LanguageModel):
 
     def generate(self, prompt: str, params: GenerationParams | None = None) -> str:
         """Answer a CTA prompt (see the module docstring for the procedure)."""
+        self._simulate_round_trip()
         return self._generate_parsed(prompt, parse_prompt(prompt), params)
 
     def generate_batch(
@@ -248,6 +262,7 @@ class SimulatedLLM(LanguageModel):
         once per distinct prompt even when the same prompt appears with
         different parameters (as remap-resample retries do).
         """
+        self._simulate_round_trip()
         per_prompt = broadcast_params(prompts, params)
         parsed_cache: dict[str, ParsedPrompt] = {}
         answers: dict[tuple[str, GenerationParams], str] = {}

@@ -17,6 +17,7 @@ import pytest
 from repro.core.executor import (
     BatchedExecutor,
     ConcurrentExecutor,
+    ProcessExecutor,
     SequentialExecutor,
     get_executor,
     resolve_executor,
@@ -229,12 +230,24 @@ class TestExecutorResolution:
 
     def test_workers_without_concurrent_executor_rejected(self):
         """workers must not be silently ignored on a single-threaded run."""
-        with pytest.raises(ConfigurationError, match="concurrent"):
+        with pytest.raises(ConfigurationError, match="concurrent or process"):
             resolve_executor(None, workers=8)
-        with pytest.raises(ConfigurationError, match="concurrent"):
+        with pytest.raises(ConfigurationError, match="concurrent or process"):
             get_executor("batched", workers=8)
-        with pytest.raises(ConfigurationError, match="concurrent"):
+        with pytest.raises(ConfigurationError, match="concurrent or process"):
             get_executor("sequential", workers=8)
+
+    def test_get_executor_process(self):
+        process = get_executor("process", workers=3)
+        assert isinstance(process, ProcessExecutor)
+        assert process.workers == 3
+        # batch_size maps onto the per-worker chunk size, like the
+        # concurrent executor's chunking knob.
+        chunked = get_executor("process", workers=2, batch_size=9)
+        assert isinstance(chunked, ProcessExecutor)
+        assert chunked.chunk_size == 9
+        with pytest.raises(ConfigurationError):
+            ProcessExecutor(workers=0)
 
 
 class ShortReturningModel(LanguageModel):
@@ -284,3 +297,96 @@ class TestShortReturningBackend:
             annotator.annotate_columns(
                 self._workload(), executor="concurrent", workers=2
             )
+
+
+class UnpicklableModel(LanguageModel):
+    """A backend holding process-local state that cannot cross a fork."""
+
+    name = "unpicklable"
+    context_window = 2048
+
+    def __init__(self) -> None:
+        self.session = lambda prompt: "state"  # lambdas never pickle
+
+    def generate(self, prompt: str, params: GenerationParams | None = None) -> str:
+        return self.session(prompt)
+
+
+class TestProcessExecutor:
+    """ISSUE 7 tentpole: worker processes, bit-identical labels, truthful
+    accounting."""
+
+    def test_process_matches_pre_refactor_golden(self):
+        """Acceptance: bit-identical labels to SequentialExecutor."""
+        benchmark = _golden_benchmark()
+        annotator = _golden_annotator(benchmark)
+        results = annotator.annotate_columns(
+            [bc.column for bc in benchmark.columns],
+            executor="process",
+            workers=4,
+        )
+        assert [r.label for r in results] == GOLDEN_SOTAB_GPT
+
+    def test_worker_accounting_absorbed_into_parent(self):
+        """query_count and stage stats must cover worker-side model calls."""
+        benchmark = _golden_benchmark()
+        reference = _golden_annotator(benchmark)
+        workload = [bc.column for bc in benchmark.columns]
+        [reference.annotate_column(column) for column in workload]
+
+        annotator = _golden_annotator(benchmark)
+        annotator.annotate_columns(workload, executor="process", workers=3)
+        assert annotator.query_count == reference.query_count
+        stages = {row["stage"]: row for row in annotator.stats.as_rows()}
+        assert stages["query"]["calls"] > 0
+        assert stages["remap"]["calls"] > 0
+
+    def test_pool_reused_across_stream_chunks(self):
+        """annotate_stream executes chunk-at-a-time through ONE pool."""
+        benchmark = _golden_benchmark()
+        annotator = _golden_annotator(benchmark)
+        executor = ProcessExecutor(workers=2)
+        with executor:
+            labels = [
+                r.label
+                for r in annotator.annotate_stream(
+                    (bc.column for bc in benchmark.columns),
+                    chunk_size=20,
+                    executor=executor,
+                )
+            ]
+            assert labels == GOLDEN_SOTAB_GPT
+            assert executor._pool is not None
+
+    def test_unpicklable_model_is_a_clean_config_error(self):
+        annotator = ArcheType(ArcheTypeConfig(
+            model=UnpicklableModel(), label_set=LABELS, remapper="none",
+        ))
+        workload = [Column(values=["Alaska", "Colorado", "Kentucky"])]
+        with pytest.raises(ConfigurationError, match="pickle"):
+            annotator.annotate_columns(workload, executor="process", workers=2)
+
+    def test_config_executor_and_workers_defaults(self):
+        """ArcheTypeConfig(executor=..., workers=...) applies when the call
+        site passes neither."""
+        benchmark = load_benchmark("sotab-27", n_columns=12, seed=5)
+        reference = ArcheType(ArcheTypeConfig(
+            model="gpt", label_set=benchmark.label_set, sample_size=5, seed=0,
+        ))
+        configured = ArcheType(ArcheTypeConfig(
+            model="gpt", label_set=benchmark.label_set, sample_size=5, seed=0,
+            executor="process", workers=2,
+        ))
+        workload = [bc.column for bc in benchmark.columns]
+        expected = [reference.annotate_column(column).label for column in workload]
+        assert [r.label for r in configured.annotate_columns(workload)] == expected
+        # An explicit executor still overrides the config default (fresh
+        # annotator: each planned column advances the RNG stream).
+        override = ArcheType(ArcheTypeConfig(
+            model="gpt", label_set=benchmark.label_set, sample_size=5, seed=0,
+            executor="process", workers=2,
+        ))
+        assert [
+            r.label
+            for r in override.annotate_columns(workload, executor="sequential")
+        ] == expected
