@@ -197,9 +197,8 @@ def _full_scan_contains(response_normalized: str, label_set) -> str | None:
         if (
             normalized_label in response_normalized
             or response_normalized in normalized_label
-        ):
-            if len(normalized_label) > best_length:
-                best, best_length = label, len(normalized_label)
+        ) and len(normalized_label) > best_length:
+            best, best_length = label, len(normalized_label)
     return best
 
 

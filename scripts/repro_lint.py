@@ -1,0 +1,24 @@
+"""CI entry point for repro-lint, the project-specific static analysis.
+
+Thin wrapper over :mod:`repro.analysis` so the gate works from a bare
+checkout without installing the package.  Flags are identical to
+``repro lint`` / ``python -m repro.analysis``; the CI job runs::
+
+    python scripts/repro_lint.py --strict --json reports/repro_lint.json
+
+which exits 1 when any unsuppressed finding (or unparseable file) remains
+and uploads the JSON report as a build artifact.  The rule catalog lives in
+``src/repro/analysis/RULES.md``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.analysis import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,62 @@
+"""repro-lint: project-specific static analysis for this reproduction.
+
+Generic linters (ruff) and type checkers (mypy) cannot see the invariants
+this codebase's concurrency and determinism guarantees rest on: which
+attributes a lock guards, which calls must never happen while it is held,
+which code paths must stay bit-identical across reruns, and what must stay
+picklable across the process boundary.  This package encodes those invariants
+as AST checkers over the real source tree, so a regression fails CI instead
+of surfacing as a once-a-week flake.
+
+Built on the stdlib ``ast``/``tokenize`` modules only — no new dependencies.
+
+Entry points::
+
+    python -m repro.analysis [paths...] [--strict] [--json report.json]
+    repro lint [paths...] [--strict]
+    python scripts/repro_lint.py --strict   # the CI gate
+
+Conventions (see ``RULES.md`` next to this file for the full catalog):
+
+* ``# guarded-by: _lock`` on a ``self.attr = ...`` assignment in ``__init__``
+  declares the attribute readable/writable only while ``self._lock`` is held.
+* ``# holds: _lock`` trailing a ``def`` line asserts the method is only
+  called with the lock already held (checked at every call site).
+* ``# repro-lint: disable=<rule>[,<rule>...]`` suppresses findings on that
+  line; ``disable-file=`` suppresses for the whole file.  Every suppression
+  of a real hazard should carry a comment explaining why it is safe.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.base import (
+    Checker,
+    Finding,
+    SourceFile,
+    all_checkers,
+    iter_rules,
+    register,
+)
+from repro.analysis.runner import (
+    REPORT_SCHEMA_VERSION,
+    Report,
+    analyze_file,
+    analyze_paths,
+    iter_python_files,
+    main,
+)
+
+__all__ = [
+    "Checker",
+    "Finding",
+    "Report",
+    "REPORT_SCHEMA_VERSION",
+    "SourceFile",
+    "all_checkers",
+    "analyze_file",
+    "analyze_paths",
+    "iter_python_files",
+    "iter_rules",
+    "main",
+    "register",
+]

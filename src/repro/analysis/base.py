@@ -1,0 +1,223 @@
+"""Framework primitives for repro-lint: findings, source files, registry.
+
+A checker is a class with a ``rules`` tuple (the rule ids it can emit) and a
+``check(tree, source)`` method yielding :class:`Finding` objects.  Checkers
+register themselves via the :func:`register` decorator; the runner
+instantiates every registered checker per file and overlays the suppression
+comments afterwards, so checkers never need to know about suppressions.
+
+:class:`SourceFile` carries everything a checker needs besides the AST: the
+repo-relative path (checkers scope themselves with :meth:`Checker.applies_to`)
+and the per-line comment table (parsed once with :mod:`tokenize`, so a ``#``
+inside a string literal can never be mistaken for an annotation).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from abc import ABC, abstractmethod
+from contextlib import suppress
+from dataclasses import dataclass, field
+from pathlib import PurePosixPath
+from typing import Iterable, Iterator, Mapping
+
+#: Matches ``# repro-lint: disable=rule-a,rule-b`` (or ``disable-file=``).
+_SUPPRESS_RE = re.compile(
+    r"repro-lint:\s*disable(?P<scope>-file)?\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_-]+(?:\s*,\s*[A-Za-z0-9_-]+)*)"
+)
+#: Matches the ``# guarded-by: _lock`` attribute annotation.
+_GUARDED_RE = re.compile(r"guarded-by:\s*(?P<lock>[A-Za-z_]\w*)")
+#: Matches the ``# holds: _lock`` method precondition annotation.
+_HOLDS_RE = re.compile(r"holds:\s*(?P<lock>[A-Za-z_]\w*)")
+
+#: Rule name that suppresses every rule on the line (``disable=all``).
+SUPPRESS_ALL = "all"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str
+    message: str
+    path: str
+    line: int
+    col: int = 0
+    suppressed: bool = False
+
+    def as_dict(self) -> dict[str, object]:
+        """The JSON wire format of one finding (stable key order)."""
+        return {
+            "rule": self.rule,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "suppressed": self.suppressed,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "Finding":
+        """Rebuild a finding from its :meth:`as_dict` payload."""
+        return cls(
+            rule=str(payload["rule"]),
+            message=str(payload["message"]),
+            path=str(payload["path"]),
+            line=int(payload["line"]),  # type: ignore[arg-type]
+            col=int(payload.get("col", 0)),  # type: ignore[arg-type]
+            suppressed=bool(payload.get("suppressed", False)),
+        )
+
+    def render(self) -> str:
+        """The one-line human format: ``path:line:col: rule message``."""
+        mark = " (suppressed)" if self.suppressed else ""
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}{mark}"
+
+
+@dataclass
+class SourceFile:
+    """A parsed source file: path, text, and the per-line comment table."""
+
+    path: str
+    text: str
+    comments: dict[int, str] = field(default_factory=dict)
+
+    @classmethod
+    def read(cls, path: str, text: str) -> "SourceFile":
+        """Build a source file, tokenizing the comment table.
+
+        A file too malformed to tokenize still gets an (empty) comment table;
+        the runner reports the parse failure separately.
+        """
+        comments: dict[int, str] = {}
+        with suppress(tokenize.TokenError, IndentationError, SyntaxError):
+            for token in tokenize.generate_tokens(io.StringIO(text).readline):
+                if token.type == tokenize.COMMENT:
+                    comments[token.start[0]] = token.string
+        return cls(path=path, text=text, comments=comments)
+
+    # ------------------------------------------------------------ annotations
+    def guarded_lock(self, line: int) -> str | None:
+        """The lock named by a ``# guarded-by:`` annotation on ``line``."""
+        match = _GUARDED_RE.search(self.comments.get(line, ""))
+        return match.group("lock") if match else None
+
+    def holds_lock(self, line: int) -> str | None:
+        """The lock named by a ``# holds:`` annotation on ``line``."""
+        match = _HOLDS_RE.search(self.comments.get(line, ""))
+        return match.group("lock") if match else None
+
+    # ------------------------------------------------------------ suppression
+    def suppressions(self) -> tuple[dict[int, set[str]], set[str]]:
+        """Per-line and file-wide suppressed rule sets."""
+        per_line: dict[int, set[str]] = {}
+        file_wide: set[str] = set()
+        for line, comment in self.comments.items():
+            match = _SUPPRESS_RE.search(comment)
+            if match is None:
+                continue
+            rules = {part.strip() for part in match.group("rules").split(",")}
+            if match.group("scope"):
+                file_wide |= rules
+            else:
+                per_line.setdefault(line, set()).update(rules)
+        return per_line, file_wide
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        """Whether a suppression comment covers ``finding``."""
+        per_line, file_wide = self.suppressions()
+        if SUPPRESS_ALL in file_wide or finding.rule in file_wide:
+            return True
+        on_line = per_line.get(finding.line, set())
+        return SUPPRESS_ALL in on_line or finding.rule in on_line
+
+    def in_directory(self, *parts: str) -> bool:
+        """Whether the file lives under any of ``parts`` path segments."""
+        path_parts = PurePosixPath(self.path.replace("\\", "/")).parts
+        return any(part in path_parts for part in parts)
+
+
+class Checker(ABC):
+    """One analysis pass over a parsed module.
+
+    ``rules`` lists every rule id the checker can emit — the registry uses it
+    for ``--list-rules`` and the tests use it to require a known-bad fixture
+    per rule.  ``applies_to`` scopes the checker (e.g. determinism only
+    guards ``core/`` and ``experiments/``); the default is every file.
+    """
+
+    #: Short machine name of the checker (registry key).
+    name: str = "base"
+    #: Rule ids this checker can emit.
+    rules: tuple[str, ...] = ()
+    #: One-line description for ``--list-rules`` and RULES.md parity tests.
+    description: str = ""
+
+    def applies_to(self, source: SourceFile) -> bool:
+        return True
+
+    @abstractmethod
+    def check(self, tree: ast.Module, source: SourceFile) -> Iterator[Finding]:
+        """Yield findings for one parsed module."""
+
+
+_REGISTRY: dict[str, type[Checker]] = {}
+
+
+def register(cls: type[Checker]) -> type[Checker]:
+    """Class decorator adding a checker to the global registry."""
+    if not cls.name or cls.name == "base":
+        raise ValueError(f"checker {cls!r} must define a unique name")
+    if cls.name in _REGISTRY:
+        raise ValueError(f"duplicate checker name {cls.name!r}")
+    if not cls.rules:
+        raise ValueError(f"checker {cls.name!r} must declare its rules")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def all_checkers() -> list[Checker]:
+    """Fresh instances of every registered checker, in registration order."""
+    # Importing the checkers package populates the registry on first use.
+    import repro.analysis.checkers  # noqa: F401
+
+    return [cls() for cls in _REGISTRY.values()]
+
+
+def iter_rules() -> Iterable[tuple[str, str, tuple[str, ...]]]:
+    """Yield ``(checker_name, description, rules)`` for every checker."""
+    for checker in all_checkers():
+        yield checker.name, checker.description, checker.rules
+
+
+# ---------------------------------------------------------------- AST helpers
+def self_attribute(node: ast.AST) -> str | None:
+    """The attribute name when ``node`` is exactly ``self.<attr>``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def call_name(node: ast.Call) -> str:
+    """A dotted best-effort name of a call target (``threading.Lock``)."""
+    return dotted_name(node.func)
+
+
+def dotted_name(node: ast.AST) -> str:
+    """Render ``a.b.c`` expressions to a dotted string; ``""`` otherwise."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""

@@ -1,0 +1,10 @@
+"""Checker modules; importing this package populates the registry."""
+
+from __future__ import annotations
+
+from repro.analysis.checkers import (  # noqa: F401
+    determinism,
+    lock_discipline,
+    picklability,
+    resources,
+)

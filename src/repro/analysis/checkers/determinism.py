@@ -1,0 +1,192 @@
+"""Determinism checker: protect the bit-identical-resume guarantee.
+
+Resumed runs, warm suite replays and the golden-label tests all depend on
+``core/`` and ``experiments/`` being pure functions of their inputs and the
+configured seed.  Wall-clock reads, unseeded RNGs and set-iteration order are
+the three ways nondeterminism has historically crept into prompts and
+metrics, so they are banned in those trees outside explicitly annotated
+sites (store timestamps, the suite's wall-clock accounting).
+
+Rules:
+
+``det-wallclock``
+    ``time.time``/``time.time_ns``/``time.strftime``/``datetime.now``-style
+    current-time reads.  ``time.monotonic`` and ``time.perf_counter`` stay
+    legal — durations are telemetry, not pipeline inputs.
+``det-unseeded-rng``
+    ``random.Random()`` / ``np.random.default_rng()`` with no seed, the
+    module-level ``random.*`` / ``np.random.*`` global-state helpers,
+    ``os.urandom`` and ``uuid.uuid4``.
+``det-set-iter``
+    Iterating a set (literal, comprehension or ``set(...)`` call) directly in
+    a ``for`` loop / comprehension, joining one into a string, or
+    materialising one with ``list()``/``tuple()``: set order is salted per
+    process, so any of these can leak process-dependent order into prompts.
+    ``sorted(set(...))`` is the deterministic spelling.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.base import Checker, Finding, SourceFile, call_name, register
+
+#: Dotted call names (matched on their trailing segments) that read the clock.
+_WALLCLOCK_SUFFIXES = (
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("time", "strftime"),
+    ("time", "localtime"),
+    ("time", "gmtime"),
+    ("time", "ctime"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("datetime", "today"),
+    ("date", "today"),
+)
+#: Calls that are entropy sources no matter the arguments.
+_ENTROPY_SUFFIXES = (
+    ("os", "urandom"),
+    ("uuid", "uuid1"),
+    ("uuid", "uuid4"),
+    ("secrets", "token_hex"),
+    ("secrets", "token_bytes"),
+    ("secrets", "token_urlsafe"),
+)
+#: ``random.<fn>`` module-level helpers driven by the hidden global RNG.
+_GLOBAL_RANDOM_FNS = {
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "getrandbits", "gauss", "betavariate",
+}
+#: ``np.random.<fn>`` legacy global-state helpers.
+_NUMPY_GLOBAL_FNS = {
+    "rand", "randn", "randint", "random", "choice", "shuffle", "seed",
+    "permutation", "normal", "uniform",
+}
+
+
+def _suffix_match(dotted: str, suffixes: tuple[tuple[str, ...], ...]) -> bool:
+    parts = tuple(dotted.split("."))
+    return any(
+        len(parts) >= len(suffix) and parts[-len(suffix):] == suffix
+        for suffix in suffixes
+    )
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    )
+
+
+@register
+class DeterminismChecker(Checker):
+    name = "determinism"
+    description = (
+        "no wall-clock reads, unseeded RNGs, or set-iteration order in the "
+        "deterministic core/ and experiments/ trees"
+    )
+    rules = ("det-wallclock", "det-unseeded-rng", "det-set-iter")
+
+    def applies_to(self, source: SourceFile) -> bool:
+        return source.in_directory("core", "experiments")
+
+    def check(self, tree: ast.Module, source: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(node, source)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                yield from self._check_set_iter(node.iter, source, "for loop")
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                for generator in node.generators:
+                    yield from self._check_set_iter(
+                        generator.iter, source, "comprehension"
+                    )
+
+    def _check_call(self, node: ast.Call, source: SourceFile) -> Iterator[Finding]:
+        dotted = call_name(node)
+        if dotted and _suffix_match(dotted, _WALLCLOCK_SUFFIXES):
+            yield self._finding(
+                "det-wallclock", node, source,
+                f"'{dotted}()' reads the wall clock; deterministic code must "
+                "take timestamps as inputs (time.monotonic/perf_counter are "
+                "fine for durations)",
+            )
+        if dotted and _suffix_match(dotted, _ENTROPY_SUFFIXES):
+            yield self._finding(
+                "det-unseeded-rng", node, source,
+                f"'{dotted}()' draws OS entropy; derive identifiers and "
+                "randomness from the configured seed instead",
+            )
+        parts = dotted.split(".") if dotted else []
+        if dotted == "random.Random" and not node.args and not node.keywords:
+            yield self._finding(
+                "det-unseeded-rng", node, source,
+                "'random.Random()' without a seed is nondeterministic; pass "
+                "the configured seed",
+            )
+        if (
+            parts
+            and parts[-1] == "default_rng"
+            and not node.args
+            and not node.keywords
+        ):
+            yield self._finding(
+                "det-unseeded-rng", node, source,
+                "'default_rng()' without a seed draws OS entropy; pass the "
+                "configured seed",
+            )
+        if len(parts) == 2 and parts[0] == "random" and parts[1] in _GLOBAL_RANDOM_FNS:
+            yield self._finding(
+                "det-unseeded-rng", node, source,
+                f"'{dotted}()' uses the hidden module-level RNG; thread a "
+                "seeded random.Random/np.random.Generator through instead",
+            )
+        if (
+            len(parts) == 3
+            and parts[0] in ("np", "numpy")
+            and parts[1] == "random"
+            and parts[2] in _NUMPY_GLOBAL_FNS
+        ):
+            yield self._finding(
+                "det-unseeded-rng", node, source,
+                f"'{dotted}()' uses numpy's legacy global RNG; use a seeded "
+                "np.random.default_rng(seed) generator",
+            )
+        # "".join(set(...)) and list(set(...)) / tuple(set(...)).
+        if isinstance(node.func, ast.Attribute) and node.func.attr == "join":
+            for arg in node.args:
+                yield from self._check_set_iter(arg, source, "str.join")
+        if isinstance(node.func, ast.Name) and node.func.id in ("list", "tuple"):
+            for arg in node.args:
+                yield from self._check_set_iter(
+                    arg, source, f"{node.func.id}()"
+                )
+
+    def _check_set_iter(
+        self, node: ast.AST, source: SourceFile, context: str
+    ) -> Iterator[Finding]:
+        if _is_set_expr(node):
+            yield self._finding(
+                "det-set-iter", node, source,
+                f"iterating a set in a {context} leaks per-process hash "
+                "order; wrap it in sorted(...) to fix the order",
+            )
+
+    @staticmethod
+    def _finding(
+        rule: str, node: ast.AST, source: SourceFile, message: str
+    ) -> Finding:
+        return Finding(
+            rule=rule,
+            message=message,
+            path=source.path,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+        )

@@ -1,0 +1,161 @@
+"""Resource/handle hygiene checker for the durable tier.
+
+SQLite connections and file handles opened in ``core/`` must have an owner
+that closes them: a ``with`` block, an enclosing class with a ``close()``
+method (the store/manifest convention — their ``close``/``__exit__`` release
+the handle), or an explicit ``.close()`` in the opening function.  A handle
+without one of those owners leaks a file descriptor per call — harmless in a
+short script, fatal in the long-running service the roadmap points at.
+
+Rule:
+
+``res-handle``
+    An ``open(...)``/``Path.open(...)``/``sqlite3.connect(...)`` result that
+    is discarded, or bound to a local that is neither used as a context
+    manager, closed, nor returned, or bound to ``self.<attr>`` in a class
+    with no ``close()`` method.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.base import (
+    Checker,
+    Finding,
+    SourceFile,
+    call_name,
+    register,
+    self_attribute,
+)
+
+
+def _is_opener(node: ast.Call) -> bool:
+    dotted = call_name(node)
+    if dotted == "sqlite3.connect":
+        return True
+    tail = dotted.rsplit(".", maxsplit=1)[-1]
+    return tail == "open"
+
+
+@register
+class ResourceChecker(Checker):
+    name = "resources"
+    description = (
+        "files and SQLite connections opened in core/ are closed via context "
+        "manager, an owning class's close(), or an explicit close"
+    )
+    rules = ("res-handle",)
+
+    def applies_to(self, source: SourceFile) -> bool:
+        return source.in_directory("core")
+
+    def check(self, tree: ast.Module, source: SourceFile) -> Iterator[Finding]:
+        yield from self._check_scope(tree, source, class_has_close=False)
+
+    def _check_scope(
+        self, scope: ast.AST, source: SourceFile, class_has_close: bool
+    ) -> Iterator[Finding]:
+        for node in ast.iter_child_nodes(scope):
+            if isinstance(node, ast.ClassDef):
+                has_close = any(
+                    isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and member.name in ("close", "__exit__", "__del__")
+                    for member in node.body
+                )
+                yield from self._check_scope(node, source, has_close)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(node, source, class_has_close)
+                yield from self._check_scope(node, source, class_has_close)
+            else:
+                yield from self._check_scope(node, source, class_has_close)
+
+    def _check_function(
+        self,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        source: SourceFile,
+        class_has_close: bool,
+    ) -> Iterator[Finding]:
+        with_contexts: set[int] = set()
+        with_names: set[str] = set()
+        closed_names: set[str] = set()
+        returned_names: set[str] = set()
+        escaping_names: set[str] = set()
+        openers: list[tuple[ast.Call, ast.AST]] = []
+
+        parents: dict[int, ast.AST] = {}
+        for node in ast.walk(func):
+            for child in ast.iter_child_nodes(node):
+                parents[id(child)] = node
+
+        for node in ast.walk(func):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    with_contexts.add(id(item.context_expr))
+                    if isinstance(item.context_expr, ast.Name):
+                        with_names.add(item.context_expr.id)
+            elif isinstance(node, ast.Call):
+                if (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "close"
+                    and isinstance(node.func.value, ast.Name)
+                ):
+                    closed_names.add(node.func.value.id)
+                elif isinstance(node.func, ast.Name):
+                    # A handle passed to another callable escapes: the callee
+                    # (or the object built around it) owns the close.
+                    escaping_names.update(
+                        arg.id for arg in node.args if isinstance(arg, ast.Name)
+                    )
+                if _is_opener(node):
+                    openers.append((node, parents.get(id(node), func)))
+            elif isinstance(node, ast.Return) and isinstance(node.value, ast.Name):
+                returned_names.add(node.value.id)
+
+        owned = with_names | closed_names | returned_names | escaping_names
+        for call, parent in openers:
+            if id(call) in with_contexts:
+                continue
+            if isinstance(parent, ast.Assign):
+                targets = parent.targets
+            elif isinstance(parent, ast.AnnAssign):
+                targets = [parent.target]
+            else:
+                targets = []
+            if targets:
+                names = [t.id for t in targets if isinstance(t, ast.Name)]
+                attrs = [a for a in map(self_attribute, targets) if a is not None]
+                if attrs and class_has_close:
+                    continue
+                if names and all(name in owned for name in names):
+                    continue
+                if attrs and not class_has_close:
+                    message = (
+                        f"handle stored on self.{attrs[0]} but "
+                        f"{func.name}'s class defines no close(): add one "
+                        "(or a context-manager protocol) that releases it"
+                    )
+                else:
+                    message = (
+                        "handle is never closed in this function: use a "
+                        "'with' block, close it explicitly, or return it to "
+                        "a caller that does"
+                    )
+            elif isinstance(parent, ast.Return):
+                continue  # returned directly: the caller owns it
+            elif id(parent) in with_contexts:
+                continue
+            else:
+                message = (
+                    "opened handle is discarded immediately: the descriptor "
+                    "leaks until the GC happens to collect it; use a 'with' "
+                    "block"
+                )
+            yield Finding(
+                rule="res-handle",
+                message=message,
+                path=source.path,
+                line=call.lineno,
+                col=call.col_offset,
+            )

@@ -1,0 +1,235 @@
+"""repro-lint driver: file discovery, checker dispatch, reports, CLI.
+
+The runner walks the requested paths (defaulting to the source tree, the
+scripts and the benchmarks), parses each Python file once, runs every
+registered checker that applies, overlays the suppression comments, and
+renders the result as human-readable lines or a machine-readable JSON report
+(schema below, round-trip tested).
+
+Exit codes: ``0`` — clean (or findings in non-strict mode); ``1`` — strict
+mode with unsuppressed findings or unparseable files; ``2`` — usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.analysis.base import Checker, Finding, SourceFile, all_checkers, iter_rules
+
+#: Version of the JSON report schema (bump on breaking shape changes).
+REPORT_SCHEMA_VERSION = 1
+
+#: Paths scanned when the CLI gets none (relative to the working directory).
+DEFAULT_PATHS: tuple[str, ...] = ("src/repro", "scripts", "benchmarks")
+
+#: Path parts that are never scanned (fixtures are deliberately violating).
+EXCLUDED_PARTS: frozenset[str] = frozenset({"fixtures", "__pycache__", ".git"})
+
+#: Rule id used for files the parser rejects (not owned by any checker).
+PARSE_ERROR_RULE = "parse-error"
+
+
+def iter_python_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Every ``.py`` file under ``paths``, excluding fixtures and caches."""
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file() and path.suffix == ".py":
+            files.append(path)
+            continue
+        files.extend(
+            candidate
+            for candidate in sorted(path.rglob("*.py"))
+            if not (EXCLUDED_PARTS & set(candidate.parts))
+        )
+    return files
+
+
+@dataclass
+class Report:
+    """The outcome of one analysis run over a set of files."""
+
+    findings: list[Finding] = field(default_factory=list)
+    n_files: int = 0
+
+    @property
+    def active(self) -> list[Finding]:
+        """Findings not silenced by a suppression comment."""
+        return [finding for finding in self.findings if not finding.suppressed]
+
+    @property
+    def suppressed(self) -> list[Finding]:
+        return [finding for finding in self.findings if finding.suppressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.active
+
+    def by_rule(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for finding in self.active:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def as_dict(self) -> dict[str, object]:
+        """The JSON report (schema v1; round-trips through :meth:`from_dict`)."""
+        return {
+            "schema_version": REPORT_SCHEMA_VERSION,
+            "n_files": self.n_files,
+            "rules": [
+                {"checker": name, "description": description, "rules": list(rules)}
+                for name, description, rules in iter_rules()
+            ],
+            "findings": [finding.as_dict() for finding in self.findings],
+            "summary": {
+                "total": len(self.findings),
+                "active": len(self.active),
+                "suppressed": len(self.suppressed),
+                "by_rule": self.by_rule(),
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "Report":
+        """Rebuild a report from its :meth:`as_dict` payload."""
+        version = payload.get("schema_version")
+        if version != REPORT_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported repro-lint report schema {version!r} "
+                f"(expected {REPORT_SCHEMA_VERSION})"
+            )
+        findings_payload = payload.get("findings", [])
+        assert isinstance(findings_payload, list)
+        return cls(
+            findings=[Finding.from_dict(item) for item in findings_payload],
+            n_files=int(payload.get("n_files", 0)),  # type: ignore[arg-type]
+        )
+
+
+def analyze_source(
+    source: SourceFile, checkers: Sequence[Checker] | None = None
+) -> list[Finding]:
+    """Run every applicable checker over one in-memory source file."""
+    try:
+        tree = ast.parse(source.text, filename=source.path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule=PARSE_ERROR_RULE,
+                message=f"file does not parse: {exc.msg}",
+                path=source.path,
+                line=exc.lineno or 0,
+                col=exc.offset or 0,
+            )
+        ]
+    findings: list[Finding] = []
+    for checker in checkers if checkers is not None else all_checkers():
+        if not checker.applies_to(source):
+            continue
+        findings.extend(checker.check(tree, source))
+    findings.sort(key=lambda finding: (finding.path, finding.line, finding.col))
+    return [
+        Finding(
+            rule=finding.rule,
+            message=finding.message,
+            path=finding.path,
+            line=finding.line,
+            col=finding.col,
+            suppressed=source.is_suppressed(finding),
+        )
+        for finding in findings
+    ]
+
+
+def analyze_file(
+    path: str | Path, checkers: Sequence[Checker] | None = None
+) -> list[Finding]:
+    """Analyze one file on disk (path is used verbatim in findings)."""
+    text = Path(path).read_text(encoding="utf-8")
+    return analyze_source(SourceFile.read(str(path), text), checkers)
+
+
+def analyze_paths(
+    paths: Sequence[str | Path], checkers: Sequence[Checker] | None = None
+) -> Report:
+    """Analyze every Python file under ``paths`` into one report."""
+    resolved = checkers if checkers is not None else all_checkers()
+    report = Report()
+    for file_path in iter_python_files(paths):
+        report.n_files += 1
+        report.findings.extend(analyze_file(file_path, resolved))
+    return report
+
+
+# ------------------------------------------------------------------------ CLI
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install the repro-lint options (shared with the ``repro lint`` CLI)."""
+    parser.add_argument(
+        "paths", nargs="*", default=list(DEFAULT_PATHS),
+        help=f"files or directories to analyze (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="exit 1 when any unsuppressed finding remains (the CI gate)",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write the machine-readable JSON report to PATH",
+    )
+    parser.add_argument(
+        "--show-suppressed", action="store_true",
+        help="include suppressed findings in the text output",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list every registered checker and rule, then exit",
+    )
+
+
+def run(args: argparse.Namespace) -> int:
+    """Execute a parsed repro-lint invocation; returns the exit code."""
+    if args.list_rules:
+        for name, description, rules in iter_rules():
+            print(f"{name}: {description}")
+            for rule in rules:
+                print(f"  - {rule}")
+        return 0
+    missing = [path for path in args.paths if not Path(path).exists()]
+    if missing:
+        print(f"error: no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+    report = analyze_paths(args.paths)
+    if args.json:
+        destination = Path(args.json)
+        destination.parent.mkdir(parents=True, exist_ok=True)
+        destination.write_text(
+            json.dumps(report.as_dict(), indent=2, sort_keys=False) + "\n",
+            encoding="utf-8",
+        )
+    shown = report.findings if args.show_suppressed else report.active
+    for finding in shown:
+        print(finding.render())
+    summary = (
+        f"repro-lint: {report.n_files} files, {len(report.active)} findings"
+        f" ({len(report.suppressed)} suppressed)"
+    )
+    print(summary)
+    if args.strict and not report.ok:
+        return 1
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    add_arguments(parser)
+    return run(parser.parse_args(argv))

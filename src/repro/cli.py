@@ -30,6 +30,7 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import Iterator, Sequence
 
+from repro.analysis import runner as analysis_runner
 from repro.baselines.llm_baselines import get_zero_shot_method
 from repro.core.executor import EXECUTOR_NAMES
 from repro.core.pipeline import ArcheType, ArcheTypeConfig
@@ -398,6 +399,17 @@ def build_parser() -> argparse.ArgumentParser:
     suite.add_argument("--list", action="store_true",
                        help="list the selected experiments and exit")
     suite.set_defaults(func=_suite_command)
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="run repro-lint, the project-specific static analysis "
+             "(lock discipline, determinism, picklability, resource "
+             "hygiene; see src/repro/analysis/RULES.md)",
+    )
+    # The analysis runner owns its options so `repro lint`,
+    # `python -m repro.analysis` and scripts/repro_lint.py stay identical.
+    analysis_runner.add_arguments(lint)
+    lint.set_defaults(func=analysis_runner.run)
     return parser
 
 

@@ -40,7 +40,7 @@ from __future__ import annotations
 import pickle
 from abc import ABC, abstractmethod
 from concurrent.futures import ProcessPoolExecutor
-from contextlib import contextmanager
+from contextlib import contextmanager, suppress
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Mapping, Sequence
 
@@ -450,10 +450,8 @@ class ProcessExecutor(Executor):
         self.close()
 
     def __del__(self) -> None:  # pragma: no cover - interpreter-shutdown path
-        try:
+        with suppress(Exception):
             self.close()
-        except Exception:
-            pass
 
     # ------------------------------------------------------------ execution
     def execute(

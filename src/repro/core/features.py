@@ -228,7 +228,7 @@ class FeatureConfig:
 
     def spec(self) -> str:
         """Inverse of :meth:`from_spec`."""
-        parts = []
+        parts: list[str] = []
         if self.include_context_sample:
             parts.append("CS")
         if self.include_table_name:

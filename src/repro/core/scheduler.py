@@ -53,6 +53,7 @@ from __future__ import annotations
 import threading
 import time
 from collections import OrderedDict, deque
+from contextlib import suppress
 from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Mapping, Sequence
@@ -216,7 +217,7 @@ class SchedulerStats:
         self.n_batches = 0
         self.n_cross_request_batches = 0
         self.max_queue_depth = 0
-        self.batch_sizes = {}
+        self.batch_sizes: dict[str, int] = {}
 
 
 class _Request:
@@ -304,18 +305,20 @@ class RequestScheduler:
         self.store = store
         self.stats = stats if stats is not None else QueryStats()
         self.scheduler_stats = SchedulerStats()
-        self.max_batch_size = max_batch_size
-        self.max_wait = max_wait
-        self.queue_depth = queue_depth
         self._lock = threading.Lock()
+        # The microbatching knobs are mutable at runtime (configure()), so
+        # they share the scheduler lock with the queue they parameterise.
+        self.max_batch_size = max_batch_size  # guarded-by: _lock
+        self.max_wait = max_wait  # guarded-by: _lock
+        self.queue_depth = queue_depth  # guarded-by: _lock
         #: Signalled when a drain frees admission-queue space.
         self._space = threading.Condition(self._lock)
         #: Signalled when a request is enqueued (wakes lingering leaders).
         self._arrived = threading.Condition(self._lock)
-        self._queue: deque[_Request] = deque()
-        self._inflight: dict[RequestKey, _Request] = {}
-        self._cache: "OrderedDict[RequestKey, str]" = OrderedDict()
-        self._clones: list[LanguageModel] = []
+        self._queue: deque[_Request] = deque()  # guarded-by: _lock
+        self._inflight: dict[RequestKey, _Request] = {}  # guarded-by: _lock
+        self._cache: "OrderedDict[RequestKey, str]" = OrderedDict()  # guarded-by: _lock
+        self._clones: list[LanguageModel] = []  # guarded-by: _lock
 
     @staticmethod
     def _validate(
@@ -334,14 +337,20 @@ class RequestScheduler:
         max_wait: object = _UNSET,
         queue_depth: object = _UNSET,
     ) -> None:
-        """Adjust the microbatching knobs on a live scheduler."""
-        new_batch = (
-            self.max_batch_size if max_batch_size is _UNSET else max_batch_size
-        )
-        new_wait = self.max_wait if max_wait is _UNSET else max_wait
-        new_depth = self.queue_depth if queue_depth is _UNSET else queue_depth
-        self._validate(new_batch, new_wait, new_depth)  # type: ignore[arg-type]
+        """Adjust the microbatching knobs on a live scheduler.
+
+        Read-validate-write runs atomically under the scheduler lock:
+        reading the current values outside it could interleave with a
+        concurrent ``configure`` and validate (then commit) a mix of two
+        callers' settings that neither asked for.
+        """
         with self._lock:
+            new_batch = (
+                self.max_batch_size if max_batch_size is _UNSET else max_batch_size
+            )
+            new_wait = self.max_wait if max_wait is _UNSET else max_wait
+            new_depth = self.queue_depth if queue_depth is _UNSET else queue_depth
+            self._validate(new_batch, new_wait, new_depth)  # type: ignore[arg-type]
             self.max_batch_size = new_batch  # type: ignore[assignment]
             self.max_wait = new_wait  # type: ignore[assignment]
             self.queue_depth = new_depth  # type: ignore[assignment]
@@ -386,7 +395,7 @@ class RequestScheduler:
             # been answered meanwhile — _try_admit re-checks every tier).
             self._drain_once()
 
-    def _try_admit(self, key: RequestKey, count: bool) -> "Future[str] | None":
+    def _try_admit(self, key: RequestKey, count: bool) -> "Future[str] | None":  # holds: _lock
         """One admission attempt under the lock; ``None`` means "queue full"."""
         if count:
             self.scheduler_stats.n_submitted += 1
@@ -396,7 +405,14 @@ class RequestScheduler:
                 self.stats.record_hit()
                 return _resolved(cached)
             if self.store is not None:
-                stored = self.store.get(key[0], key[1])
+                # Allowlisted store read under the lock: admission must check
+                # cache -> store -> in-flight -> enqueue atomically, or two
+                # threads could both miss and enqueue the same key.  It is a
+                # single indexed point-read (bounded by the store's own lock
+                # and busy timeout), unlike a model call; the slow half of the
+                # pipeline -- generation -- already runs outside the lock, and
+                # the write-back side was moved out of it too (see _settle).
+                stored = self.store.get(key[0], key[1])  # repro-lint: disable=lock-io-held
                 if stored is not None:
                     self._cache_put(key, stored)
                     self.stats.record_store_hit()
@@ -456,7 +472,7 @@ class RequestScheduler:
         self._generate(batch)
         return True
 
-    def _take_batch(self, batch_limit: int | None) -> list[_Request]:
+    def _take_batch(self, batch_limit: int | None) -> list[_Request]:  # holds: _lock
         """Select the next microbatch (lock held).
 
         A leader lingers up to ``max_wait`` for the queue to reach the batch
@@ -468,6 +484,10 @@ class RequestScheduler:
             return []
         if self.max_wait > 0 and (limit is None or len(self._queue) < limit):
             deadline = time.monotonic() + self.max_wait
+            # Spurious-wakeup safe: the predicate (queue non-empty, cap not
+            # reached) is re-evaluated at the top of every iteration, and the
+            # timeout is recomputed against a monotonic deadline, so a wakeup
+            # with nothing new simply waits out the remaining linger.
             while self._queue and (limit is None or len(self._queue) < limit):
                 remaining = deadline - time.monotonic()
                 if remaining <= 0 or not self._arrived.wait(remaining):
@@ -514,6 +534,7 @@ class RequestScheduler:
         """Account, cache and resolve (or fail) a generated batch."""
         submitters: set[int] = set()
         coalesced = False
+        writes: list[tuple[_Request, str]] = []
         with self._lock:
             for request in batch:
                 submitters |= request.submitters
@@ -526,12 +547,24 @@ class RequestScheduler:
                     if self.cache_size > 0:
                         self._cache_put(request.key, response)
                         if self.store is not None:
-                            self.store.put(request.prompt, request.params, response)
+                            writes.append((request, response))
                 self.stats.n_batches += 1
                 self.scheduler_stats.record_batch(
                     len(batch), len(submitters), coalesced
                 )
             self._space.notify_all()
+        # Store write-through happens OUTSIDE the scheduler lock: a SQLite
+        # write can stall on another process's transaction for up to the busy
+        # timeout, and holding the lock across that would freeze every
+        # submitter.  Safe because the LRU entry (written under the lock
+        # above) already answers concurrent lookups for these keys, and the
+        # store is append-only first-write-wins, so late or racing writes are
+        # idempotent.  Writes land before the futures resolve, keeping the
+        # ordering guarantee that a caller observing a completion can count
+        # on it being durable.
+        if self.store is not None:
+            for request, response in writes:
+                self.store.put(request.prompt, request.params, response)
         # Futures settle outside the lock: waiters wake straight into
         # result()/submit() without contending on the scheduler lock.
         for index, request in enumerate(batch):
@@ -585,12 +618,10 @@ class RequestScheduler:
                 future = self.submit(prompt, params, on_full="drain")
                 futures[index] = future
                 own.append(future)
-            try:
+            # Failures travel on the shared futures; the gather below
+            # re-raises them in the calling thread.
+            with suppress(Exception):
                 self.wait(own, batch_limit)
-            except Exception:
-                # Failures travel on the shared futures; the gather below
-                # re-raises them in the calling thread.
-                pass
 
         threads = [
             threading.Thread(target=drive, args=(indices,), name=f"submitter-{i}")
@@ -603,13 +634,13 @@ class RequestScheduler:
         return [future.result() for future in futures]  # type: ignore[union-attr]
 
     # -------------------------------------------------------------- caching
-    def _cache_get(self, key: RequestKey) -> str | None:
+    def _cache_get(self, key: RequestKey) -> str | None:  # holds: _lock
         if key not in self._cache:
             return None
         self._cache.move_to_end(key)
         return self._cache[key]
 
-    def _cache_put(self, key: RequestKey, response: str) -> None:
+    def _cache_put(self, key: RequestKey, response: str) -> None:  # holds: _lock
         self._cache[key] = response
         self._cache.move_to_end(key)
         while len(self._cache) > self.cache_size:

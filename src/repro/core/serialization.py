@@ -258,7 +258,7 @@ class PromptSerializer:
         exists so the Table 1 cost comparison can quantify how much more
         expensive table-at-once prompts are.
         """
-        pieces = []
+        pieces: list[str] = []
         for index, values in enumerate(columns):
             pieces.append(f"column {index}: " + join_context(values))
         return self.serialize(pieces, label_set)

@@ -430,11 +430,14 @@ def _product_score(value: str) -> float:
         return 1.0
     stripped = value.strip()
     # Model-number style: letters and digits mixed, short.
-    if (len(stripped) <= 20 and any(c.isdigit() for c in stripped)
-            and any(c.isalpha() for c in stripped)
-            and "-" in stripped or stripped.isupper()):
-        if any(c.isdigit() for c in stripped) and len(stripped.split()) <= 3:
-            return 0.45
+    if (
+        (len(stripped) <= 20 and any(c.isdigit() for c in stripped)
+         and any(c.isalpha() for c in stripped)
+         and "-" in stripped or stripped.isupper())
+        and any(c.isdigit() for c in stripped)
+        and len(stripped.split()) <= 3
+    ):
+        return 0.45
     return 0.0
 
 

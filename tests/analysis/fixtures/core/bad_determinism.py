@@ -1,0 +1,38 @@
+"""Known-bad fixture: every determinism rule fires in this file."""
+
+import random
+import time
+import uuid
+
+
+def wallclock_stamp():
+    # det-wallclock: current-time read in deterministic code.
+    return time.time()
+
+
+def global_rng_draw():
+    # det-unseeded-rng: hidden module-level RNG state.
+    return random.random()
+
+
+def entropy_identifier():
+    # det-unseeded-rng: OS entropy.
+    return uuid.uuid4().hex
+
+
+def unseeded_instance():
+    # det-unseeded-rng: Random() without the configured seed.
+    return random.Random()
+
+
+def hash_order_leak(items):
+    out = []
+    # det-set-iter: per-process hash order escapes into the output.
+    for item in {value for value in items}:
+        out.append(item)
+    return out
+
+
+def joined_set(items):
+    # det-set-iter: str.join over a set literal.
+    return ",".join({str(item) for item in items})

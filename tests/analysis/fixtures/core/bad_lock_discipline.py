@@ -1,0 +1,42 @@
+"""Known-bad fixture: every lock-discipline rule fires in this file.
+
+The ``core`` directory segment in this fixture's path is what opts it into
+the scoped checkers; the ``fixtures`` segment keeps it out of real scans.
+"""
+
+import threading
+
+
+class BadScheduler:
+    def __init__(self, model, store):
+        self._lock = threading.Lock()
+        self._arrived = threading.Condition(self._lock)
+        self._queue = []  # guarded-by: _lock
+        self.model = model
+        self.store = store
+
+    def _drain(self):  # holds: _lock
+        return list(self._queue)
+
+    def unguarded_access(self):
+        # lock-guarded-attr: reads self._queue without holding self._lock.
+        return len(self._queue)
+
+    def missing_precondition(self):
+        # lock-holds-caller: _drain requires the lock held on entry.
+        return self._drain()
+
+    def bare_wait(self):
+        with self._lock:
+            # lock-wait-while: no predicate loop around the wait.
+            self._arrived.wait(0.1)
+
+    def model_io_under_lock(self, prompt):
+        with self._lock:
+            # lock-io-held: generation latency extends the lock hold.
+            return self.model.generate(prompt)
+
+    def store_io_under_lock(self, prompt, params):
+        with self._arrived:
+            # lock-io-held via the condition alias of the same lock.
+            self.store.put(prompt, params, "response")

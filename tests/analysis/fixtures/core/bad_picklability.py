@@ -1,0 +1,28 @@
+"""Known-bad fixture: every picklability rule fires in this file."""
+
+import pickle
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+
+def ship_lambda(pool: ProcessPoolExecutor):
+    # pickle-submit: lambdas cannot cross the process boundary.
+    return pool.submit(lambda: 1)
+
+
+def ship_closure(pool: ProcessPoolExecutor, payload):
+    def worker():
+        return payload
+
+    # pickle-submit: nested functions cannot be pickled either.
+    return pool.submit(worker)
+
+
+def ship_initializer(pool_cls):
+    # pickle-submit: the initializer also crosses the boundary.
+    return pool_cls(max_workers=2, initializer=lambda: None)
+
+
+def bad_spec(path):
+    # pickle-spec: a lock and an open handle inside the pickled payload.
+    return pickle.dumps({"lock": threading.Lock(), "handle": open(path)})

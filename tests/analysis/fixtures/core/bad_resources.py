@@ -1,0 +1,20 @@
+"""Known-bad fixture: the resource-hygiene rule fires in this file."""
+
+import sqlite3
+
+
+class NoCloseOwner:
+    def __init__(self, path):
+        # res-handle: stored on self, but the class defines no close().
+        self.conn = sqlite3.connect(path)
+
+
+def leaked_connection(path):
+    # res-handle: never closed, never returned, never escapes.
+    conn = sqlite3.connect(path)
+    return conn.execute("SELECT 1").fetchone()
+
+
+def discarded_handle(path):
+    # res-handle: the descriptor is discarded immediately.
+    open(path).read()

@@ -1,0 +1,4 @@
+"""Fixture that does not parse: the runner must report it, not crash."""
+
+def broken(:
+    pass

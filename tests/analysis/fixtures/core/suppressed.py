@@ -1,0 +1,12 @@
+"""Fixture for suppression handling: one silenced site, one live one."""
+
+import time
+
+
+def allowlisted_stamp():
+    # Explained allowlist entry: this fixture models store-style metadata.
+    return time.time()  # repro-lint: disable=det-wallclock
+
+
+def live_stamp():
+    return time.time_ns()

@@ -1,0 +1,164 @@
+"""Self-tests for the TSan-lite lockcheck plugin.
+
+This module's stem is *not* in ``INSTRUMENTED_MODULES``, so the plugin does
+not auto-activate here; the tests drive the instrumentation directly and
+inject the very bugs it exists to catch: a deliberate lock-order inversion
+and a guarded-attribute mutation without the lock.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+import lockcheck
+from lockcheck import InstrumentedLock, LockOrderViolation, LockRegistry
+from repro.core.scheduler import RequestScheduler
+from repro.llm.base import GenerationParams, LanguageModel
+
+
+class EchoModel(LanguageModel):
+    name = "echo"
+    context_window = 128
+
+    def generate(self, prompt: str, params: GenerationParams | None = None) -> str:
+        return f"ans:{prompt}"
+
+
+@pytest.fixture()
+def instrumented():
+    """Activate lockcheck for one test, always restoring the real Lock."""
+    registry = lockcheck.activate()
+    try:
+        yield registry
+    finally:
+        lockcheck.deactivate()
+
+
+class TestLockOrderGraph:
+    def test_deliberate_inversion_is_detected(self):
+        registry = LockRegistry()
+        a = InstrumentedLock(registry, name="A")
+        b = InstrumentedLock(registry, name="B")
+        # Establish the order A -> B...
+        with a, b:
+            pass
+        # ...then deliberately invert it.
+        with b, a:
+            pass
+        assert len(registry.violations) == 1
+        assert "inversion" in registry.violations[0]
+        assert "A" in registry.violations[0] and "B" in registry.violations[0]
+
+    def test_consistent_order_is_clean(self):
+        registry = LockRegistry()
+        a = InstrumentedLock(registry, name="A")
+        b = InstrumentedLock(registry, name="B")
+        for _ in range(3):
+            with a, b:
+                pass
+        assert registry.violations == []
+
+    def test_cross_thread_inversion_is_detected(self):
+        registry = LockRegistry()
+        a = InstrumentedLock(registry, name="A")
+        b = InstrumentedLock(registry, name="B")
+
+        def establish() -> None:
+            with a, b:
+                pass
+
+        worker = threading.Thread(target=establish)
+        worker.start()
+        worker.join(timeout=5.0)
+        with b, a:  # inverted relative to the worker's order
+            pass
+        assert len(registry.violations) == 1
+
+    def test_reacquire_after_release_is_not_an_edge(self):
+        registry = LockRegistry()
+        a = InstrumentedLock(registry, name="A")
+        b = InstrumentedLock(registry, name="B")
+        with a:
+            pass
+        with b:
+            pass
+        with b:
+            pass
+        assert registry.edges == {} and registry.violations == []
+
+
+class TestActivation:
+    def test_activate_patches_and_deactivate_restores(self):
+        real_factory = threading.Lock
+        registry = lockcheck.activate()
+        try:
+            patched = threading.Lock()
+            assert isinstance(patched, InstrumentedLock)
+            with patched:
+                assert registry.holds(patched)
+            assert not registry.holds(patched)
+        finally:
+            violations = lockcheck.deactivate()
+        assert threading.Lock is real_factory
+        assert violations == []
+        assert isinstance(threading.Lock(), type(real_factory()))
+
+    def test_double_activation_is_rejected(self):
+        lockcheck.activate()
+        try:
+            with pytest.raises(RuntimeError, match="already active"):
+                lockcheck.activate()
+        finally:
+            lockcheck.deactivate()
+
+    def test_condition_wait_routes_through_the_wrapped_lock(self, instrumented):
+        lock = threading.Lock()
+        condition = threading.Condition(lock)
+        with condition:
+            assert instrumented.holds(lock)
+            condition.wait(timeout=0.01)  # release/reacquire inside wait
+            assert instrumented.holds(lock)
+        assert not instrumented.holds(lock)
+        assert instrumented.violations == []
+
+
+class TestGuardedAttributes:
+    def test_mutation_without_lock_raises(self, instrumented):
+        scheduler = RequestScheduler(model=EchoModel())
+        with pytest.raises(LockOrderViolation, match="guarded attribute"):
+            scheduler.max_wait = 1.0
+
+    def test_mutation_under_lock_is_allowed(self, instrumented):
+        scheduler = RequestScheduler(model=EchoModel())
+        with scheduler._lock:
+            scheduler.max_wait = 1.0
+        assert scheduler.max_wait == 1.0
+
+    def test_configure_is_the_sanctioned_path(self, instrumented):
+        scheduler = RequestScheduler(model=EchoModel())
+        scheduler.configure(max_wait=0.125, max_batch_size=4)
+        assert scheduler.max_wait == 0.125
+        assert scheduler.max_batch_size == 4
+
+    def test_unguarded_attributes_stay_writable(self, instrumented):
+        scheduler = RequestScheduler(model=EchoModel())
+        scheduler.cache_size = 16  # not annotated: no lock required
+        assert scheduler.cache_size == 16
+
+    def test_scheduler_still_answers_under_instrumentation(self, instrumented):
+        scheduler = RequestScheduler(model=EchoModel())
+        future = scheduler.submit("p")
+        scheduler._drain_once()
+        assert future.result(timeout=5.0) == "ans:p"
+        assert instrumented.violations == []
+
+    def test_layout_harvest_matches_scheduler_annotations(self):
+        layout = lockcheck._guarded_layout(RequestScheduler)
+        assert layout.locks == {"_lock"}
+        assert layout.conditions == {"_space": "_lock", "_arrived": "_lock"}
+        assert set(layout.guarded) >= {
+            "max_batch_size", "max_wait", "queue_depth",
+            "_queue", "_inflight", "_cache", "_clones",
+        }

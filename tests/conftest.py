@@ -1,6 +1,15 @@
-"""Shared fixtures: small cached benchmarks and models for fast tests."""
+"""Shared fixtures: small cached benchmarks and models for fast tests.
+
+Also registers the TSan-lite lockcheck plugin (``tests/plugins/lockcheck``),
+which instruments ``threading.Lock`` during the scheduler/store test modules
+and fails tests on lock-order inversions or guarded-attribute breaches.
+"""
 
 from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -8,6 +17,20 @@ import pytest
 from repro.core.table import Column, Table
 from repro.datasets.registry import load_benchmark
 from repro.llm.registry import get_model
+
+# tests/ is not an importable package (importlib test mode, src-only
+# pythonpath), so the plugin module is loaded from its file path and
+# published under a stable name for the self-tests to import.
+_LOCKCHECK_PATH = Path(__file__).parent / "plugins" / "lockcheck.py"
+_spec = importlib.util.spec_from_file_location("lockcheck", _LOCKCHECK_PATH)
+assert _spec is not None and _spec.loader is not None
+lockcheck = importlib.util.module_from_spec(_spec)
+sys.modules.setdefault("lockcheck", lockcheck)
+_spec.loader.exec_module(lockcheck)
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    config.pluginmanager.register(lockcheck.LockCheckPlugin(), "lockcheck")
 
 
 @pytest.fixture(scope="session")

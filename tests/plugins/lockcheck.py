@@ -1,0 +1,257 @@
+"""TSan-lite runtime lock checker for the scheduler/store test modules.
+
+The static lock-discipline checker (``repro lint``) proves what it can see
+lexically; this pytest plugin watches the locks *run*.  While a test from an
+instrumented module executes:
+
+* ``threading.Lock`` is swapped for :class:`InstrumentedLock`, which records
+  a per-thread held-lock stack and a global acquisition-order graph.
+  Acquiring ``B`` while holding ``A`` when some thread previously acquired
+  ``A`` while holding ``B`` is a **lock-order inversion** — the classic
+  deadlock shape — and fails the test at teardown even though the schedule
+  that would actually deadlock was not hit.
+* ``RequestScheduler``'s ``# guarded-by: _lock`` attributes (harvested from
+  the same source annotations the static checker reads, so the two can
+  never drift apart) are watched at ``__setattr__`` time: rebinding one
+  after ``__init__`` without holding the lock raises immediately.
+
+``threading.Condition`` needs no separate wrapper: a condition built around
+an instrumented lock routes every acquire/release (including the
+release/reacquire inside ``wait``) through the wrapper.  Standalone
+conditions own a private RLock and are not tracked.
+
+The plugin instruments the modules in :data:`INSTRUMENTED_MODULES`
+automatically; the self-tests drive :func:`activate`/:func:`deactivate`
+directly and inject a deliberate inversion to prove detection works.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import threading
+from pathlib import Path
+from typing import Callable
+
+#: Test-file stems whose tests run with instrumentation switched on.
+INSTRUMENTED_MODULES = frozenset(
+    {"test_scheduler", "test_store", "test_querying_store"}
+)
+
+
+class LockOrderViolation(AssertionError):
+    """A lock-order inversion or guarded-attribute breach was observed."""
+
+
+class LockRegistry:
+    """Acquisition-order graph plus per-thread held stacks."""
+
+    def __init__(self) -> None:
+        self._graph_lock = threading.Lock()
+        #: (id(first), id(second)) -> (first.name, second.name); the edge
+        #: means "second was acquired while first was held".
+        self.edges: dict[tuple[int, int], tuple[str, str]] = {}
+        self.violations: list[str] = []
+        self._local = threading.local()
+
+    def _stack(self) -> list["InstrumentedLock"]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def holds(self, lock: "InstrumentedLock") -> bool:
+        return lock in self._stack()
+
+    def on_acquire(self, lock: "InstrumentedLock") -> None:
+        stack = self._stack()
+        with self._graph_lock:
+            for holder in stack:
+                if holder is lock:
+                    continue
+                edge = (id(holder), id(lock))
+                inverse = (id(lock), id(holder))
+                if inverse in self.edges and edge not in self.edges:
+                    first, second = self.edges[inverse]
+                    self.violations.append(
+                        f"lock-order inversion: acquiring {lock.name} while "
+                        f"holding {holder.name}, but {second} was previously "
+                        f"acquired while holding {first} — the two orders "
+                        "can deadlock"
+                    )
+                self.edges[edge] = (holder.name, lock.name)
+        stack.append(lock)
+
+    def on_release(self, lock: "InstrumentedLock") -> None:
+        stack = self._stack()
+        if lock in stack:
+            stack.remove(lock)
+
+
+class InstrumentedLock:
+    """API-compatible ``threading.Lock`` wrapper feeding a registry."""
+
+    def __init__(self, registry: LockRegistry, name: str = "lock") -> None:
+        self._inner = _REAL_LOCK()
+        self._registry = registry
+        self.name = name
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            self._registry.on_acquire(self)
+        return acquired
+
+    def release(self) -> None:
+        self._registry.on_release(self)
+        self._inner.release()
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<InstrumentedLock {self.name} locked={self.locked()}>"
+
+
+#: The real factory, captured at import time so patching cannot recurse.
+_REAL_LOCK = threading.Lock
+
+
+def _creation_site() -> str:
+    """``file.py:lineno`` of the frame that called ``threading.Lock()``."""
+    frame = inspect.currentframe()
+    try:
+        caller = frame.f_back.f_back if frame and frame.f_back else None
+        if caller is None:  # pragma: no cover - interpreter-dependent
+            return "lock"
+        return f"{Path(caller.f_code.co_filename).name}:{caller.f_lineno}"
+    finally:
+        del frame
+
+
+def _guarded_layout(cls: type):
+    """Harvest the ``# guarded-by:`` layout of ``cls`` from its source.
+
+    Reuses the static checker's parser so the runtime guard and the lint
+    rule read the identical annotations.
+    """
+    from repro.analysis.base import SourceFile
+    from repro.analysis.checkers.lock_discipline import _harvest
+
+    path = inspect.getsourcefile(cls)
+    assert path is not None
+    text = Path(path).read_text(encoding="utf-8")
+    source = SourceFile.read(path, text)
+    for node in ast.walk(ast.parse(text)):
+        if isinstance(node, ast.ClassDef) and node.name == cls.__name__:
+            return _harvest(node, source)
+    raise LookupError(f"class {cls.__name__} not found in {path}")
+
+
+class _Instrumentation:
+    """One activation: the patched factory plus the guarded-attr hooks."""
+
+    def __init__(self, registry: LockRegistry) -> None:
+        self.registry = registry
+        self._undo: list[Callable[[], None]] = []
+
+    def install(self) -> None:
+        registry = self.registry
+
+        def lock_factory() -> InstrumentedLock:
+            return InstrumentedLock(registry, name=_creation_site())
+
+        threading.Lock = lock_factory  # type: ignore[misc]
+        self._undo.append(lambda: setattr(threading, "Lock", _REAL_LOCK))
+        self._guard_scheduler()
+
+    def uninstall(self) -> None:
+        while self._undo:
+            self._undo.pop()()
+
+    def _guard_scheduler(self) -> None:
+        from repro.core.scheduler import RequestScheduler
+
+        layout = _guarded_layout(RequestScheduler)
+        registry = self.registry
+        original_setattr = RequestScheduler.__setattr__
+        original_init = RequestScheduler.__init__
+
+        def guarded_setattr(self, name, value):
+            lock_attr = layout.guarded.get(name)
+            if lock_attr is not None and self.__dict__.get("_lockcheck_ready"):
+                lock = getattr(self, layout.base(lock_attr), None)
+                if isinstance(lock, InstrumentedLock) and not registry.holds(lock):
+                    raise LockOrderViolation(
+                        f"guarded attribute '{name}' rebound without "
+                        f"holding '{layout.base(lock_attr)}' "
+                        "(# guarded-by annotation in __init__)"
+                    )
+            original_setattr(self, name, value)
+
+        def guarded_init(self, *args, **kwargs):
+            original_init(self, *args, **kwargs)
+            self.__dict__["_lockcheck_ready"] = True
+
+        RequestScheduler.__setattr__ = guarded_setattr  # type: ignore[method-assign]
+        RequestScheduler.__init__ = guarded_init  # type: ignore[method-assign]
+        self._undo.append(
+            lambda: setattr(RequestScheduler, "__setattr__", original_setattr)
+        )
+        self._undo.append(
+            lambda: setattr(RequestScheduler, "__init__", original_init)
+        )
+
+
+_ACTIVE: _Instrumentation | None = None
+
+
+def activate(registry: LockRegistry | None = None) -> LockRegistry:
+    """Switch instrumentation on; returns the registry collecting events."""
+    global _ACTIVE
+    if _ACTIVE is not None:
+        raise RuntimeError("lockcheck is already active")
+    instrumentation = _Instrumentation(registry or LockRegistry())
+    instrumentation.install()
+    _ACTIVE = instrumentation
+    return instrumentation.registry
+
+
+def deactivate() -> list[str]:
+    """Switch instrumentation off; returns the recorded violations."""
+    global _ACTIVE
+    if _ACTIVE is None:
+        return []
+    violations = list(_ACTIVE.registry.violations)
+    _ACTIVE.uninstall()
+    _ACTIVE = None
+    return violations
+
+
+class LockCheckPlugin:
+    """pytest hooks: instrument the scheduler/store test modules."""
+
+    def _applies(self, item) -> bool:
+        path = getattr(item, "path", None)
+        return path is not None and path.stem in INSTRUMENTED_MODULES
+
+    def pytest_runtest_setup(self, item) -> None:
+        if self._applies(item):
+            activate()
+
+    def pytest_runtest_teardown(self, item) -> None:
+        if self._applies(item):
+            violations = deactivate()
+            if violations:
+                raise LockOrderViolation(
+                    "lockcheck observed {} violation(s):\n  {}".format(
+                        len(violations), "\n  ".join(violations)
+                    )
+                )
