@@ -29,6 +29,12 @@ Rules:
     hold times must be bounded by memory operations, never by model or disk
     latency; the caller-as-leader drain in ``scheduler.py`` is the motivating
     hazard.
+``lock-await-held``
+    ``await`` while a lock is held.  An ``await`` suspends the coroutine
+    mid-critical-section for an unbounded time — with a *threading* lock
+    that stalls every thread contending for it (and deadlocks outright if
+    the awaited work needs the same lock); the asyncio/scheduler bridge in
+    the service layer is the motivating hazard.
 
 The analysis is lexical and per-class: it tracks ``with self.<lock>`` blocks
 inside each method body (nested functions conservatively start with no locks
@@ -137,6 +143,7 @@ class LockDisciplineChecker(Checker):
         "lock-holds-caller",
         "lock-wait-while",
         "lock-io-held",
+        "lock-await-held",
     )
 
     def check(self, tree: ast.Module, source: SourceFile) -> Iterator[Finding]:
@@ -210,6 +217,20 @@ class _MethodWalker:
             # A nested callable may run later, on any thread: assume no lock.
             body = node.body if isinstance(node.body, list) else [node.body]
             self.walk_body(body, frozenset(), in_while=False)
+            return
+        if isinstance(node, ast.Await):
+            # lock-await-held: suspending a coroutine mid-critical-section
+            # parks the lock for as long as the awaited work takes.
+            if held:
+                self._finding(
+                    "lock-await-held",
+                    node,
+                    f"'await' while holding {sorted(held)}: the coroutine "
+                    "suspends mid-critical-section and the lock stays held "
+                    "for the awaited work's full duration (resolve the "
+                    "future outside the lock instead)",
+                )
+            self.walk(node.value, held, in_while)
             return
         if isinstance(node, ast.Call):
             self._check_call(node, held, in_while)

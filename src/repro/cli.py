@@ -1,6 +1,6 @@
 """Command-line interface for the ArcheType reproduction.
 
-Three subcommands cover the common workflows:
+Five subcommands cover the common workflows:
 
 ``annotate``
     Annotate the columns of a CSV file against a user-supplied label set::
@@ -18,7 +18,16 @@ Three subcommands cover the common workflows:
 
         python -m repro.cli suite --quick --jobs 2 --cache-dir suite-cache
 
-All subcommands print plain-text tables; ``--help`` lists every option.
+``serve``
+    Expose the annotator as an HTTP service (shared scheduler, cross-request
+    batching, per-tenant rate limits, graceful drain on SIGTERM)::
+
+        python -m repro.cli serve --port 8080 --labels state,person,url
+
+``lint``
+    Run repro-lint, the project-specific static analysis.
+
+All subcommands print plain text; ``--help`` lists every option.
 """
 
 from __future__ import annotations
@@ -238,6 +247,39 @@ def _suite_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_command(args: argparse.Namespace) -> int:
+    # Imported lazily: the service package is only needed by this subcommand.
+    from repro.service import ServiceConfig
+    from repro.service.server import run as run_service
+
+    labels: tuple[str, ...] = ()
+    if args.labels:
+        labels = tuple(
+            label.strip() for label in args.labels.split(",") if label.strip()
+        )
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        model=args.model,
+        label_set=labels,
+        sample_size=args.samples,
+        seed=args.seed,
+        model_latency=args.model_latency,
+        max_batch_size=args.max_batch_size,
+        max_batch_wait=args.max_batch_wait,
+        queue_depth=args.queue_depth,
+        drainers=args.drainers,
+        workers=args.workers,
+        store=args.store,
+        cache_dir=args.cache_dir,
+        max_pending=args.max_pending,
+        tenant_rate=args.tenant_rate,
+        tenant_burst=args.tenant_burst,
+        drain_timeout=args.drain_timeout,
+    )
+    return run_service(config)
+
+
 def _batch_size(value: str) -> int:
     parsed = int(value)
     if parsed < 0:
@@ -399,6 +441,64 @@ def build_parser() -> argparse.ArgumentParser:
     suite.add_argument("--list", action="store_true",
                        help="list the selected experiments and exit")
     suite.set_defaults(func=_suite_command)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="expose the annotator as an HTTP service: one shared "
+             "scheduler/cache across clients, cross-request microbatching, "
+             "per-tenant rate limits, graceful drain on SIGTERM",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="TCP port; 0 picks an ephemeral port and prints "
+                            "it in the 'listening on ...' line")
+    serve.add_argument("--model", default="gpt",
+                       help=f"model name or alias (built-ins: "
+                            f"{', '.join(sorted(list_models()))})")
+    serve.add_argument("--labels", default=None,
+                       help="comma-separated default label set; requests "
+                            "without their own 'label_set' use it (omit to "
+                            "make 'label_set' mandatory per request)")
+    serve.add_argument("--samples", type=_positive_int, default=5,
+                       help="default context samples per column")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="default annotation seed")
+    serve.add_argument("--model-latency", type=_nonnegative_float, default=0.0,
+                       help="simulated model round-trip latency in seconds "
+                            "(simulated backends only; makes load tests "
+                            "deployment-shaped)")
+    serve.add_argument("--max-batch-size", type=_positive_int, default=16,
+                       help="per-drain cap on scheduler microbatches "
+                            "(default 16)")
+    serve.add_argument("--max-batch-wait", type=_nonnegative_float,
+                       default=0.005,
+                       help="seconds a drain leader lingers for stragglers — "
+                            "the knob that coalesces concurrent requests "
+                            "into cross-request batches (default 0.005)")
+    serve.add_argument("--queue-depth", type=_positive_int, default=1024,
+                       help="bound on the scheduler's admission queue "
+                            "(default 1024)")
+    serve.add_argument("--workers", type=_positive_int, default=8,
+                       help="annotation worker threads (default 8)")
+    serve.add_argument("--drainers", type=_positive_int, default=1,
+                       help="background scheduler drain threads (default 1)")
+    serve.add_argument("--max-pending", type=_positive_int, default=64,
+                       help="bound on concurrently admitted requests; "
+                            "overflow is refused with 429 + Retry-After "
+                            "(default 64)")
+    serve.add_argument("--tenant-rate", type=_nonnegative_float, default=0.0,
+                       help="sustained per-tenant requests/second (X-Tenant "
+                            "header selects the bucket; default 0 = off)")
+    serve.add_argument("--tenant-burst", type=_positive_int, default=8,
+                       help="burst capacity of each tenant's token bucket "
+                            "(default 8)")
+    serve.add_argument("--drain-timeout", type=_nonnegative_float,
+                       default=10.0,
+                       help="seconds a SIGTERM drain waits for in-flight "
+                            "requests before tearing down (default 10)")
+    _add_persistence_arguments(serve)
+    serve.set_defaults(func=_serve_command)
 
     lint = subparsers.add_parser(
         "lint",

@@ -140,9 +140,22 @@ class ArcheTypeConfig:
 
 
 class ArcheType:
-    """Four-stage LLM column type annotator (Figure 1)."""
+    """Four-stage LLM column type annotator (Figure 1).
 
-    def __init__(self, config: ArcheTypeConfig) -> None:
+    ``engine`` injects a shared :class:`QueryEngine` instead of building a
+    private one: the annotation service constructs one engine (one scheduler,
+    one LRU cache, one store tier, one stats ledger) at startup and a cheap
+    fresh annotator per request over it, so concurrent requests coalesce into
+    cross-request model batches and dedup through the shared tiers while each
+    request keeps its own planner RNG — labels stay bit-identical to a
+    sequential run regardless of concurrency.  With ``engine`` given, the
+    annotator uses the engine's model and generation parameters; the config's
+    ``model``/``generation`` and scheduler knobs are ignored.
+    """
+
+    def __init__(
+        self, config: ArcheTypeConfig, *, engine: QueryEngine | None = None
+    ) -> None:
         if not config.label_set:
             raise ConfigurationError("ArcheTypeConfig.label_set must be non-empty")
         if config.sample_size <= 0:
@@ -150,7 +163,10 @@ class ArcheType:
         self.config = config
         self.label_set = list(config.label_set)
 
-        model = config.model
+        if engine is not None:
+            model: LanguageModel | str = engine.model
+        else:
+            model = config.model
         if isinstance(model, str):
             model = get_model(model, seed=config.seed)
         self.model: LanguageModel = model
@@ -171,14 +187,17 @@ class ArcheType:
             self.remapper = get_remapper(config.remapper, k=config.resample_k)
         else:
             self.remapper = get_remapper(config.remapper)
-        self.engine = QueryEngine(
-            model=self.model,
-            params=config.generation,
-            cache_size=config.query_cache_size,
-            max_batch_size=config.max_batch_size,
-            max_batch_wait=config.max_batch_wait,
-            queue_depth=config.queue_depth,
-        )
+        if engine is not None:
+            self.engine = engine
+        else:
+            self.engine = QueryEngine(
+                model=self.model,
+                params=config.generation,
+                cache_size=config.query_cache_size,
+                max_batch_size=config.max_batch_size,
+                max_batch_wait=config.max_batch_wait,
+                queue_depth=config.queue_depth,
+            )
         self.stats = PipelineStats()
         self.planner = ColumnPlanner(
             sampler=self.sampler,

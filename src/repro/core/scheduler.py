@@ -36,6 +36,16 @@ keep submitting, so the next leader drains a larger, cross-request batch.
 This is the same shape inference-serving stacks use, GIL-friendly and safe to
 re-enter (a remap-stage requery submits and waits like any other caller).
 
+The one caller that *cannot* drain is an asyncio event loop: awaiting a
+future must never run model generation on the loop thread.  For that mode the
+scheduler grows an opt-in background-drainer pool (:meth:`RequestScheduler.
+start_drainers`) plus an async-friendly admission path — ``submit(...,
+on_full="fail")`` raises :class:`~repro.exceptions.SchedulerSaturatedError`
+instead of blocking on a full queue, and :meth:`RequestScheduler.submit_async`
+wraps the admitted future for ``await``.  Drainers and waiting callers
+cooperate through the same leader election: whoever takes the lock first
+drains the next microbatch.
+
 Purity contract: caching, the store tier and in-flight coalescing are sound
 only for backends that are pure functions of ``(prompt, params)`` — true of
 every bundled backend.  ``cache_size=0`` is the stateful-model escape hatch:
@@ -50,6 +60,7 @@ artifacts and benchmark reports.
 
 from __future__ import annotations
 
+import asyncio
 import threading
 import time
 from collections import OrderedDict, deque
@@ -58,7 +69,7 @@ from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Mapping, Sequence
 
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, SchedulerSaturatedError
 from repro.llm.base import GenerationParams, LanguageModel
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
@@ -319,6 +330,8 @@ class RequestScheduler:
         self._inflight: dict[RequestKey, _Request] = {}  # guarded-by: _lock
         self._cache: "OrderedDict[RequestKey, str]" = OrderedDict()  # guarded-by: _lock
         self._clones: list[LanguageModel] = []  # guarded-by: _lock
+        self._drainers: list[threading.Thread] = []  # guarded-by: _lock
+        self._drain_stop = False  # guarded-by: _lock
 
     @staticmethod
     def _validate(
@@ -370,14 +383,17 @@ class RequestScheduler:
         shared with an identical pending request when one is in flight, and
         otherwise backed by a fresh admission-queue entry.  When the queue is
         full, ``on_full`` selects the backpressure behaviour: ``"block"``
-        waits for a drain to free space (the service semantic — submitters
-        are never dropped), ``"drain"`` makes the submitting thread drain a
-        batch itself and retry (the deadlock-free semantic for callers that
-        submit many requests before awaiting any).
+        waits for a drain to free space (submitters are never dropped),
+        ``"drain"`` makes the submitting thread drain a batch itself and
+        retry (the deadlock-free semantic for callers that submit many
+        requests before awaiting any), and ``"fail"`` raises
+        :class:`~repro.exceptions.SchedulerSaturatedError` immediately (the
+        load-shedding semantic for callers — an event loop, a service
+        front end — that must not wait at all).
         """
-        if on_full not in ("block", "drain"):
+        if on_full not in ("block", "drain", "fail"):
             raise ConfigurationError(
-                f"on_full must be 'block' or 'drain', got {on_full!r}"
+                f"on_full must be 'block', 'drain' or 'fail', got {on_full!r}"
             )
         key = (prompt, params if params is not None else self.params)
         first_attempt = True
@@ -387,6 +403,11 @@ class RequestScheduler:
                 first_attempt = False
                 if future is not None:
                     return future
+                if on_full == "fail":
+                    raise SchedulerSaturatedError(
+                        f"admission queue is full ({self.queue_depth} pending "
+                        "requests); retry after a drain frees space"
+                    )
                 if on_full == "block":
                     self._space.wait()
                     continue
@@ -582,6 +603,84 @@ class RequestScheduler:
     def _release_clone(self, clone: LanguageModel) -> None:
         with self._lock:
             self._clones.append(clone)
+
+    def submit_async(
+        self,
+        prompt: str,
+        params: GenerationParams | None = None,
+    ) -> "asyncio.Future[str]":
+        """Admit one request from an asyncio event loop and return an awaitable.
+
+        A thin wrapper over :meth:`submit` that binds the admitted future to
+        the running loop via :func:`asyncio.wrap_future`.  Admission uses
+        ``on_full="fail"`` unconditionally — an event-loop caller must never
+        sleep on the scheduler's backpressure, so a full queue raises
+        :class:`~repro.exceptions.SchedulerSaturatedError` for the serving
+        layer to convert into 429 + Retry-After.  Requires background
+        drainers (:meth:`start_drainers`) or concurrently waiting threads:
+        the awaiting coroutine never drains the queue itself, so without a
+        drain leader an admitted miss would pend forever.
+        """
+        return asyncio.wrap_future(self.submit(prompt, params, on_full="fail"))
+
+    # ------------------------------------------------------------- drainers
+    def start_drainers(self, count: int = 1) -> None:
+        """Start ``count`` background drain threads (the async-service mode).
+
+        By default the scheduler has no background thread: waiting callers
+        drain the queue themselves.  An asyncio front end cannot — awaiting a
+        future must never run model generation on the event-loop thread — so
+        a long-running service starts drainers that block on the arrival
+        condition, linger (``max_wait``) and drain microbatches exactly like
+        a waiting caller would.  Drainers and waiting callers cooperate
+        through the same leader election: whoever takes the lock first leads
+        the next batch.
+        """
+        if count <= 0:
+            raise ConfigurationError("drainer count must be > 0")
+        with self._lock:
+            if self._drainers:
+                raise ConfigurationError("drainers are already running")
+            self._drain_stop = False
+            started = [
+                threading.Thread(
+                    target=self._drain_loop,
+                    name=f"scheduler-drainer-{index}",
+                    daemon=True,
+                )
+                for index in range(count)
+            ]
+            self._drainers = started
+        for thread in started:
+            thread.start()
+
+    def stop_drainers(self) -> None:
+        """Stop the background drainers, flushing anything still queued.
+
+        Drainers keep draining until the queue is empty before exiting, so
+        admitted futures are never orphaned: waiters see their results (or
+        the model's exception) exactly as in caller-drained mode.  Idempotent
+        — stopping with no drainers running is a no-op.
+        """
+        with self._lock:
+            self._drain_stop = True
+            self._arrived.notify_all()
+            stopped = self._drainers
+            self._drainers = []
+        for thread in stopped:
+            thread.join()
+
+    def _drain_loop(self) -> None:
+        """One background drainer: wait for arrivals, drain, repeat."""
+        while True:
+            with self._lock:
+                while not self._queue and not self._drain_stop:
+                    self._arrived.wait()
+                if self._drain_stop and not self._queue:
+                    return
+                batch = self._take_batch(None)
+            if batch:
+                self._generate(batch)
 
     # -------------------------------------------------------------- fan-out
     def run_wave(

@@ -89,6 +89,19 @@ class ResponseStore(ABC):
     def close(self) -> None:
         """Release file handles.  ``get``/``put`` after close are errors."""
 
+    def describe(self) -> dict[str, object]:
+        """A JSON-serializable summary of the warm tier.
+
+        Surfaced by the annotation service's ``/stats`` endpoint so operators
+        can see which shared store backs the scheduler and how full it is
+        without shelling into the box.
+        """
+        return {
+            "kind": self.kind,
+            "path": str(self.path),
+            "entries": len(self),
+        }
+
     def __enter__(self) -> "ResponseStore":
         return self
 

@@ -35,6 +35,13 @@ class UnknownDatasetError(ConfigurationError):
     registry."""
 
 
+class SchedulerSaturatedError(ReproError):
+    """The request scheduler's bounded admission queue is full and the caller
+    asked not to wait (``submit(..., on_full="fail")``).  This is the
+    backpressure signal a serving layer converts into HTTP 429 +
+    ``Retry-After`` instead of letting an event loop block on a drain."""
+
+
 class SerializationError(ReproError):
     """A prompt could not be serialized (e.g. the label set alone exceeds the
     model's context window)."""

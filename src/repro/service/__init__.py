@@ -1,0 +1,59 @@
+"""Annotation-as-a-service: an asyncio HTTP front-end over the scheduler.
+
+The service packages the annotator behind a small stdlib-only HTTP API so
+many clients can share ONE warm engine — one scheduler LRU, one persistent
+store, one in-flight dedup set — and so concurrent single-column requests
+coalesce into cross-request model batches (the paper's batching economics,
+applied across tenants instead of within one run).
+
+Layers, bottom-up:
+
+* :mod:`repro.service.config` — every knob, validated up front;
+* :mod:`repro.service.protocol` — the wire format (requests, responses,
+  NDJSON streaming, error bodies);
+* :mod:`repro.service.admission` — token-bucket rate limiting, the pending
+  bound (429 + ``Retry-After``), and the graceful-drain rendezvous;
+* :mod:`repro.service.handlers` — endpoint logic over the shared engine;
+* :mod:`repro.service.server` — HTTP framing, connection lifecycle,
+  SIGTERM drain, and the in-process :class:`BackgroundServer`.
+
+Start one from the CLI with ``repro serve`` or in-process::
+
+    from repro.service import BackgroundServer, ServiceConfig
+
+    with BackgroundServer(ServiceConfig(port=0, label_set=("city", "year"))) as s:
+        ...  # POST http://127.0.0.1:{s.port}/v1/annotate
+"""
+
+from repro.service.admission import (
+    AdmissionController,
+    AdmissionDecision,
+    TokenBucket,
+)
+from repro.service.config import ServiceConfig
+from repro.service.handlers import ServiceState, StreamingResponse
+from repro.service.protocol import (
+    AnnotationSpec,
+    HTTPRequest,
+    ProtocolError,
+    RequestDefaults,
+    Response,
+)
+from repro.service.server import AnnotationService, BackgroundServer, run
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "AnnotationService",
+    "AnnotationSpec",
+    "BackgroundServer",
+    "HTTPRequest",
+    "ProtocolError",
+    "RequestDefaults",
+    "Response",
+    "run",
+    "ServiceConfig",
+    "ServiceState",
+    "StreamingResponse",
+    "TokenBucket",
+]

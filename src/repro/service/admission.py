@@ -1,0 +1,179 @@
+"""Admission control for the annotation service.
+
+Two mechanisms, both decided *before* a request costs any model work:
+
+* **per-tenant token buckets** — a sustained requests/second rate plus a
+  burst allowance per tenant (the ``X-Tenant`` header); a tenant that
+  exceeds it is told to slow down with 429 + ``Retry-After`` computed from
+  the time until its next token;
+* **a pending bound** — a hard cap on concurrently admitted requests.
+  Overflow is refused immediately (429) instead of queued without limit, so
+  the event loop never accumulates unbounded futures and clients get an
+  honest backpressure signal.
+
+The controller is also the graceful-drain rendezvous: ``begin_drain`` makes
+every later ``try_admit`` answer "draining" (503), and ``await_idle`` blocks
+until the already-admitted requests have released, which is what lets a
+SIGTERM handler finish in-flight work before the process exits.
+
+Thread-safety: handlers run on the asyncio loop but release from worker
+threads, so every mutable field is guarded by ``_lock``.  The token buckets
+themselves are plain state machines — they are only ever touched under the
+controller lock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["AdmissionController", "AdmissionDecision", "TokenBucket"]
+
+
+@dataclass
+class TokenBucket:
+    """A lazily-refilled token bucket (NOT thread-safe on its own).
+
+    ``rate`` tokens accrue per second up to ``burst``.  ``try_take`` either
+    consumes one token (returns ``0.0``) or returns the seconds until the
+    next token becomes available.  Callers synchronize externally — the
+    :class:`AdmissionController` only touches buckets under its lock.
+    """
+
+    rate: float
+    burst: int
+    tokens: float = field(default=-1.0)
+    last_refill: float = field(default=0.0)
+
+    def try_take(self, now: float) -> float:
+        if self.tokens < 0:  # first touch: start full
+            self.tokens = float(self.burst)
+            self.last_refill = now
+        elapsed = max(0.0, now - self.last_refill)
+        self.tokens = min(float(self.burst), self.tokens + elapsed * self.rate)
+        self.last_refill = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return 0.0
+        return (1.0 - self.tokens) / self.rate
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """The outcome of one admission attempt."""
+
+    admitted: bool
+    #: Suggested client wait before retrying, in seconds (rejections only).
+    retry_after: float = 0.0
+    #: Why the request was refused: ``"rate-limit"``, ``"saturated"`` or
+    #: ``"draining"``; empty when admitted.
+    reason: str = ""
+
+
+class AdmissionController:
+    """Token-bucket rate limiting plus a bound on in-flight requests.
+
+    ``clock`` is injectable so the unit tests can drive bucket refill
+    deterministically; production uses :func:`time.monotonic`.
+    """
+
+    def __init__(
+        self,
+        max_pending: int,
+        tenant_rate: float = 0.0,
+        tenant_burst: int = 8,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.max_pending = max_pending
+        self.tenant_rate = tenant_rate
+        self.tenant_burst = tenant_burst
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+        self._pending = 0  # guarded-by: _lock
+        self._buckets: dict[str, TokenBucket] = {}  # guarded-by: _lock
+        self._draining = False  # guarded-by: _lock
+        self.n_admitted = 0  # guarded-by: _lock
+        self.n_rate_limited = 0  # guarded-by: _lock
+        self.n_saturated = 0  # guarded-by: _lock
+        self.n_rejected_draining = 0  # guarded-by: _lock
+
+    # ----------------------------------------------------------- admission
+    def try_admit(self, tenant: str) -> AdmissionDecision:
+        """Decide one request; an admitted request MUST later ``release``."""
+        with self._lock:
+            if self._draining:
+                self.n_rejected_draining += 1
+                return AdmissionDecision(
+                    admitted=False, retry_after=1.0, reason="draining"
+                )
+            if self.tenant_rate > 0:
+                bucket = self._buckets.get(tenant)
+                if bucket is None:
+                    bucket = TokenBucket(
+                        rate=self.tenant_rate, burst=self.tenant_burst
+                    )
+                    self._buckets[tenant] = bucket
+                wait = bucket.try_take(self._clock())
+                if wait > 0:
+                    self.n_rate_limited += 1
+                    return AdmissionDecision(
+                        admitted=False, retry_after=wait, reason="rate-limit"
+                    )
+            if self._pending >= self.max_pending:
+                self.n_saturated += 1
+                return AdmissionDecision(
+                    admitted=False, retry_after=1.0, reason="saturated"
+                )
+            self._pending += 1
+            self.n_admitted += 1
+            return AdmissionDecision(admitted=True)
+
+    def release(self) -> None:
+        """Mark one admitted request finished (success or failure alike)."""
+        with self._lock:
+            if self._pending <= 0:
+                raise RuntimeError("release() without a matching try_admit()")
+            self._pending -= 1
+            if self._pending == 0:
+                self._idle.notify_all()
+
+    # --------------------------------------------------------------- drain
+    def begin_drain(self) -> None:
+        """Refuse all future admissions; already-admitted work continues."""
+        with self._lock:
+            self._draining = True
+
+    def await_idle(self, timeout: float) -> bool:
+        """Block until no requests are pending; ``True`` if that happened
+        within ``timeout`` seconds."""
+        deadline = self._clock() + timeout
+        with self._lock:
+            while self._pending > 0:
+                remaining = deadline - self._clock()
+                if remaining <= 0:
+                    return False
+                self._idle.wait(remaining)
+            return True
+
+    # --------------------------------------------------------------- stats
+    @property
+    def pending(self) -> int:
+        with self._lock:
+            return self._pending
+
+    def snapshot(self) -> dict[str, object]:
+        """Counter snapshot for ``/stats`` (JSON-serializable)."""
+        with self._lock:
+            return {
+                "pending": self._pending,
+                "max_pending": self.max_pending,
+                "draining": self._draining,
+                "n_admitted": self.n_admitted,
+                "n_rate_limited": self.n_rate_limited,
+                "n_saturated": self.n_saturated,
+                "n_rejected_draining": self.n_rejected_draining,
+                "n_tenants": len(self._buckets),
+            }

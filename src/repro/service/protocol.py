@@ -1,0 +1,300 @@
+"""Wire protocol of the annotation service.
+
+Everything that crosses the socket is defined here — request/response value
+objects, the JSON schemas of the annotation endpoints, and their validation —
+so the server and handler modules never touch raw JSON shapes directly and
+the tests can pin the protocol without a running server.
+
+The request schema (single and batch differ only in ``column`` vs
+``columns``)::
+
+    POST /v1/annotate          {"column":  {"name": ..., "values": [...]},
+                                "label_set": [...], "seed": 0, "sample_size": 5}
+    POST /v1/annotate/batch    {"columns": [{...}, ...], ...}
+    POST /v1/annotate/stream   {"columns": [{...}, ...], "chunk_size": 16, ...}
+
+``label_set``, ``seed`` and ``sample_size`` are optional when the service was
+started with defaults.  Responses carry one result object per column::
+
+    {"index": 0, "column": "name", "label": "...", "raw_response": "...",
+     "remapped": false, "rule_applied": false, "strategy": "..."}
+
+The stream endpoint emits exactly those objects as NDJSON (one per line,
+chunked transfer encoding) followed by a ``{"done": true, "n_columns": N}``
+trailer, so a client can consume results incrementally.
+
+Validation failures raise :class:`ProtocolError`, which the server renders as
+a 4xx JSON error body ``{"error": {"status": ..., "message": ...}}``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.plan import AnnotationResult
+from repro.core.table import Column
+from repro.exceptions import ReproError
+
+__all__ = [
+    "HTTPRequest",
+    "Response",
+    "AnnotationSpec",
+    "RequestDefaults",
+    "ProtocolError",
+    "parse_annotation_request",
+    "result_payload",
+    "json_response",
+    "error_response",
+    "ndjson_line",
+]
+
+#: Reason phrases for the status codes the service actually emits.
+REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+#: Header carrying the tenant identity for per-tenant rate limiting.
+TENANT_HEADER = "x-tenant"
+DEFAULT_TENANT = "default"
+
+
+class ProtocolError(ReproError):
+    """A malformed or invalid request; rendered as a 4xx JSON error."""
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass(frozen=True)
+class HTTPRequest:
+    """One parsed HTTP request (headers lower-cased, body undecoded)."""
+
+    method: str
+    path: str
+    headers: Mapping[str, str]
+    body: bytes
+
+    @property
+    def tenant(self) -> str:
+        return self.headers.get(TENANT_HEADER, DEFAULT_TENANT) or DEFAULT_TENANT
+
+    def json(self) -> object:
+        """The request body decoded as JSON (:class:`ProtocolError` on 4xx)."""
+        if not self.body:
+            raise ProtocolError("request body must be a JSON object")
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ProtocolError(f"request body is not valid JSON: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class Response:
+    """One HTTP response ready for the connection writer."""
+
+    status: int
+    body: bytes
+    headers: tuple[tuple[str, str], ...] = ()
+    content_type: str = "application/json"
+
+
+@dataclass(frozen=True)
+class AnnotationSpec:
+    """A validated annotation request: columns plus per-request knobs."""
+
+    columns: tuple[Column, ...]
+    label_set: tuple[str, ...]
+    seed: int
+    sample_size: int
+    chunk_size: int = 16
+    single: bool = False
+
+    @property
+    def n_columns(self) -> int:
+        return len(self.columns)
+
+
+@dataclass(frozen=True)
+class RequestDefaults:
+    """Service-level fallbacks for the optional request fields."""
+
+    label_set: tuple[str, ...] = ()
+    seed: int = 0
+    sample_size: int = 5
+    chunk_size: int = 16
+    #: Per-request cap on batch size; larger bodies are refused with 413.
+    max_columns: int = 4096
+
+
+def _require_int(value: object, name: str, minimum: int | None = None) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ProtocolError(f"{name!r} must be an integer")
+    if minimum is not None and value < minimum:
+        raise ProtocolError(f"{name!r} must be >= {minimum}")
+    return value
+
+
+def _parse_column(raw: object, position: int) -> Column:
+    if not isinstance(raw, dict):
+        raise ProtocolError(f"column {position} must be a JSON object")
+    name = raw.get("name")
+    if name is not None and not isinstance(name, str):
+        raise ProtocolError(f"column {position}: 'name' must be a string")
+    values = raw.get("values")
+    if not isinstance(values, list) or not values:
+        raise ProtocolError(
+            f"column {position}: 'values' must be a non-empty array"
+        )
+    rendered: list[str] = []
+    for value in values:
+        if isinstance(value, str):
+            rendered.append(value)
+        elif isinstance(value, bool) or value is None:
+            raise ProtocolError(
+                f"column {position}: values must be strings or numbers"
+            )
+        elif isinstance(value, (int, float)):
+            rendered.append(str(value))
+        else:
+            raise ProtocolError(
+                f"column {position}: values must be strings or numbers"
+            )
+    return Column(values=rendered, name=name)
+
+
+def _parse_label_set(
+    body: Mapping[str, object], defaults: "RequestDefaults"
+) -> tuple[str, ...]:
+    raw = body.get("label_set")
+    if raw is None:
+        if defaults.label_set:
+            return defaults.label_set
+        raise ProtocolError(
+            "'label_set' is required (the service was started without a "
+            "default label set)"
+        )
+    if not isinstance(raw, list) or not raw:
+        raise ProtocolError("'label_set' must be a non-empty array of strings")
+    labels: list[str] = []
+    for label in raw:
+        if not isinstance(label, str) or not label.strip():
+            raise ProtocolError(
+                "'label_set' must be a non-empty array of strings"
+            )
+        labels.append(label)
+    return tuple(labels)
+
+
+def parse_annotation_request(
+    request: HTTPRequest,
+    defaults: "RequestDefaults",
+    batch: bool,
+) -> AnnotationSpec:
+    """Validate an annotate/batch/stream body into an :class:`AnnotationSpec`.
+
+    ``batch=False`` expects the single-column shape (``"column"``);
+    ``batch=True`` expects ``"columns"``.  Every optional field falls back to
+    the service defaults.
+    """
+    body = request.json()
+    if not isinstance(body, dict):
+        raise ProtocolError("request body must be a JSON object")
+    if batch:
+        raw_columns = body.get("columns")
+        if not isinstance(raw_columns, list) or not raw_columns:
+            raise ProtocolError("'columns' must be a non-empty array")
+        if len(raw_columns) > defaults.max_columns:
+            raise ProtocolError(
+                f"'columns' exceeds the per-request cap of "
+                f"{defaults.max_columns}",
+                status=413,
+            )
+        columns = tuple(
+            _parse_column(raw, position)
+            for position, raw in enumerate(raw_columns)
+        )
+    else:
+        if "columns" in body:
+            raise ProtocolError(
+                "single-column endpoint expects 'column'; use "
+                "/v1/annotate/batch for 'columns'"
+            )
+        columns = (_parse_column(body.get("column"), 0),)
+    label_set = _parse_label_set(body, defaults)
+    seed = _require_int(body.get("seed", defaults.seed), "seed")
+    sample_size = _require_int(
+        body.get("sample_size", defaults.sample_size), "sample_size", minimum=1
+    )
+    chunk_size = _require_int(
+        body.get("chunk_size", defaults.chunk_size), "chunk_size", minimum=1
+    )
+    return AnnotationSpec(
+        columns=columns,
+        label_set=label_set,
+        seed=seed,
+        sample_size=sample_size,
+        chunk_size=chunk_size,
+        single=not batch,
+    )
+
+
+# ------------------------------------------------------------------ encoding
+def result_payload(
+    index: int, column: Column, result: AnnotationResult
+) -> dict[str, object]:
+    """The wire form of one annotated column."""
+    return {
+        "index": index,
+        "column": column.name,
+        "label": result.label,
+        "raw_response": result.raw_response,
+        "remapped": result.remapped,
+        "rule_applied": result.rule_applied,
+        "strategy": result.strategy,
+    }
+
+
+def json_bytes(payload: object) -> bytes:
+    return json.dumps(payload, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def json_response(
+    payload: object,
+    status: int = 200,
+    headers: tuple[tuple[str, str], ...] = (),
+) -> Response:
+    return Response(status=status, body=json_bytes(payload), headers=headers)
+
+
+def error_response(
+    status: int, message: str, retry_after: float | None = None
+) -> Response:
+    """A JSON error body; 429/503 carry a ``Retry-After`` header."""
+    payload: dict[str, object] = {
+        "error": {"status": status, "message": message}
+    }
+    headers: tuple[tuple[str, str], ...] = ()
+    if retry_after is not None:
+        seconds = max(1, int(retry_after + 0.999))
+        payload["error"] = {
+            "status": status,
+            "message": message,
+            "retry_after_s": round(retry_after, 3),
+        }
+        headers = (("Retry-After", str(seconds)),)
+    return Response(status=status, body=json_bytes(payload), headers=headers)
+
+
+def ndjson_line(payload: object) -> bytes:
+    """One NDJSON stream line (the chunked-transfer payload unit)."""
+    return json_bytes(payload)

@@ -1,0 +1,42 @@
+"""Known-bad fixture: awaiting while holding a threading lock.
+
+Exactly ONE active violation (the executable spec of ``lock-await-held``):
+
+1. ``await`` inside a ``with self._lock:`` block — the coroutine suspends
+   mid-critical-section, parking a *threading* lock for the full duration
+   of the awaited work (or deadlocking if that work needs the lock).
+
+The clean coroutine below it shows the correct shape — resolve the future
+outside the lock — and must NOT be flagged.
+"""
+
+import asyncio
+import threading
+
+
+class BadAsyncBridge:
+    """An asyncio↔threads bridge that awaits mid-critical-section."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._results: dict[str, str] = {}  # guarded-by: _lock
+
+    async def lookup_and_wait(self, key: str, fut: "asyncio.Future[str]") -> str:
+        with self._lock:
+            if key in self._results:
+                return self._results[key]
+            # VIOLATION: the coroutine suspends here with _lock held; every
+            # worker thread contending for it stalls until `fut` resolves.
+            value = await fut
+            self._results[key] = value
+            return value
+
+    async def lookup_then_wait(self, key: str, fut: "asyncio.Future[str]") -> str:
+        # Clean: the lock bounds the dict access; the await happens outside.
+        with self._lock:
+            if key in self._results:
+                return self._results[key]
+        value = await fut
+        with self._lock:
+            self._results[key] = value
+        return value

@@ -40,6 +40,7 @@ RULE_FIXTURES = {
     "lock-holds-caller": "bad_lock_discipline.py",
     "lock-wait-while": "bad_lock_discipline.py",
     "lock-io-held": "bad_lock_discipline.py",
+    "lock-await-held": "bad_async_lock.py",
     "det-wallclock": "bad_determinism.py",
     "det-unseeded-rng": "bad_determinism.py",
     "det-set-iter": "bad_determinism.py",
@@ -80,6 +81,26 @@ class TestCheckersFlagFixtures:
         findings = analyze_file(FIXTURES / "bad_lock_discipline.py")
         aliased = [f for f in findings if "store" in f.message]
         assert aliased and "_lock" in aliased[0].message
+
+    def test_async_lock_fixture_finds_exactly_the_await(self):
+        # One violation: the await under the lock.  The clean coroutine
+        # (await outside the critical section) must stay silent.
+        findings = analyze_file(FIXTURES / "bad_async_lock.py")
+        assert [f.rule for f in findings] == ["lock-await-held"]
+
+    def test_service_package_is_in_the_default_scan(self):
+        from repro.analysis.runner import DEFAULT_PATHS
+
+        service = REPO_ROOT / "src" / "repro" / "service"
+        assert service.is_dir()
+        scanned = {
+            path
+            for root in DEFAULT_PATHS
+            for path in iter_python_files([REPO_ROOT / root])
+        }
+        assert any(
+            path.parent == service for path in scanned
+        ), "repro lint must cover the service package by default"
 
     def test_parse_error_is_a_finding_not_a_crash(self):
         findings = analyze_file(FIXTURES / "bad_syntax.py")

@@ -9,6 +9,7 @@ futures, microbatch lingering, and the requery path's scheduling.
 
 from __future__ import annotations
 
+import asyncio
 import json
 import threading
 import time
@@ -17,7 +18,7 @@ import pytest
 
 from repro.core.querying import QueryEngine
 from repro.core.scheduler import RequestScheduler
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, SchedulerSaturatedError
 from repro.llm.base import GenerationParams, LanguageModel
 
 
@@ -429,3 +430,88 @@ class TestLockDisciplineRegressions:
         # whole scheduler suite doubles as a lock-order/guarded-attr test.
         scheduler = RequestScheduler(model=CountingModel())
         assert type(scheduler._lock).__name__ == "InstrumentedLock"
+
+
+class TestDrainersAndAsyncSubmit:
+    """The serving-layer additions: background drainers, fail-fast submit,
+    and the asyncio bridge (``submit_async``)."""
+
+    def test_on_full_fail_raises_instead_of_blocking(self):
+        scheduler = RequestScheduler(CountingModel(), queue_depth=1)
+        first = scheduler.submit("a")  # fills the queue
+        with pytest.raises(SchedulerSaturatedError, match="admission queue"):
+            scheduler.submit("b", on_full="fail")
+        # The refused request left no residue: draining yields only "a".
+        assert scheduler.wait([first]) == ["ans:a:0"]
+        assert scheduler.scheduler_stats.n_enqueued == 1
+
+    def test_drainer_resolves_futures_without_caller_participation(self):
+        model = CountingModel()
+        scheduler = RequestScheduler(model)
+        scheduler.start_drainers(1)
+        try:
+            future = scheduler.submit("a")
+            # The caller never drains: the background thread must.
+            assert future.result(timeout=10.0) == "ans:a:0"
+            assert model.calls == ["a"]
+        finally:
+            scheduler.stop_drainers()
+
+    def test_stop_drainers_flushes_the_pending_queue(self):
+        model = GatedModel()
+        scheduler = RequestScheduler(model, max_batch_size=1)
+        scheduler.start_drainers(1)
+        futures = [scheduler.submit(p) for p in ("a", "b", "c")]
+        assert model.started.wait(timeout=10.0)
+        model.release.set()
+        # stop_drainers must not strand queued requests: the drain loop
+        # empties the queue before exiting.
+        scheduler.stop_drainers()
+        assert sorted(f.result(timeout=10.0) for f in futures) == [
+            "ans:a:0",
+            "ans:b:0",
+            "ans:c:0",
+        ]
+
+    def test_drainer_lifecycle_validation(self):
+        scheduler = RequestScheduler(CountingModel())
+        with pytest.raises(ConfigurationError, match="count"):
+            scheduler.start_drainers(0)
+        scheduler.start_drainers(2)
+        try:
+            with pytest.raises(ConfigurationError, match="already running"):
+                scheduler.start_drainers(1)
+        finally:
+            scheduler.stop_drainers()
+        # A stopped scheduler can start a fresh pool.
+        scheduler.start_drainers(1)
+        scheduler.stop_drainers()
+
+    def test_submit_async_resolves_on_the_event_loop(self):
+        model = CountingModel()
+        scheduler = RequestScheduler(model)
+        scheduler.start_drainers(1)
+        try:
+
+            async def go() -> list[str]:
+                futures = [
+                    scheduler.submit_async(p) for p in ("x", "y", "x")
+                ]
+                return list(await asyncio.gather(*futures))
+
+            assert asyncio.run(go()) == ["ans:x:0", "ans:y:0", "ans:x:0"]
+            # The duplicate coalesced: only two prompts reached the model.
+            assert sorted(model.calls) == ["x", "y"]
+        finally:
+            scheduler.stop_drainers()
+
+    def test_submit_async_propagates_saturation_not_a_block(self):
+        scheduler = RequestScheduler(CountingModel(), queue_depth=1)
+        first = scheduler.submit("a")
+
+        async def go() -> None:
+            with pytest.raises(SchedulerSaturatedError):
+                await scheduler.submit_async("b")
+
+        asyncio.run(go())
+        assert scheduler.wait([first]) == ["ans:a:0"]

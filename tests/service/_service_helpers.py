@@ -1,0 +1,79 @@
+"""Helpers shared by the service test modules.
+
+Kept outside ``conftest.py`` because the repo-wide ``--import-mode=importlib``
+loads conftest files as plugins, not importable siblings.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.service import BackgroundServer, ServiceConfig
+
+#: A small deliberately-diverse label set the simulated models discriminate.
+LABELS = ("city", "year", "person name", "url")
+
+#: Columns with obviously different shapes, for multi-column requests.
+CITY_VALUES = ["Tokyo", "Paris", "Lima", "Oslo", "Cairo"]
+YEAR_VALUES = ["1987", "2001", "1999", "2024"]
+
+
+def make_config(**overrides: object) -> ServiceConfig:
+    """An ephemeral-port test config; ``overrides`` win."""
+    base: dict[str, object] = {
+        "port": 0,
+        "label_set": LABELS,
+        "model": "gpt",
+        "max_batch_wait": 0.005,
+        "drain_timeout": 5.0,
+    }
+    base.update(overrides)
+    return ServiceConfig(**base)  # type: ignore[arg-type]
+
+
+@contextmanager
+def running_server(**overrides: object) -> Iterator[BackgroundServer]:
+    with BackgroundServer(make_config(**overrides)) as server:
+        yield server
+
+
+def request(
+    port: int,
+    method: str,
+    path: str,
+    body: dict | bytes | None = None,
+    headers: dict[str, str] | None = None,
+    timeout: float = 30.0,
+) -> tuple[int, dict[str, str], bytes]:
+    """One HTTP exchange; returns (status, lower-cased headers, raw body)."""
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        payload: bytes | None
+        if isinstance(body, dict):
+            payload = json.dumps(body).encode("utf-8")
+        else:
+            payload = body
+        conn.request(method, path, body=payload, headers=headers or {})
+        response = conn.getresponse()
+        data = response.read()
+        return (
+            response.status,
+            {k.lower(): v for k, v in response.getheaders()},
+            data,
+        )
+    finally:
+        conn.close()
+
+
+def request_json(
+    port: int,
+    method: str,
+    path: str,
+    body: dict | bytes | None = None,
+    headers: dict[str, str] | None = None,
+) -> tuple[int, dict[str, str], dict]:
+    status, response_headers, data = request(port, method, path, body, headers)
+    return status, response_headers, json.loads(data)

@@ -1,0 +1,15 @@
+"""Shared configuration for the service tests.
+
+Helpers live in ``_service_helpers.py`` (importlib import mode forbids
+importing from conftest); make the directory importable when pytest is
+invoked from the repository root.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_HERE = str(Path(__file__).resolve().parent)
+if _HERE not in sys.path:
+    sys.path.insert(0, _HERE)

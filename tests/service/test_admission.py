@@ -1,0 +1,172 @@
+"""Admission control: token buckets, the pending bound, 429 + Retry-After."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.service import AdmissionController, TokenBucket
+
+from _service_helpers import CITY_VALUES, request_json, running_server
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        bucket = TokenBucket(rate=2.0, burst=3)
+        assert [bucket.try_take(0.0) for _ in range(3)] == [0.0, 0.0, 0.0]
+        wait = bucket.try_take(0.0)
+        assert wait == pytest.approx(0.5)  # 1 token at 2/s
+        assert bucket.try_take(0.25) > 0.0  # half a token accrued
+        assert bucket.try_take(0.8) == 0.0  # >1 token accrued by now
+
+    def test_tokens_cap_at_burst(self):
+        bucket = TokenBucket(rate=100.0, burst=2)
+        bucket.try_take(0.0)
+        # A long idle stretch must not bank more than `burst` tokens.
+        assert bucket.try_take(1000.0) == 0.0
+        assert bucket.try_take(1000.0) == 0.0
+        assert bucket.try_take(1000.0) > 0.0
+
+
+class TestAdmissionController:
+    def test_pending_bound_saturates_then_releases(self):
+        controller = AdmissionController(max_pending=2)
+        assert controller.try_admit("t").admitted
+        assert controller.try_admit("t").admitted
+        refused = controller.try_admit("t")
+        assert not refused.admitted
+        assert refused.reason == "saturated"
+        assert refused.retry_after > 0
+        controller.release()
+        assert controller.try_admit("t").admitted
+        snapshot = controller.snapshot()
+        assert snapshot["n_admitted"] == 3
+        assert snapshot["n_saturated"] == 1
+
+    def test_rate_limit_is_per_tenant(self):
+        clock = FakeClock()
+        controller = AdmissionController(
+            max_pending=100, tenant_rate=1.0, tenant_burst=1, clock=clock
+        )
+        assert controller.try_admit("alice").admitted
+        refused = controller.try_admit("alice")
+        assert not refused.admitted
+        assert refused.reason == "rate-limit"
+        assert refused.retry_after == pytest.approx(1.0)
+        # A different tenant has its own bucket.
+        assert controller.try_admit("bob").admitted
+        # The bucket refills with the clock.
+        clock.advance(1.0)
+        assert controller.try_admit("alice").admitted
+
+    def test_draining_refuses_everything(self):
+        controller = AdmissionController(max_pending=10)
+        assert controller.try_admit("t").admitted
+        controller.begin_drain()
+        refused = controller.try_admit("t")
+        assert not refused.admitted
+        assert refused.reason == "draining"
+        assert controller.snapshot()["n_rejected_draining"] == 1
+
+    def test_await_idle_blocks_until_release(self):
+        clock = FakeClock()  # only used for try_admit bookkeeping
+        controller = AdmissionController(max_pending=10, clock=clock)
+        assert controller.try_admit("t").admitted
+        done = threading.Event()
+
+        def waiter() -> None:
+            assert controller.await_idle(timeout=10.0)
+            done.set()
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        assert not done.wait(timeout=0.1)
+        controller.release()
+        assert done.wait(timeout=10.0)
+        thread.join(timeout=10.0)
+
+    def test_await_idle_times_out_with_pending_work(self):
+        controller = AdmissionController(max_pending=10)
+        assert controller.try_admit("t").admitted
+        assert controller.await_idle(timeout=0.05) is False
+
+    def test_release_without_admit_is_a_bug(self):
+        controller = AdmissionController(max_pending=10)
+        with pytest.raises(RuntimeError, match="release"):
+            controller.release()
+
+
+class TestLiveBackpressure:
+    def test_pending_overflow_is_429_with_retry_after(self):
+        # One worker, one admission slot, a slow model: while the first
+        # request occupies the slot, the second must be refused immediately.
+        with running_server(
+            max_pending=1, workers=1, model_latency=0.3
+        ) as server:
+            first: list[int] = []
+
+            def slow_request() -> None:
+                status, _, _ = request_json(
+                    server.port,
+                    "POST",
+                    "/v1/annotate",
+                    {"column": {"values": CITY_VALUES}},
+                )
+                first.append(status)
+
+            thread = threading.Thread(target=slow_request)
+            thread.start()
+            # Wait until the slow request holds the admission slot.
+            deadline = 50
+            while deadline:
+                _, _, health = request_json(server.port, "GET", "/healthz")
+                if health["pending"] >= 1:
+                    break
+                deadline -= 1
+                threading.Event().wait(0.01)
+            assert deadline, "slow request never became pending"
+            status, headers, body = request_json(
+                server.port,
+                "POST",
+                "/v1/annotate",
+                {"column": {"values": ["1", "2", "3"]}},
+            )
+            thread.join(timeout=30.0)
+            assert status == 429
+            assert "retry-after" in headers
+            assert int(headers["retry-after"]) >= 1
+            assert body["error"]["retry_after_s"] > 0
+            assert first == [200]  # the slow request itself succeeded
+
+    def test_tenant_rate_limit_is_429_and_scoped_to_the_tenant(self):
+        with running_server(tenant_rate=0.5, tenant_burst=1) as server:
+            body = {"column": {"values": CITY_VALUES}}
+            status, _, _ = request_json(
+                server.port, "POST", "/v1/annotate", body,
+                headers={"X-Tenant": "alice"},
+            )
+            assert status == 200
+            status, headers, _ = request_json(
+                server.port, "POST", "/v1/annotate", body,
+                headers={"X-Tenant": "alice"},
+            )
+            assert status == 429
+            assert "retry-after" in headers
+            # Another tenant's bucket is untouched.
+            status, _, _ = request_json(
+                server.port, "POST", "/v1/annotate", body,
+                headers={"X-Tenant": "bob"},
+            )
+            assert status == 200

@@ -1,0 +1,117 @@
+"""Graceful drain and the /stats schema."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+
+from repro.service import HTTPRequest, ServiceState
+from repro.service.handlers import StreamingResponse
+
+from _service_helpers import (
+    CITY_VALUES,
+    make_config,
+    request_json,
+    running_server,
+)
+
+
+class TestGracefulDrain:
+    def test_stop_completes_in_flight_requests(self):
+        server_ctx = running_server(model_latency=0.3, drain_timeout=10.0)
+        server = server_ctx.__enter__()
+        statuses: list[int] = []
+        try:
+            def slow_request() -> None:
+                status, _, _ = request_json(
+                    server.port,
+                    "POST",
+                    "/v1/annotate",
+                    {"column": {"values": CITY_VALUES}},
+                )
+                statuses.append(status)
+
+            thread = threading.Thread(target=slow_request)
+            thread.start()
+            deadline = 100
+            while deadline:
+                _, _, health = request_json(server.port, "GET", "/healthz")
+                if health["pending"] >= 1:
+                    break
+                deadline -= 1
+                threading.Event().wait(0.01)
+            assert deadline, "request never became pending"
+        finally:
+            # Drain with the request still in flight: stop() must wait for
+            # it and the client must receive its 200, not a reset.
+            server_ctx.__exit__(None, None, None)
+        thread.join(timeout=30.0)
+        assert statuses == [200]
+
+    def test_draining_state_refuses_new_requests_with_503(self):
+        state = ServiceState(make_config())
+        try:
+            state.admission.begin_drain()
+            body = json.dumps(
+                {"column": {"values": CITY_VALUES}}
+            ).encode("utf-8")
+            response = asyncio.run(
+                state.dispatch(
+                    HTTPRequest("POST", "/v1/annotate", {}, body)
+                )
+            )
+            assert not isinstance(response, StreamingResponse)
+            assert response.status == 503
+            assert ("Retry-After", "1") in response.headers
+        finally:
+            state.shutdown()
+
+
+class TestStats:
+    def test_schema_and_counters_round_trip(self):
+        with running_server() as server:
+            request_json(
+                server.port,
+                "POST",
+                "/v1/annotate",
+                {"column": {"values": CITY_VALUES}},
+            )
+            request_json(
+                server.port,
+                "POST",
+                "/v1/annotate/batch",
+                {"columns": [{"values": CITY_VALUES}, {"values": ["1", "2"]}]},
+            )
+            status, _, stats = request_json(server.port, "GET", "/stats")
+            assert status == 200
+            assert set(stats) == {
+                "service", "config", "admission", "scheduler", "queries",
+                "store",
+            }
+            assert stats["service"]["n_requests"] == {
+                "/v1/annotate": 1,
+                "/v1/annotate/batch": 1,
+            }
+            assert stats["service"]["n_columns_annotated"] == 3
+            assert stats["service"]["n_errors"] == 0
+            assert stats["admission"]["n_admitted"] == 2
+            assert stats["queries"]["n_prompts"] >= 3
+            assert stats["scheduler"]["n_batches"] >= 1
+            assert stats["store"] is None  # no cache dir configured
+            # The whole payload must be JSON round-trippable (it already
+            # was decoded once; re-encode to pin serializability).
+            json.dumps(stats)
+
+    def test_store_section_appears_with_a_cache_dir(self, tmp_path):
+        with running_server(cache_dir=str(tmp_path)) as server:
+            request_json(
+                server.port,
+                "POST",
+                "/v1/annotate",
+                {"column": {"values": CITY_VALUES}},
+            )
+            _, _, stats = request_json(server.port, "GET", "/stats")
+            assert stats["store"] is not None
+            assert stats["store"]["kind"] == "sqlite"
+            assert stats["store"]["entries"] >= 1
