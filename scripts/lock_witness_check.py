@@ -1,0 +1,84 @@
+"""CI gate: cross-check the runtime lock-order witness against the graph.
+
+The lockcheck pytest plugin (``tests/plugins/lockcheck.py``) records every
+lock-acquisition order it observes while the instrumented tests run when
+``LOCKCHECK_WITNESS=<path>`` is set::
+
+    LOCKCHECK_WITNESS=reports/lock_order_witness.json \
+        python -m pytest tests/core/test_scheduler.py ... tests/service
+
+This script rebuilds the static interprocedural acquisition graph over
+``src/repro`` and classifies every edge:
+
+* a witness edge between ``src/repro`` locks that the static graph does
+  not predict is a **soundness failure** (exit 1) — the analyzer missed a
+  call path or the code grew an unmodeled lock order;
+* a static edge never observed is fine (the graph over-approximates) and
+  is listed for coverage;
+* witness edges with an endpoint outside ``src/repro`` (stdlib pools,
+  test-local locks) are out of scope and skipped.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.base import SourceFile
+from repro.analysis.interproc import (
+    CallGraph,
+    build_program,
+    cross_check,
+    load_witness,
+)
+
+
+def _sources(root: Path) -> list[SourceFile]:
+    return [
+        SourceFile.read(str(path), path.read_text(encoding="utf-8"))
+        for path in sorted(root.rglob("*.py"))
+    ]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--witness",
+        default="reports/lock_order_witness.json",
+        help="witness JSON written by the lockcheck plugin",
+    )
+    parser.add_argument(
+        "--root",
+        default=str(REPO_ROOT / "src" / "repro"),
+        help="source tree the static graph is built over",
+    )
+    args = parser.parse_args(argv)
+
+    witness_file = Path(args.witness)
+    if not witness_file.exists():
+        print(f"lock-witness-check: no witness at {witness_file}", file=sys.stderr)
+        return 2
+    witness = load_witness(witness_file)
+    program = build_program(_sources(Path(args.root)))
+    graph = CallGraph(program)
+    result = cross_check(program, graph, witness)
+
+    classified = (("observed", result.observed), ("unobserved", result.unobserved))
+    for verdict, edges in classified:
+        for edge in edges:
+            print(
+                f"{verdict + ':':<12}{edge.src.name} -> {edge.dst.name} "
+                f"({edge.path}:{edge.line})"
+            )
+    for problem in result.problems:
+        print(f"PROBLEM:    {problem}")
+    print(result.summary())
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

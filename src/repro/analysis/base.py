@@ -22,7 +22,10 @@ from abc import ABC, abstractmethod
 from contextlib import suppress
 from dataclasses import dataclass, field
 from pathlib import PurePosixPath
-from typing import Iterable, Iterator, Mapping
+from typing import TYPE_CHECKING, Iterable, Iterator, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle (interproc imports base)
+    from repro.analysis.interproc.model import Program
 
 #: Matches ``# repro-lint: disable=rule-a,rule-b`` (or ``disable-file=``).
 _SUPPRESS_RE = re.compile(
@@ -165,7 +168,30 @@ class Checker(ABC):
         """Yield findings for one parsed module."""
 
 
+class ProgramChecker(ABC):
+    """One whole-program analysis pass (the ``--interproc`` tier).
+
+    Unlike :class:`Checker`, which sees one module at a time, a program
+    checker receives the whole-program model (call graph, lock layouts,
+    acquisition-order graph) built from every scanned file at once.  Findings
+    still anchor to a single (path, line) so the per-file suppression
+    comments apply unchanged.
+    """
+
+    #: Short machine name of the checker (registry key).
+    name: str = "program-base"
+    #: Rule ids this checker can emit.
+    rules: tuple[str, ...] = ()
+    #: One-line description for ``--list-rules`` and RULES.md parity tests.
+    description: str = ""
+
+    @abstractmethod
+    def check_program(self, program: "Program") -> Iterator[Finding]:
+        """Yield findings over the whole-program model."""
+
+
 _REGISTRY: dict[str, type[Checker]] = {}
+_PROGRAM_REGISTRY: dict[str, type[ProgramChecker]] = {}
 
 
 def register(cls: type[Checker]) -> type[Checker]:
@@ -180,6 +206,18 @@ def register(cls: type[Checker]) -> type[Checker]:
     return cls
 
 
+def register_program(cls: type[ProgramChecker]) -> type[ProgramChecker]:
+    """Class decorator adding a whole-program checker to the registry."""
+    if not cls.name or cls.name == "program-base":
+        raise ValueError(f"program checker {cls!r} must define a unique name")
+    if cls.name in _PROGRAM_REGISTRY or cls.name in _REGISTRY:
+        raise ValueError(f"duplicate checker name {cls.name!r}")
+    if not cls.rules:
+        raise ValueError(f"program checker {cls.name!r} must declare its rules")
+    _PROGRAM_REGISTRY[cls.name] = cls
+    return cls
+
+
 def all_checkers() -> list[Checker]:
     """Fresh instances of every registered checker, in registration order."""
     # Importing the checkers package populates the registry on first use.
@@ -188,10 +226,28 @@ def all_checkers() -> list[Checker]:
     return [cls() for cls in _REGISTRY.values()]
 
 
+def all_program_checkers() -> list[ProgramChecker]:
+    """Fresh instances of every registered whole-program checker."""
+    # Importing the interproc package populates the registry on first use.
+    import repro.analysis.interproc  # noqa: F401
+
+    return [cls() for cls in _PROGRAM_REGISTRY.values()]
+
+
 def iter_rules() -> Iterable[tuple[str, str, tuple[str, ...]]]:
-    """Yield ``(checker_name, description, rules)`` for every checker."""
+    """Yield ``(checker_name, description, rules)`` for every checker.
+
+    Whole-program checkers are included: their rules are part of the
+    catalog even though they only emit under ``--interproc``.
+    """
     for checker in all_checkers():
         yield checker.name, checker.description, checker.rules
+    for program_checker in all_program_checkers():
+        yield (
+            program_checker.name,
+            program_checker.description,
+            program_checker.rules,
+        )
 
 
 # ---------------------------------------------------------------- AST helpers

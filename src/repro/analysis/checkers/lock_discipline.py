@@ -60,6 +60,8 @@ from repro.analysis.base import (
 
 #: Constructor names that create a lock-like object.
 _LOCK_FACTORIES = {"Lock", "RLock"}
+#: Lock factories whose locks may be re-acquired by the holding thread.
+_REENTRANT_FACTORIES = {"RLock"}
 #: Constructor names that create a condition (wrapping a lock).
 _CONDITION_FACTORIES = {"Condition"}
 #: Attribute call names that reach the model (never valid under a lock).
@@ -73,6 +75,12 @@ class _ClassLocks:
     """Lock layout of one class, harvested from ``__init__``."""
 
     locks: set[str] = field(default_factory=set)
+    #: Lock attrs built from ``threading.RLock()``: re-acquiring one while
+    #: it is already held is legal (reentrant), never a self-deadlock.
+    reentrant: set[str] = field(default_factory=set)
+    #: lock attr -> line of the factory call in ``__init__`` (the line a
+    #: runtime-instrumented lock reports as its creation site).
+    decl_lines: dict[str, int] = field(default_factory=dict)
     #: condition attr -> underlying lock attr (itself, when standalone).
     conditions: dict[str, str] = field(default_factory=dict)
     #: guarded attr -> lock attr named by its ``# guarded-by:`` annotation.
@@ -86,6 +94,10 @@ class _ClassLocks:
 
     def is_lock_like(self, attr: str) -> bool:
         return attr in self.locks or attr in self.conditions
+
+    def is_reentrant(self, attr: str) -> bool:
+        """Whether re-acquiring ``attr`` while held is legal (an RLock)."""
+        return self.base(attr) in self.reentrant
 
 
 def _harvest(cls: ast.ClassDef, source: SourceFile) -> _ClassLocks:
@@ -112,6 +124,10 @@ def _harvest(cls: ast.ClassDef, source: SourceFile) -> _ClassLocks:
                 name = call_name(value).rsplit(".", maxsplit=1)[-1]
                 if name in _LOCK_FACTORIES:
                     layout.locks.update(attrs)
+                    if name in _REENTRANT_FACTORIES:
+                        layout.reentrant.update(attrs)
+                    for attr in attrs:
+                        layout.decl_lines[attr] = value.lineno
                 elif name in _CONDITION_FACTORIES:
                     wrapped = None
                     if value.args:

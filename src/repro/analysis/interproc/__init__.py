@@ -1,0 +1,38 @@
+"""Interprocedural concurrency analysis (``repro lint --interproc``).
+
+Importing this package registers the whole-program checkers; the submodules
+expose the model for tests and the witness cross-check script:
+
+* :mod:`repro.analysis.interproc.model` — program/symbol/lock-layout model;
+* :mod:`repro.analysis.interproc.callgraph` — function summaries, call
+  graph, lock-acquisition-order graph;
+* :mod:`repro.analysis.interproc.rules` — the four interprocedural rules;
+* :mod:`repro.analysis.interproc.witness` — runtime witness cross-check.
+"""
+
+from repro.analysis.interproc import rules as _rules  # noqa: F401 - registers
+from repro.analysis.interproc.callgraph import CallGraph
+from repro.analysis.interproc.model import (
+    LockId,
+    Program,
+    build_program,
+    canonical_path,
+)
+from repro.analysis.interproc.witness import (
+    CrossCheck,
+    WitnessEdge,
+    cross_check,
+    load_witness,
+)
+
+__all__ = [
+    "CallGraph",
+    "LockId",
+    "Program",
+    "build_program",
+    "canonical_path",
+    "CrossCheck",
+    "WitnessEdge",
+    "cross_check",
+    "load_witness",
+]

@@ -1,0 +1,651 @@
+"""Call graph + lock-acquisition-order graph over the whole-program model.
+
+Each function gets one :class:`Summary` from a single AST walk: direct lock
+acquisitions (with the held-set at the site), resolved calls (with receiver
+kind and held-set), direct blocking operations, ``self.<attr>`` writes, and
+thread-spawn sites (``Thread(target=...)``, ``pool.submit``,
+``run_in_executor``) whose function arguments are *entry points*, never call
+edges.
+
+Two fixpoints over the summaries give the interprocedural facts:
+
+* ``inner_locks`` — which locks a function transitively acquires, with one
+  witness path per (function, lock) for reporting;
+* ``block_steps`` — the first blocking operation a function transitively
+  reaches through *sync* call edges (awaited coroutines are analyzed on
+  their own and are not traversed).
+
+The acquisition-order graph has one edge ``A -> B`` per "``B`` acquired
+while ``A`` is held", found either directly inside one function or through a
+call made with ``A`` held into a callee that acquires ``B``.  Every edge
+keeps the first witness chain and its source anchor, which is also what the
+runtime witness cross-check classifies as observed/unobserved.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.analysis.base import call_name, dotted_name, self_attribute
+from repro.analysis.interproc.model import (
+    FunctionInfo,
+    LockId,
+    Program,
+    canonical_path,
+)
+
+__all__ = [
+    "Acquire", "CallRecord", "Blocking", "Write", "Spawn", "Summary",
+    "Edge", "CallGraph",
+]
+
+#: Method names that block when invoked on a harvested file-handle attr.
+_HANDLE_BLOCKING = frozenset(
+    {"write", "flush", "read", "readline", "readlines", "seek", "close"}
+)
+#: Receiver-name fragments marking a ``concurrent.futures`` future.
+_FUTURE_HINTS = ("future", "fut")
+#: Call shapes that hand a function to another thread (entry points).
+_THREAD_FACTORIES = frozenset({"Thread", "threading.Thread"})
+
+
+@dataclass(frozen=True)
+class Acquire:
+    """A ``with self.<lock>`` acquisition site."""
+
+    lock: LockId
+    line: int
+    held: tuple[LockId, ...]
+
+
+@dataclass(frozen=True)
+class CallRecord:
+    """One call site with its resolved dispatch targets."""
+
+    callees: tuple[str, ...]
+    desc: str
+    line: int
+    held: tuple[LockId, ...]
+    #: Receiver shape: ``self`` | ``attr`` (cross-object) | ``function`` |
+    #: ``super`` | ``len`` | ``init`` (constructor).
+    kind: str
+
+
+@dataclass(frozen=True)
+class Blocking:
+    """A direct blocking operation (the async-blocking primitive set)."""
+
+    kind: str
+    desc: str
+    line: int
+
+
+@dataclass(frozen=True)
+class Write:
+    """A ``self.<attr> = ...`` (or augmented) write site."""
+
+    attr: str
+    line: int
+    held: tuple[LockId, ...]
+
+
+@dataclass(frozen=True)
+class Spawn:
+    """A site handing a local function to another thread."""
+
+    entries: tuple[str, ...]
+    desc: str
+    line: int
+
+
+@dataclass
+class Summary:
+    """Everything the interprocedural pass needs about one function."""
+
+    fn: FunctionInfo
+    acquires: list[Acquire] = field(default_factory=list)
+    calls: list[CallRecord] = field(default_factory=list)
+    blocking: list[Blocking] = field(default_factory=list)
+    writes: list[Write] = field(default_factory=list)
+    spawns: list[Spawn] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class Edge:
+    """One acquisition-order edge: ``dst`` acquired while ``src`` held."""
+
+    src: LockId
+    dst: LockId
+    #: Anchor of the acquiring site (original scanned path + line).
+    path: str
+    line: int
+    #: Human chain: how the program gets from holding src to acquiring dst.
+    witness: str
+
+
+#: One step in a witness chain: the site, and the callee continuing it.
+@dataclass(frozen=True)
+class _Step:
+    line: int
+    desc: str
+    callee: str | None
+
+
+class _SummaryWalker:
+    """Single-pass walk of one function body building its summary."""
+
+    def __init__(self, program: Program, fn: FunctionInfo) -> None:
+        self.program = program
+        self.fn = fn
+        self.module = program.modules[fn.module]
+        self.summary = Summary(fn=fn)
+
+    def run(self) -> Summary:
+        held: tuple[LockId, ...] = ()
+        precondition = None
+        if self.fn.cls is not None:
+            layout = self.fn.cls.layout
+            holds = layout.holds_methods.get(self.fn.name)
+            if holds is not None:
+                precondition = self.program.lock_id(self.fn.cls, holds)
+        if precondition is not None:
+            held = (precondition,)
+        for stmt in self.fn.node.body:
+            self._walk(stmt, held)
+        return self.summary
+
+    # -------------------------------------------------------------- traversal
+    def _walk(self, node: ast.AST, held: tuple[LockId, ...]) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            return  # nested defs are separate pseudo-functions
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            inner = held
+            for item in node.items:
+                acquired = self._acquired_locks(item.context_expr)
+                if acquired:
+                    for lock in acquired:
+                        self.summary.acquires.append(
+                            Acquire(
+                                lock=lock,
+                                line=item.context_expr.lineno,
+                                held=inner,
+                            )
+                        )
+                        if lock not in inner:
+                            inner = (*inner, lock)
+                else:
+                    self._walk(item.context_expr, held)
+            for stmt in node.body:
+                self._walk(stmt, inner)
+            return
+        if isinstance(node, ast.Call):
+            self._record_call(node, held)
+            for child in ast.iter_child_nodes(node):
+                self._walk(child, held)
+            return
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                attr = self_attribute(target)
+                if attr is not None:
+                    self.summary.writes.append(
+                        Write(attr=attr, line=node.lineno, held=held)
+                    )
+        for child in ast.iter_child_nodes(node):
+            self._walk(child, held)
+
+    # ------------------------------------------------------------ lock idents
+    def _acquired_locks(self, expr: ast.AST) -> list[LockId]:
+        """Locks acquired by one with-item (``self._lock``, ``self.obj._lock``)."""
+        if self.fn.cls is None:
+            return []
+        attr = self_attribute(expr)
+        if attr is not None:
+            if self.fn.cls.layout.is_lock_like(attr):
+                lock = self.program.lock_id(self.fn.cls, attr)
+                return [lock] if lock is not None else []
+            return []
+        # Cross-object: ``with self.<obj>.<lock>`` over a typed attribute.
+        if (
+            isinstance(expr, ast.Attribute)
+            and (obj_attr := self_attribute(expr.value)) is not None
+        ):
+            out: list[LockId] = []
+            for candidate in self.program.attr_classes(self.fn.cls, obj_attr):
+                if candidate.layout.is_lock_like(expr.attr):
+                    lock = self.program.lock_id(candidate, expr.attr)
+                    if lock is not None:
+                        out.append(lock)
+            return out
+        return []
+
+    # ------------------------------------------------------------------ calls
+    def _record_call(self, node: ast.Call, held: tuple[LockId, ...]) -> None:
+        self._record_spawn(node)
+        self._record_blocking(node)
+        resolved = self._resolve(node)
+        if resolved is None:
+            return
+        callees, desc, kind = resolved
+        if callees:
+            self.summary.calls.append(
+                CallRecord(
+                    callees=tuple(dict.fromkeys(callees)),
+                    desc=desc,
+                    line=node.lineno,
+                    held=held,
+                    kind=kind,
+                )
+            )
+
+    def _resolve(
+        self, node: ast.Call
+    ) -> tuple[list[str], str, str] | None:
+        program, fn = self.program, self.fn
+        func = node.func
+        if isinstance(func, ast.Name):
+            name = func.id
+            if name == "len" and node.args:
+                return self._resolve_len(node.args[0])
+            local = self.module.functions.get(name)
+            if local is not None:
+                return [local.key], name, "function"
+            dotted = self.module.imports.get(name)
+            if dotted is not None:
+                target_module, _, symbol = dotted.rpartition(".")
+                found = program.by_dotted.get(target_module)
+                if found is not None and symbol in found.functions:
+                    return [found.functions[symbol].key], name, "function"
+            cls_info = program.resolve_class(name, self.module)
+            if cls_info is not None:
+                inits = [
+                    c.methods["__init__"].key
+                    for c in (cls_info, *program.ancestors(cls_info))
+                    if "__init__" in c.methods
+                ]
+                return inits[:1], f"{name}()", "init"
+            return None
+        if not isinstance(func, ast.Attribute):
+            return None
+        meth = func.attr
+        receiver = func.value
+        if isinstance(receiver, ast.Name) and receiver.id == "self":
+            if fn.cls is None:
+                return None
+            keys = [m.key for m in program.find_methods(fn.cls, meth)]
+            return keys, f"self.{meth}", "self"
+        if (
+            isinstance(receiver, ast.Call)
+            and isinstance(receiver.func, ast.Name)
+            and receiver.func.id == "super"
+        ):
+            if fn.cls is None:
+                return None
+            keys = [
+                c.methods[meth].key
+                for c in program.ancestors(fn.cls)
+                if meth in c.methods
+            ]
+            return keys, f"super().{meth}", "super"
+        obj_attr = self_attribute(receiver)
+        if obj_attr is not None and fn.cls is not None:
+            keys = [
+                c.methods[meth].key
+                for c in program.attr_classes(fn.cls, obj_attr)
+                if meth in c.methods
+            ]
+            return keys, f"self.{obj_attr}.{meth}", "attr"
+        # ``mod.func(...)`` through an imported module.
+        recv_dotted = dotted_name(receiver)
+        if recv_dotted:
+            dotted = self.module.imports.get(recv_dotted.split(".")[0])
+            if dotted is not None:
+                found = program.by_dotted.get(dotted)
+                if found is not None and meth in found.functions:
+                    keys = [found.functions[meth].key]
+                    return keys, f"{recv_dotted}.{meth}", "function"
+        return None
+
+    def _resolve_len(
+        self, arg: ast.AST
+    ) -> tuple[list[str], str, str] | None:
+        """``len(self)`` / ``len(self.attr)`` dispatch to ``__len__``."""
+        fn, program = self.fn, self.program
+        if fn.cls is None:
+            return None
+        if isinstance(arg, ast.Name) and arg.id == "self":
+            keys = [m.key for m in program.find_methods(fn.cls, "__len__")]
+            return keys, "len(self)", "len"
+        attr = self_attribute(arg)
+        if attr is not None:
+            keys = [
+                c.methods["__len__"].key
+                for c in program.attr_classes(fn.cls, attr)
+                if "__len__" in c.methods
+            ]
+            return keys, f"len(self.{attr})", "len"
+        return None
+
+    # --------------------------------------------------------------- blocking
+    def _record_blocking(self, node: ast.Call) -> None:
+        dotted = call_name(node)
+        if dotted == "time.sleep":
+            self._blocking("time.sleep", "time.sleep()", node)
+            return
+        if dotted.startswith("sqlite3."):
+            self._blocking("sqlite3", f"{dotted}()", node)
+            return
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        meth = func.attr
+        recv = dotted_name(func.value)
+        recv_tail = recv.rsplit(".", maxsplit=1)[-1].lower() if recv else ""
+        layout = self.fn.cls.layout if self.fn.cls is not None else None
+        recv_attr = self_attribute(func.value)
+        if recv_attr is not None and self.fn.cls is not None:
+            cls = self.fn.cls
+            if recv_attr in cls.conn_attrs:
+                self._blocking(
+                    "sqlite I/O", f"self.{recv_attr}.{meth}() [sqlite3 handle]", node
+                )
+                return
+            if recv_attr in cls.handle_attrs and meth in _HANDLE_BLOCKING:
+                self._blocking(
+                    "file I/O", f"self.{recv_attr}.{meth}() [file handle]", node
+                )
+                return
+            if meth == "wait" and layout is not None and (
+                recv_attr in layout.conditions or recv_attr in cls.event_attrs
+            ):
+                self._blocking(
+                    "blocking wait", f"self.{recv_attr}.wait()", node
+                )
+                return
+            if meth == "acquire" and layout is not None and layout.is_lock_like(
+                recv_attr
+            ):
+                self._blocking(
+                    "lock acquire", f"self.{recv_attr}.acquire()", node
+                )
+                return
+        if meth in ("result", "exception") and any(
+            hint in recv_tail for hint in _FUTURE_HINTS
+        ):
+            self._blocking("Future.result", f"{recv}.{meth}()", node)
+            return
+        if meth == "join" and "thread" in recv_tail:
+            self._blocking("Thread.join", f"{recv}.join()", node)
+
+    def _blocking(self, kind: str, desc: str, node: ast.Call) -> None:
+        self.summary.blocking.append(
+            Blocking(kind=kind, desc=desc, line=node.lineno)
+        )
+
+    # ----------------------------------------------------------------- spawns
+    def _record_spawn(self, node: ast.Call) -> None:
+        entry_expr: ast.AST | None = None
+        desc = ""
+        dotted = call_name(node)
+        if dotted in _THREAD_FACTORIES or dotted.endswith(".Thread"):
+            for keyword in node.keywords:
+                if keyword.arg == "target":
+                    entry_expr = keyword.value
+                    desc = "Thread(target=...)"
+        elif isinstance(node.func, ast.Attribute):
+            if node.func.attr == "submit" and node.args:
+                entry_expr = node.args[0]
+                desc = f"{dotted_name(node.func.value) or 'pool'}.submit(...)"
+            elif node.func.attr == "run_in_executor" and len(node.args) >= 2:
+                entry_expr = node.args[1]
+                desc = "run_in_executor(...)"
+            elif node.func.attr == "map" and node.args and "pool" in (
+                dotted_name(node.func.value).lower()
+            ):
+                entry_expr = node.args[0]
+                desc = f"{dotted_name(node.func.value)}.map(...)"
+        if entry_expr is None:
+            return
+        entries = self._entry_keys(entry_expr)
+        if entries:
+            self.summary.spawns.append(
+                Spawn(entries=tuple(entries), desc=desc, line=node.lineno)
+            )
+
+    def _entry_keys(self, expr: ast.AST) -> list[str]:
+        """Resolve a function reference handed to another thread."""
+        attr = self_attribute(expr)
+        if attr is not None and self.fn.cls is not None:
+            return [m.key for m in self.program.find_methods(self.fn.cls, attr)]
+        if isinstance(expr, ast.Name):
+            nested_key = f"{self.fn.key}.<locals>.{expr.id}"
+            if nested_key in self.program.functions:
+                return [nested_key]
+            local = self.module.functions.get(expr.id)
+            if local is not None:
+                return [local.key]
+        return []
+
+
+class CallGraph:
+    """Summaries + fixpoint facts + the lock-acquisition-order graph."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.summaries: dict[str, Summary] = {}
+        for key, fn in program.functions.items():
+            self.summaries[key] = _SummaryWalker(program, fn).run()
+        #: (fn key, lock) -> first witness step toward acquiring that lock.
+        self.inner: dict[str, dict[LockId, _Step]] = {
+            key: {} for key in self.summaries
+        }
+        self._compute_inner_locks()
+        #: fn key -> first blocking step reachable through sync calls.
+        self.block_steps: dict[str, _Step | None] = {}
+        self._compute_block_steps()
+        self.edges: dict[tuple[LockId, LockId], Edge] = {}
+        self._build_edges()
+
+    # --------------------------------------------------------------- fixpoints
+    def _compute_inner_locks(self) -> None:
+        for key, summary in self.summaries.items():
+            for acquire in summary.acquires:
+                self.inner[key].setdefault(
+                    acquire.lock, _Step(acquire.line, "acquire", None)
+                )
+        changed = True
+        while changed:
+            changed = False
+            for key, summary in self.summaries.items():
+                mine = self.inner[key]
+                for call in summary.calls:
+                    for callee in call.callees:
+                        if callee == key:
+                            continue
+                        for lock in self.inner.get(callee, {}):
+                            if lock not in mine:
+                                mine[lock] = _Step(call.line, call.desc, callee)
+                                changed = True
+
+    def _compute_block_steps(self) -> None:
+        steps: dict[str, _Step | None] = {key: None for key in self.summaries}
+        for key, summary in self.summaries.items():
+            if summary.blocking:
+                first = min(summary.blocking, key=lambda b: b.line)
+                steps[key] = _Step(first.line, f"{first.desc} [{first.kind}]", None)
+        changed = True
+        while changed:
+            changed = False
+            for key, summary in self.summaries.items():
+                if steps[key] is not None:
+                    continue
+                for call in sorted(summary.calls, key=lambda c: c.line):
+                    hit = next(
+                        (
+                            callee
+                            for callee in call.callees
+                            if callee != key
+                            and not self.program.functions[callee].is_async
+                            and steps.get(callee) is not None
+                        ),
+                        None,
+                    )
+                    if hit is not None:
+                        steps[key] = _Step(call.line, call.desc, hit)
+                        changed = True
+                        break
+        self.block_steps = steps
+
+    # ------------------------------------------------------------ edge deriving
+    def _build_edges(self) -> None:
+        for key, summary in self.summaries.items():
+            fn = summary.fn
+            for acquire in summary.acquires:
+                for held in acquire.held:
+                    self._add_edge(
+                        held,
+                        acquire.lock,
+                        fn,
+                        acquire.line,
+                        witness=(
+                            f"{fn.qualname} acquires {acquire.lock.name} at "
+                            f"{canonical_path(fn.module)}:{acquire.line} while "
+                            f"holding {held.name}"
+                        ),
+                    )
+            for call in summary.calls:
+                if not call.held:
+                    continue
+                for callee in call.callees:
+                    for lock in self.inner.get(callee, {}):
+                        chain = " -> ".join(
+                            self.lock_chain(callee, lock)
+                        )
+                        for held in call.held:
+                            self._add_edge(
+                                held,
+                                lock,
+                                fn,
+                                call.line,
+                                witness=(
+                                    f"{fn.qualname} holds {held.name} and calls "
+                                    f"{call.desc} at "
+                                    f"{canonical_path(fn.module)}:{call.line}"
+                                    f" -> {chain}"
+                                ),
+                            )
+
+    def _add_edge(
+        self,
+        src: LockId,
+        dst: LockId,
+        fn: FunctionInfo,
+        line: int,
+        witness: str,
+    ) -> None:
+        if src == dst and dst.reentrant:
+            return  # re-acquiring a held RLock is legal
+        self.edges.setdefault(
+            (src, dst),
+            Edge(src=src, dst=dst, path=fn.module, line=line, witness=witness),
+        )
+
+    # ------------------------------------------------------------------ chains
+    def lock_chain(self, fn_key: str, lock: LockId) -> list[str]:
+        """The witness path from ``fn_key`` down to its acquire of ``lock``."""
+        out: list[str] = []
+        current = fn_key
+        for _ in range(len(self.summaries) + 1):
+            step = self.inner[current].get(lock)
+            fn = self.program.functions[current]
+            if step is None:  # pragma: no cover - defensive
+                out.append(fn.qualname)
+                return out
+            if step.callee is None:
+                out.append(
+                    f"{fn.qualname} acquires {lock.name} at "
+                    f"{canonical_path(fn.module)}:{step.line}"
+                )
+                return out
+            out.append(f"{fn.qualname}:{step.line}")
+            current = step.callee
+        return out  # pragma: no cover - chains are acyclic by construction
+
+    def blocking_chain(self, fn_key: str) -> list[str] | None:
+        """The call chain from ``fn_key`` to its first blocking operation."""
+        step = self.block_steps.get(fn_key)
+        if step is None:
+            return None
+        out: list[str] = []
+        current = fn_key
+        for _ in range(len(self.summaries) + 1):
+            step = self.block_steps[current]
+            fn = self.program.functions[current]
+            assert step is not None
+            if step.callee is None:
+                out.append(
+                    f"{fn.qualname} blocks on {step.desc} at "
+                    f"{canonical_path(fn.module)}:{step.line}"
+                )
+                return out
+            out.append(f"{fn.qualname}:{step.line}")
+            current = step.callee
+        return out  # pragma: no cover - chains are acyclic by construction
+
+    # --------------------------------------------------------------- closures
+    def same_class_closure(self, entry_key: str) -> list[str]:
+        """Thread-escape scope: same-class self-calls plus nested defs."""
+        entry = self.program.functions[entry_key]
+        out: list[str] = []
+        frontier = [entry_key]
+        seen: set[str] = set()
+        while frontier:
+            current = frontier.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            out.append(current)
+            # Nested defs run on the same thread as their definer (or are
+            # themselves handed onward; either way the writes escape with it).
+            for key, fn in self.program.functions.items():
+                if fn.nested_in == current:
+                    frontier.append(key)
+            summary = self.summaries.get(current)
+            if summary is None:
+                continue
+            for call in summary.calls:
+                if call.kind not in ("self", "super", "function"):
+                    continue
+                for callee in call.callees:
+                    fn = self.program.functions[callee]
+                    if fn.cls is not None and entry.cls is not None and (
+                        fn.cls.key == entry.cls.key
+                        or any(
+                            a.key == fn.cls.key
+                            for a in self.program.ancestors(entry.cls)
+                        )
+                    ):
+                        frontier.append(callee)
+        return out
+
+    def iter_spawn_entries(self) -> Iterator[tuple[Summary, Spawn, str]]:
+        """Every (spawning summary, spawn site, entry key) triple."""
+        for summary in self.summaries.values():
+            for spawn in summary.spawns:
+                for entry in spawn.entries:
+                    yield summary, spawn, entry
+
+    # ------------------------------------------------------- witness interface
+    def edge_sites(self) -> dict[tuple[tuple[str, int], tuple[str, int]], Edge]:
+        """Static edges keyed by (src creation site, dst creation site)."""
+        return {
+            (
+                (edge.src.module, edge.src.line),
+                (edge.dst.module, edge.dst.line),
+            ): edge
+            for edge in self.edges.values()
+        }

@@ -1,0 +1,487 @@
+"""The whole-program model behind ``repro lint --interproc``.
+
+:func:`build_program` parses every scanned file once and assembles a
+:class:`Program`: per-module symbol tables (top-level functions, classes,
+imports), per-class lock layouts (reusing the same ``_harvest`` the lexical
+lock checker and the runtime lockcheck plugin use, so all three tiers agree
+on what a lock *is*), and per-class attribute types recovered from
+``__init__`` — ``self.x = ClassName(...)`` constructor assignments and
+annotated constructor parameters (``store: "ResponseStore | None"``).
+
+Name resolution is deliberately conservative: a method call resolves to the
+union of every definition in the receiver class's hierarchy (ancestors and
+repo subclasses — dynamic dispatch), an unresolvable receiver resolves to
+nothing, and nested ``def``s never resolve by name.  The call-graph layer
+(:mod:`repro.analysis.interproc.callgraph`) builds on exactly these lookups.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import PurePosixPath
+from typing import Iterable, Iterator
+
+from repro.analysis.base import SourceFile, call_name, dotted_name, self_attribute
+from repro.analysis.checkers.lock_discipline import _ClassLocks, _harvest
+
+__all__ = [
+    "LockId",
+    "FunctionInfo",
+    "ClassInfo",
+    "ModuleInfo",
+    "Program",
+    "build_program",
+    "canonical_path",
+]
+
+#: Path roots recognized when canonicalizing (witness paths are absolute).
+_CANONICAL_ROOTS = ("src", "scripts", "benchmarks", "tests")
+
+
+def canonical_path(path: str) -> str:
+    """A repo-relative posix form of ``path`` for cross-run identity.
+
+    The static pass may scan relative paths (CI) or absolute ones (tests),
+    and the runtime witness records absolute file paths — all three must
+    name the same lock declaration identically.  The canonical form starts
+    at the last recognized repo root (``src``/``scripts``/``benchmarks``/
+    ``tests``) in the path.
+    """
+    parts = PurePosixPath(str(path).replace("\\", "/")).parts
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] in _CANONICAL_ROOTS:
+            return "/".join(parts[index:])
+    return "/".join(part for part in parts if part not in ("/", ""))
+
+
+@dataclass(frozen=True)
+class LockId:
+    """Identity of one lock attribute declaration.
+
+    Equality/hash use the declaration site (module, class, attr) only;
+    ``line`` (the ``threading.Lock()`` call line, matched against runtime
+    creation frames) and ``reentrant`` ride along as metadata.
+    """
+
+    module: str
+    cls: str
+    attr: str
+    line: int = field(compare=False, default=0)
+    reentrant: bool = field(compare=False, default=False)
+
+    @property
+    def name(self) -> str:
+        return f"{self.cls}.{self.attr}"
+
+    @property
+    def site(self) -> str:
+        return f"{self.module}:{self.line}"
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return self.name
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition (nested defs included, flagged)."""
+
+    key: str
+    module: str
+    name: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    cls: "ClassInfo | None" = None
+    #: Key of the enclosing function for nested ``def``s (never resolved
+    #: by name — they only contribute writes to the thread-escape closure).
+    nested_in: str | None = None
+
+    @property
+    def is_async(self) -> bool:
+        return isinstance(self.node, ast.AsyncFunctionDef)
+
+    @property
+    def qualname(self) -> str:
+        if self.cls is not None:
+            return f"{self.cls.name}.{self.name}"
+        return self.name
+
+    @property
+    def line(self) -> int:
+        return self.node.lineno
+
+
+@dataclass
+class ClassInfo:
+    """One class: lock layout, attribute types, methods, bases."""
+
+    module: str
+    name: str
+    node: ast.ClassDef
+    #: Raw base-class expressions as dotted strings (resolved lazily).
+    bases: list[str] = field(default_factory=list)
+    layout: _ClassLocks = field(default_factory=_ClassLocks)
+    #: attr -> raw dotted class name it holds (from ``__init__``).
+    attr_types: dict[str, str] = field(default_factory=dict)
+    #: attrs holding ``sqlite3.connect(...)`` handles (calls on them block).
+    conn_attrs: set[str] = field(default_factory=set)
+    #: attrs holding ``*.open(...)`` file handles (I/O on them blocks).
+    handle_attrs: set[str] = field(default_factory=set)
+    #: attrs holding ``threading.Event()`` (``.wait`` on them blocks).
+    event_attrs: set[str] = field(default_factory=set)
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+
+    @property
+    def key(self) -> str:
+        return f"{self.module}::{self.name}"
+
+
+@dataclass
+class ModuleInfo:
+    """One scanned file: AST, source, top-level symbols, import table."""
+
+    path: str
+    tree: ast.Module
+    source: SourceFile
+    #: Dotted module name when importable (``repro.core.store``).
+    dotted: str | None = None
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+    #: local name -> dotted target: ``import a.b as c`` maps ``c -> a.b``,
+    #: ``from a.b import X`` maps ``X -> a.b.X``.
+    imports: dict[str, str] = field(default_factory=dict)
+
+
+_SKIP_TYPE_NAMES = frozenset(
+    {"None", "Optional", "Union", "list", "dict", "set", "tuple", "frozenset"}
+)
+
+
+def _annotation_class_name(node: ast.AST | None) -> str | None:
+    """First plausible class name inside an annotation expression.
+
+    Handles ``Name``, string annotations (``"ResponseStore | None"``),
+    ``X | None`` unions and ``Optional[X]`` subscripts.
+    """
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return None
+    for candidate in ast.walk(node):
+        name: str | None = None
+        if isinstance(candidate, ast.Name):
+            name = candidate.id
+        elif isinstance(candidate, ast.Attribute):
+            name = dotted_name(candidate) or None
+        if name is None:
+            continue
+        simple = name.rsplit(".", maxsplit=1)[-1]
+        if simple in _SKIP_TYPE_NAMES or not simple[:1].isupper():
+            continue
+        return name
+    return None
+
+
+def _harvest_attr_facts(cls_info: ClassInfo) -> None:
+    """Fill attribute types and conn/handle/event attrs from ``__init__``."""
+    init = cls_info.methods.get("__init__")
+    if init is None:
+        return
+    annotations: dict[str, ast.AST] = {}
+    args = init.node.args
+    for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+        if arg.annotation is not None:
+            annotations[arg.arg] = arg.annotation
+    for stmt in ast.walk(init.node):
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+            annotation: ast.AST | None = None
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+            annotation = stmt.annotation
+        else:
+            continue
+        attrs = [a for a in map(self_attribute, targets) if a is not None]
+        if not attrs:
+            continue
+        type_name: str | None = None
+        if isinstance(value, ast.Call):
+            target = call_name(value)
+            simple = target.rsplit(".", maxsplit=1)[-1]
+            if target == "sqlite3.connect":
+                cls_info.conn_attrs.update(attrs)
+            elif simple == "open":
+                cls_info.handle_attrs.update(attrs)
+            elif target in ("threading.Event", "Event"):
+                cls_info.event_attrs.update(attrs)
+            elif simple[:1].isupper():
+                type_name = target
+        elif isinstance(value, ast.Name) and value.id in annotations:
+            type_name = _annotation_class_name(annotations[value.id])
+        if type_name is None and annotation is not None:
+            type_name = _annotation_class_name(annotation)
+        if type_name is not None:
+            for attr in attrs:
+                cls_info.attr_types.setdefault(attr, type_name)
+
+
+def _collect_functions(
+    module: ModuleInfo,
+    body: Iterable[ast.stmt],
+    cls_info: ClassInfo | None,
+    program: "Program",
+) -> None:
+    for node in body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            prefix = cls_info.name + "." if cls_info is not None else ""
+            info = FunctionInfo(
+                key=f"{module.path}::{prefix}{node.name}",
+                module=module.path,
+                name=node.name,
+                node=node,
+                cls=cls_info,
+            )
+            if cls_info is not None:
+                cls_info.methods[node.name] = info
+            else:
+                module.functions[node.name] = info
+            program.functions[info.key] = info
+            _collect_nested(module, info, program)
+
+
+def direct_nested_defs(
+    node: ast.AST,
+) -> list[ast.FunctionDef | ast.AsyncFunctionDef]:
+    """``def``s directly inside ``node``'s body, not inside deeper defs."""
+    out: list[ast.FunctionDef | ast.AsyncFunctionDef] = []
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        current = stack.pop()
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            out.append(current)
+            continue  # a deeper def belongs to this one, not to ``node``
+        stack.extend(ast.iter_child_nodes(current))
+    return out
+
+
+def _collect_nested(
+    module: ModuleInfo, parent: FunctionInfo, program: "Program"
+) -> None:
+    """Register nested ``def``s as pseudo-functions under their parent."""
+    for node in direct_nested_defs(parent.node):
+        info = FunctionInfo(
+            key=f"{parent.key}.<locals>.{node.name}",
+            module=module.path,
+            name=node.name,
+            node=node,
+            cls=parent.cls,
+            nested_in=parent.key,
+        )
+        program.functions[info.key] = info
+        _collect_nested(module, info, program)
+
+
+def _module_dotted(path: str) -> str | None:
+    """Dotted import name for files under ``src/`` (``repro.core.store``)."""
+    parts = PurePosixPath(canonical_path(path)).parts
+    if len(parts) >= 2 and parts[0] == "src" and parts[-1].endswith(".py"):
+        segments = list(parts[1:-1]) + [parts[-1][: -len(".py")]]
+        if segments[-1] == "__init__":
+            segments = segments[:-1]
+        return ".".join(segments) if segments else None
+    return None
+
+
+class Program:
+    """Whole-program symbol tables with conservative name resolution."""
+
+    def __init__(self) -> None:
+        self.modules: dict[str, ModuleInfo] = {}
+        self.by_dotted: dict[str, ModuleInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        self.class_names: dict[str, list[ClassInfo]] = {}
+        self.functions: dict[str, FunctionInfo] = {}
+        self._subclasses: dict[str, list[ClassInfo]] | None = None
+
+    # -------------------------------------------------------------- building
+    def add_module(self, source: SourceFile, tree: ast.Module) -> ModuleInfo:
+        module = ModuleInfo(
+            path=source.path,
+            tree=tree,
+            source=source,
+            dotted=_module_dotted(source.path),
+        )
+        self.modules[module.path] = module
+        if module.dotted is not None:
+            self.by_dotted[module.dotted] = module
+        for node in tree.body:
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    module.imports[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                for alias in node.names:
+                    module.imports[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+            elif isinstance(node, ast.ClassDef):
+                cls_info = ClassInfo(
+                    module=module.path,
+                    name=node.name,
+                    node=node,
+                    bases=[dotted_name(base) for base in node.bases],
+                    layout=_harvest(node, source),
+                )
+                module.classes[node.name] = cls_info
+                self.classes[cls_info.key] = cls_info
+                self.class_names.setdefault(node.name, []).append(cls_info)
+                _collect_functions(module, node.body, cls_info, self)
+        _collect_functions(module, tree.body, None, self)
+        for cls_info in module.classes.values():
+            _harvest_attr_facts(cls_info)
+        return module
+
+    # ------------------------------------------------------------ resolution
+    def resolve_class(self, name: str, module: ModuleInfo) -> ClassInfo | None:
+        """Resolve a (possibly dotted) class name seen inside ``module``."""
+        if not name:
+            return None
+        simple = name.rsplit(".", maxsplit=1)[-1]
+        local = module.classes.get(simple)
+        if local is not None and name in (simple, local.name):
+            return local
+        head = name.split(".", maxsplit=1)[0]
+        dotted = module.imports.get(head)
+        if dotted is not None:
+            # ``from pkg.mod import Cls`` -> pkg.mod.Cls; ``import pkg.mod``
+            # followed by ``pkg.mod.Cls`` -> pkg.mod + .Cls.
+            full = dotted + name[len(head):]
+            target_module, _, target_cls = full.rpartition(".")
+            found = self.by_dotted.get(target_module)
+            if found is not None and target_cls in found.classes:
+                return found.classes[target_cls]
+        # Unique global simple-name match (the repo is one codebase).
+        candidates = self.class_names.get(simple, [])
+        if len(candidates) == 1:
+            return candidates[0]
+        return None
+
+    def subclasses(self, cls_info: ClassInfo) -> list[ClassInfo]:
+        """Every transitive repo subclass of ``cls_info``."""
+        if self._subclasses is None:
+            table: dict[str, list[ClassInfo]] = {}
+            for candidate in self.classes.values():
+                module = self.modules[candidate.module]
+                for base in candidate.bases:
+                    resolved = self.resolve_class(base, module)
+                    if resolved is not None:
+                        table.setdefault(resolved.key, []).append(candidate)
+            self._subclasses = table
+        out: list[ClassInfo] = []
+        frontier = list(self._subclasses.get(cls_info.key, []))
+        seen = {cls_info.key}
+        while frontier:
+            current = frontier.pop()
+            if current.key in seen:
+                continue
+            seen.add(current.key)
+            out.append(current)
+            frontier.extend(self._subclasses.get(current.key, []))
+        return out
+
+    def implementations(self, cls_info: ClassInfo) -> list[ClassInfo]:
+        """``cls_info`` plus every repo subclass (dynamic-dispatch targets)."""
+        return [cls_info, *self.subclasses(cls_info)]
+
+    def ancestors(self, cls_info: ClassInfo) -> list[ClassInfo]:
+        """Every resolvable transitive base class."""
+        out: list[ClassInfo] = []
+        seen = {cls_info.key}
+        frontier = [cls_info]
+        while frontier:
+            current = frontier.pop()
+            module = self.modules[current.module]
+            for base in current.bases:
+                resolved = self.resolve_class(base, module)
+                if resolved is not None and resolved.key not in seen:
+                    seen.add(resolved.key)
+                    out.append(resolved)
+                    frontier.append(resolved)
+        return out
+
+    def find_methods(self, cls_info: ClassInfo, name: str) -> list[FunctionInfo]:
+        """Every definition of method ``name`` across the class hierarchy.
+
+        Union over the class itself, its ancestors, and its repo subclasses
+        — the conservative answer under dynamic dispatch.
+        """
+        out: list[FunctionInfo] = []
+        for candidate in (
+            cls_info,
+            *self.ancestors(cls_info),
+            *self.subclasses(cls_info),
+        ):
+            info = candidate.methods.get(name)
+            if info is not None:
+                out.append(info)
+        return out
+
+    def attr_classes(self, cls_info: ClassInfo, attr: str) -> list[ClassInfo]:
+        """Dispatch targets for ``self.<attr>``: declared type + subclasses."""
+        raw = cls_info.attr_types.get(attr)
+        if raw is None:
+            return []
+        resolved = self.resolve_class(raw, self.modules[cls_info.module])
+        if resolved is None:
+            return []
+        return self.implementations(resolved)
+
+    def lock_id(self, cls_info: ClassInfo, attr: str) -> LockId | None:
+        """The :class:`LockId` of ``self.<attr>`` within ``cls_info``."""
+        base = cls_info.layout.base(attr)
+        if base in cls_info.layout.locks:
+            return LockId(
+                module=canonical_path(cls_info.module),
+                cls=cls_info.name,
+                attr=base,
+                line=cls_info.layout.decl_lines.get(base, 0),
+                reentrant=base in cls_info.layout.reentrant,
+            )
+        for ancestor in self.ancestors(cls_info):
+            inherited = ancestor.layout.base(attr)
+            if inherited in ancestor.layout.locks:
+                return LockId(
+                    module=canonical_path(ancestor.module),
+                    cls=ancestor.name,
+                    attr=inherited,
+                    line=ancestor.layout.decl_lines.get(inherited, 0),
+                    reentrant=inherited in ancestor.layout.reentrant,
+                )
+        return None
+
+    def iter_lock_ids(self) -> Iterator[LockId]:
+        """Every lock declaration in the program."""
+        for cls_info in self.classes.values():
+            for attr in sorted(cls_info.layout.locks):
+                lid = self.lock_id(cls_info, attr)
+                if lid is not None:
+                    yield lid
+
+
+def build_program(sources: Iterable[SourceFile]) -> Program:
+    """Parse every source and assemble the whole-program model.
+
+    Unparseable files are skipped — the per-file runner already reports
+    them as ``parse-error`` findings.
+    """
+    program = Program()
+    for source in sources:
+        try:
+            tree = ast.parse(source.text, filename=source.path)
+        except SyntaxError:
+            continue
+        program.add_module(source, tree)
+    return program

@@ -1,0 +1,269 @@
+"""The interprocedural rule families over the call/acquisition graphs.
+
+``lock-order-cycle``
+    A cycle in the lock-acquisition-order graph (including a non-reentrant
+    self-loop): two call paths that acquire the same locks in opposite
+    orders can deadlock.  Reported once per cycle with every edge's witness
+    path.
+``async-blocking-call``
+    A coroutine transitively reaches a blocking primitive through sync call
+    edges: ``time.sleep``, ``sqlite3`` calls (or any call on a harvested
+    ``sqlite3.connect`` handle), file-handle I/O, ``Future.result()`` /
+    ``.exception()``, ``Thread.join()``, ``Condition``/``Event.wait()``, or
+    an explicit lock ``.acquire()``.  ``with``-statement acquisitions of
+    annotation-declared locks are deliberately exempt — the lexical
+    ``lock-io-held`` rule already bounds those critical sections to memory
+    operations.
+``thread-escape``
+    ``self.<attr>`` written from a thread entry point (a ``Thread`` target,
+    ``pool.submit``/``run_in_executor`` function argument, or anything the
+    entry reaches through same-class calls and nested defs) without a
+    ``# guarded-by:`` annotation and without any lock held.
+``holds-transitive``
+    A cross-object call (``self.<obj>.<method>()``) into a ``# holds:``
+    method without the callee's lock in the propagated held-set.  Same-class
+    calls stay with the lexical ``lock-holds-caller`` rule.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.base import Finding, ProgramChecker, register_program
+from repro.analysis.interproc.callgraph import CallGraph, Edge
+from repro.analysis.interproc.model import LockId, Program, canonical_path
+
+__all__ = ["InterprocChecker"]
+
+
+def _sccs(
+    nodes: list[LockId], adjacency: dict[LockId, set[LockId]]
+) -> list[list[LockId]]:
+    """Tarjan strongly connected components (deterministic node order)."""
+    index: dict[LockId, int] = {}
+    lowlink: dict[LockId, int] = {}
+    on_stack: set[LockId] = set()
+    stack: list[LockId] = []
+    out: list[list[LockId]] = []
+    counter = [0]
+
+    def strongconnect(node: LockId) -> None:
+        index[node] = lowlink[node] = counter[0]
+        counter[0] += 1
+        stack.append(node)
+        on_stack.add(node)
+        for neighbor in sorted(adjacency.get(node, ()), key=_lock_sort):
+            if neighbor not in index:
+                strongconnect(neighbor)
+                lowlink[node] = min(lowlink[node], lowlink[neighbor])
+            elif neighbor in on_stack:
+                lowlink[node] = min(lowlink[node], index[neighbor])
+        if lowlink[node] == index[node]:
+            component: list[LockId] = []
+            while True:
+                member = stack.pop()
+                on_stack.discard(member)
+                component.append(member)
+                if member == node:
+                    break
+            out.append(component)
+
+    for node in sorted(nodes, key=_lock_sort):
+        if node not in index:
+            strongconnect(node)
+    return out
+
+
+def _lock_sort(lock: LockId) -> tuple[str, str, str]:
+    return (lock.module, lock.cls, lock.attr)
+
+
+def _find_cycle(
+    start: LockId, component: set[LockId], adjacency: dict[LockId, set[LockId]]
+) -> list[LockId]:
+    """One simple cycle through ``start`` inside its SCC."""
+    path = [start]
+    visited = {start}
+    while True:
+        current = path[-1]
+        advanced = False
+        for neighbor in sorted(
+            adjacency.get(current, ()) & component, key=_lock_sort
+        ):
+            if neighbor == start and len(path) > 1:
+                return path
+            if neighbor not in visited:
+                path.append(neighbor)
+                visited.add(neighbor)
+                advanced = True
+                break
+        if not advanced:  # pragma: no cover - SCC guarantees a way back
+            path.pop()
+            if not path:
+                return [start]
+
+
+@register_program
+class InterprocChecker(ProgramChecker):
+    name = "interproc"
+    description = (
+        "whole-program lock-order cycles, coroutine blocking-call reach, "
+        "thread-escaped writes, and cross-object holds propagation"
+    )
+    rules = (
+        "lock-order-cycle",
+        "async-blocking-call",
+        "thread-escape",
+        "holds-transitive",
+    )
+
+    def check_program(self, program: Program) -> Iterator[Finding]:
+        graph = CallGraph(program)
+        yield from self._lock_order_cycles(graph)
+        yield from self._async_blocking(graph)
+        yield from self._thread_escape(program, graph)
+        yield from self._holds_transitive(program, graph)
+
+    # ------------------------------------------------------- lock-order-cycle
+    def _lock_order_cycles(self, graph: CallGraph) -> Iterator[Finding]:
+        adjacency: dict[LockId, set[LockId]] = {}
+        nodes: set[LockId] = set()
+        for (src, dst), _edge in graph.edges.items():
+            nodes.update((src, dst))
+            if src != dst:
+                adjacency.setdefault(src, set()).add(dst)
+        for (src, dst), edge in sorted(
+            graph.edges.items(), key=lambda item: (item[1].path, item[1].line)
+        ):
+            if src != dst:
+                continue
+            yield Finding(
+                rule="lock-order-cycle",
+                message=(
+                    f"self-deadlock: non-reentrant lock {dst.name} "
+                    f"({dst.site}) is acquired while already held; "
+                    f"witness: {edge.witness}"
+                ),
+                path=edge.path,
+                line=edge.line,
+            )
+        for component in _sccs(sorted(nodes, key=_lock_sort), adjacency):
+            if len(component) < 2:
+                continue
+            members = set(component)
+            start = min(component, key=_lock_sort)
+            cycle = _find_cycle(start, members, adjacency)
+            cycle_edges: list[Edge] = []
+            for position, lock in enumerate(cycle):
+                successor = cycle[(position + 1) % len(cycle)]
+                cycle_edges.append(graph.edges[(lock, successor)])
+            order = " -> ".join(lock.name for lock in cycle)
+            witnesses = "; ".join(
+                f"[{edge.src.name} -> {edge.dst.name}] {edge.witness}"
+                for edge in cycle_edges
+            )
+            anchor = cycle_edges[0]
+            yield Finding(
+                rule="lock-order-cycle",
+                message=(
+                    f"potential deadlock: lock acquisition order cycle "
+                    f"{order} -> {cycle[0].name}; {witnesses}"
+                ),
+                path=anchor.path,
+                line=anchor.line,
+            )
+
+    # --------------------------------------------------- async-blocking-call
+    def _async_blocking(self, graph: CallGraph) -> Iterator[Finding]:
+        for key, summary in sorted(graph.summaries.items()):
+            fn = summary.fn
+            if not fn.is_async or fn.nested_in is not None:
+                continue
+            chain = graph.blocking_chain(key)
+            if chain is None:
+                continue
+            step = graph.block_steps[key]
+            assert step is not None
+            yield Finding(
+                rule="async-blocking-call",
+                message=(
+                    f"coroutine '{fn.qualname}' reaches a blocking call on "
+                    f"the event loop: {' -> '.join(chain)} "
+                    "(run it in an executor instead)"
+                ),
+                path=fn.module,
+                line=step.line,
+            )
+
+    # ---------------------------------------------------------- thread-escape
+    def _thread_escape(
+        self, program: Program, graph: CallGraph
+    ) -> Iterator[Finding]:
+        reported: set[tuple[str, int, str]] = set()
+        for summary, spawn, entry_key in graph.iter_spawn_entries():
+            entry = program.functions[entry_key]
+            if entry.cls is None:
+                continue  # module-level targets share no ``self`` state
+            for member_key in graph.same_class_closure(entry_key):
+                member = program.functions[member_key]
+                member_summary = graph.summaries[member_key]
+                if member.cls is None or member.name == "__init__":
+                    continue
+                for write in member_summary.writes:
+                    if write.held:
+                        continue
+                    if write.attr in member.cls.layout.guarded:
+                        continue  # the lexical guarded-attr rule owns it
+                    dedup = (member.module, write.line, write.attr)
+                    if dedup in reported:
+                        continue
+                    reported.add(dedup)
+                    yield Finding(
+                        rule="thread-escape",
+                        message=(
+                            f"'self.{write.attr}' is written on the thread "
+                            f"spawned at "
+                            f"{canonical_path(summary.fn.module)}:{spawn.line}"
+                            f" ({spawn.desc}, entry '{entry.qualname}') "
+                            "without a '# guarded-by:' annotation or any "
+                            "lock held"
+                        ),
+                        path=member.module,
+                        line=write.line,
+                    )
+
+    # ------------------------------------------------------- holds-transitive
+    def _holds_transitive(
+        self, program: Program, graph: CallGraph
+    ) -> Iterator[Finding]:
+        reported: set[tuple[str, int, str]] = set()
+        for key, summary in sorted(graph.summaries.items()):
+            for call in summary.calls:
+                if call.kind != "attr":
+                    continue
+                for callee_key in call.callees:
+                    callee = program.functions[callee_key]
+                    if callee.cls is None:
+                        continue
+                    holds = callee.cls.layout.holds_methods.get(callee.name)
+                    if holds is None:
+                        continue
+                    lock = program.lock_id(callee.cls, holds)
+                    if lock is None or lock in call.held:
+                        continue
+                    dedup = (summary.fn.module, call.line, callee.qualname)
+                    if dedup in reported:
+                        continue
+                    reported.add(dedup)
+                    yield Finding(
+                        rule="holds-transitive",
+                        message=(
+                            f"'{call.desc}()' enters '# holds: {holds}' "
+                            f"method '{callee.qualname}' without "
+                            f"{lock.name} held on the propagated call "
+                            "chain (acquire it at the call site or drop "
+                            "the precondition)"
+                        ),
+                        path=summary.fn.module,
+                        line=call.line,
+                    )

@@ -1,0 +1,173 @@
+"""Cross-check the static acquisition graph against the runtime witness.
+
+The lockcheck pytest plugin (``tests/plugins/lockcheck.py``) records every
+actual lock-acquisition order it observes while the instrumented tests run
+and dumps them as ``reports/lock_order_witness.json`` — each edge keyed by
+the *creation sites* of the two locks (file + ``threading.Lock()`` line),
+which is exactly the identity :class:`~repro.analysis.interproc.model.LockId`
+carries for every statically harvested lock declaration.
+
+The cross-check answers two questions:
+
+* **Soundness** — is every *observed* edge between ``src/repro`` locks
+  present in the static graph?  A miss means the analyzer is lying or the
+  code grew an unmodeled lock, and fails CI.
+* **Coverage** — which statically predicted edges were actually observed?
+  Unobserved edges are reported (not failed): the static graph is allowed
+  to over-approximate.
+
+Edges with an endpoint outside ``src/repro`` (stdlib pools, locks created
+directly by tests) are out of scope and skipped.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping
+
+from repro.analysis.interproc.callgraph import CallGraph, Edge
+from repro.analysis.interproc.model import LockId, Program, canonical_path
+
+__all__ = ["WitnessEdge", "CrossCheck", "load_witness", "cross_check"]
+
+#: Version of the witness JSON schema (written by the lockcheck plugin).
+WITNESS_SCHEMA_VERSION = 1
+
+#: Canonical path prefix of the locks the static graph models.
+_SCOPE_PREFIX = "src/repro/"
+
+
+@dataclass(frozen=True)
+class WitnessEdge:
+    """One runtime-observed acquisition order between two lock sites."""
+
+    src_path: str
+    src_line: int
+    dst_path: str
+    dst_line: int
+    count: int = 1
+
+    @property
+    def src_site(self) -> tuple[str, int]:
+        return (self.src_path, self.src_line)
+
+    @property
+    def dst_site(self) -> tuple[str, int]:
+        return (self.dst_path, self.dst_line)
+
+    def render(self) -> str:
+        return (
+            f"{self.src_path}:{self.src_line} -> "
+            f"{self.dst_path}:{self.dst_line} (x{self.count})"
+        )
+
+
+@dataclass
+class CrossCheck:
+    """Outcome of one witness-vs-graph comparison."""
+
+    #: Static edges confirmed by at least one runtime observation.
+    observed: list[Edge] = field(default_factory=list)
+    #: Static edges never observed (over-approximation is allowed).
+    unobserved: list[Edge] = field(default_factory=list)
+    #: Soundness violations: observed-but-unmodeled edges or lock sites.
+    problems: list[str] = field(default_factory=list)
+    #: Witness edges outside the ``src/repro`` modeling scope.
+    n_skipped: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    def summary(self) -> str:
+        return (
+            f"witness cross-check: {len(self.observed)} static edges "
+            f"observed, {len(self.unobserved)} unobserved, "
+            f"{len(self.problems)} unmodeled, {self.n_skipped} out-of-scope"
+        )
+
+
+def load_witness(path: str | Path) -> list[WitnessEdge]:
+    """Parse a lockcheck witness file into edges."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    return parse_witness(payload)
+
+
+def parse_witness(payload: Mapping[str, object]) -> list[WitnessEdge]:
+    version = payload.get("schema_version")
+    if version != WITNESS_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported lock witness schema {version!r} "
+            f"(expected {WITNESS_SCHEMA_VERSION})"
+        )
+    edges_payload = payload.get("edges", [])
+    assert isinstance(edges_payload, list)
+    edges: list[WitnessEdge] = []
+    for item in edges_payload:
+        src = item["src"]
+        dst = item["dst"]
+        edges.append(
+            WitnessEdge(
+                src_path=canonical_path(str(src["path"])),
+                src_line=int(src["line"]),
+                dst_path=canonical_path(str(dst["path"])),
+                dst_line=int(dst["line"]),
+                count=int(item.get("count", 1)),
+            )
+        )
+    return edges
+
+
+def cross_check(
+    program: Program, graph: CallGraph, witness: list[WitnessEdge]
+) -> CrossCheck:
+    """Classify static edges and detect observed-but-unmodeled ones."""
+    result = CrossCheck()
+    lock_sites: dict[tuple[str, int], LockId] = {
+        (lock.module, lock.line): lock
+        for lock in program.iter_lock_ids()
+        if lock.line > 0
+    }
+    static_edges = graph.edge_sites()
+    observed_sites: set[tuple[tuple[str, int], tuple[str, int]]] = set()
+    for edge in witness:
+        in_scope = edge.src_path.startswith(_SCOPE_PREFIX) and (
+            edge.dst_path.startswith(_SCOPE_PREFIX)
+        )
+        if not in_scope:
+            result.n_skipped += 1
+            continue
+        missing = [
+            site
+            for site in (edge.src_site, edge.dst_site)
+            if site not in lock_sites
+        ]
+        if missing:
+            sites = ", ".join(f"{path}:{line}" for path, line in missing)
+            result.problems.append(
+                f"observed lock creation site(s) with no static "
+                f"declaration: {sites} (edge {edge.render()})"
+            )
+            continue
+        key = (edge.src_site, edge.dst_site)
+        if key not in static_edges:
+            src = lock_sites[edge.src_site]
+            dst = lock_sites[edge.dst_site]
+            result.problems.append(
+                f"observed acquisition edge {src.name} -> {dst.name} "
+                f"({edge.render()}) is missing from the static graph — "
+                "the analyzer missed a call path or the code grew an "
+                "unmodeled lock order"
+            )
+            continue
+        observed_sites.add(key)
+    for key, edge_info in sorted(
+        static_edges.items(), key=lambda item: (item[1].path, item[1].line)
+    ):
+        if key in observed_sites:
+            result.observed.append(edge_info)
+        else:
+            result.unobserved.append(edge_info)
+    return result

@@ -20,10 +20,20 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Mapping, Sequence
 
-from repro.analysis.base import Checker, Finding, SourceFile, all_checkers, iter_rules
+from repro.analysis.base import (
+    Checker,
+    Finding,
+    SourceFile,
+    all_checkers,
+    all_program_checkers,
+    iter_rules,
+)
 
 #: Version of the JSON report schema (bump on breaking shape changes).
 REPORT_SCHEMA_VERSION = 1
+
+#: Version of the baseline-ratchet JSON schema.
+BASELINE_SCHEMA_VERSION = 1
 
 #: Paths scanned when the CLI gets none (relative to the working directory).
 DEFAULT_PATHS: tuple[str, ...] = ("src/repro", "scripts", "benchmarks")
@@ -156,15 +166,106 @@ def analyze_file(
 
 
 def analyze_paths(
-    paths: Sequence[str | Path], checkers: Sequence[Checker] | None = None
+    paths: Sequence[str | Path],
+    checkers: Sequence[Checker] | None = None,
+    *,
+    interproc: bool = False,
 ) -> Report:
-    """Analyze every Python file under ``paths`` into one report."""
+    """Analyze every Python file under ``paths`` into one report.
+
+    With ``interproc=True`` a whole-program model is built from the same
+    file set and every registered program checker runs over it; their
+    findings go through the same per-file suppression overlay.
+    """
     resolved = checkers if checkers is not None else all_checkers()
     report = Report()
+    sources: dict[str, SourceFile] = {}
     for file_path in iter_python_files(paths):
         report.n_files += 1
-        report.findings.extend(analyze_file(file_path, resolved))
+        text = Path(file_path).read_text(encoding="utf-8")
+        source = SourceFile.read(str(file_path), text)
+        sources[source.path] = source
+        report.findings.extend(analyze_source(source, resolved))
+    if interproc:
+        report.findings.extend(analyze_program(sources))
     return report
+
+
+def analyze_program(sources: Mapping[str, SourceFile]) -> list[Finding]:
+    """Run the whole-program checkers and overlay suppressions."""
+    from repro.analysis.interproc.model import build_program
+
+    program = build_program(sources.values())
+    findings: list[Finding] = []
+    for checker in all_program_checkers():
+        findings.extend(checker.check_program(program))
+    findings.sort(key=lambda finding: (finding.path, finding.line, finding.col))
+    out: list[Finding] = []
+    for finding in findings:
+        source = sources.get(finding.path)
+        suppressed = source.is_suppressed(finding) if source is not None else False
+        out.append(
+            Finding(
+                rule=finding.rule,
+                message=finding.message,
+                path=finding.path,
+                line=finding.line,
+                col=finding.col,
+                suppressed=suppressed,
+            )
+        )
+    return out
+
+
+# ------------------------------------------------------------- baseline ratchet
+def baseline_counts(findings: Sequence[Finding]) -> dict[str, int]:
+    """Active findings bucketed by ``"<rule>::<path>"`` ratchet keys."""
+    counts: dict[str, int] = {}
+    for finding in findings:
+        if finding.suppressed:
+            continue
+        key = f"{finding.rule}::{finding.path}"
+        counts[key] = counts.get(key, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def write_baseline(path: str | Path, report: Report) -> None:
+    """Snapshot the report's active findings as a ratchet baseline."""
+    payload = {
+        "schema_version": BASELINE_SCHEMA_VERSION,
+        "counts": baseline_counts(report.findings),
+    }
+    destination = Path(path)
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    destination.write_text(
+        json.dumps(payload, indent=2, sort_keys=False) + "\n", encoding="utf-8"
+    )
+
+
+def load_baseline(path: str | Path) -> dict[str, int]:
+    """Read a ratchet baseline written by :func:`write_baseline`."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    version = payload.get("schema_version")
+    if version != BASELINE_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported repro-lint baseline schema {version!r} "
+            f"(expected {BASELINE_SCHEMA_VERSION})"
+        )
+    counts = payload.get("counts", {})
+    assert isinstance(counts, dict)
+    return {str(key): int(value) for key, value in counts.items()}
+
+
+def new_versus_baseline(
+    report: Report, baseline: Mapping[str, int]
+) -> dict[str, int]:
+    """Ratchet keys whose active count exceeds the baseline (the regressions)."""
+    current = baseline_counts(report.findings)
+    return {
+        key: count - baseline.get(key, 0)
+        for key, count in current.items()
+        if count > baseline.get(key, 0)
+    }
 
 
 # ------------------------------------------------------------------------ CLI
@@ -177,6 +278,21 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--strict", action="store_true",
         help="exit 1 when any unsuppressed finding remains (the CI gate)",
+    )
+    parser.add_argument(
+        "--interproc", action="store_true",
+        help="also run the whole-program pass (call graph, lock-order "
+        "cycles, async-blocking reach, thread-escape, holds propagation)",
+    )
+    parser.add_argument(
+        "--baseline", metavar="PATH", default=None,
+        help="ratchet mode: fail (in --strict) only on findings beyond the "
+        "per-(rule, path) counts recorded in this baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline", metavar="PATH", default=None,
+        help="snapshot the current active findings as a ratchet baseline "
+        "to PATH and exit 0",
     )
     parser.add_argument(
         "--json", metavar="PATH", default=None,
@@ -204,7 +320,14 @@ def run(args: argparse.Namespace) -> int:
     if missing:
         print(f"error: no such path: {', '.join(missing)}", file=sys.stderr)
         return 2
-    report = analyze_paths(args.paths)
+    report = analyze_paths(args.paths, interproc=args.interproc)
+    if args.write_baseline:
+        write_baseline(args.write_baseline, report)
+        print(
+            f"repro-lint: baseline of {len(report.active)} active findings "
+            f"written to {args.write_baseline}"
+        )
+        return 0
     if args.json:
         destination = Path(args.json)
         destination.parent.mkdir(parents=True, exist_ok=True)
@@ -215,13 +338,29 @@ def run(args: argparse.Namespace) -> int:
     shown = report.findings if args.show_suppressed else report.active
     for finding in shown:
         print(finding.render())
+    regressions: dict[str, int] | None = None
+    if args.baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except FileNotFoundError:
+            print(f"error: no such baseline: {args.baseline}", file=sys.stderr)
+            return 2
+        regressions = new_versus_baseline(report, baseline)
+        for key, excess in regressions.items():
+            rule, _, path = key.partition("::")
+            print(f"new vs baseline: [{rule}] {path} (+{excess})")
     summary = (
         f"repro-lint: {report.n_files} files, {len(report.active)} findings"
         f" ({len(report.suppressed)} suppressed)"
     )
+    if regressions is not None:
+        summary += f", {sum(regressions.values())} new vs baseline"
     print(summary)
-    if args.strict and not report.ok:
-        return 1
+    if args.strict:
+        if regressions is not None:
+            return 1 if regressions else 0
+        if not report.ok:
+            return 1
     return 0
 
 

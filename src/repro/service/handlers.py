@@ -211,6 +211,13 @@ class ServiceState:
                 "n_errors": self._n_errors,
                 "n_columns_annotated": self._n_columns_annotated,
             }
+        store = self.store
+        store_info: dict[str, object] | None = None
+        if store is not None:
+            # describe() counts rows under the store lock — sqlite I/O with
+            # a busy timeout, so it runs on a worker, never the event loop.
+            loop = asyncio.get_running_loop()
+            store_info = await loop.run_in_executor(self.pool, store.describe)
         stats = self.engine.stats
         payload: dict[str, object] = {
             "service": service,
@@ -225,7 +232,7 @@ class ServiceState:
                 "n_inflight_hits": stats.n_inflight_hits,
                 "n_resamples": stats.n_resamples,
             },
-            "store": None if self.store is None else self.store.describe(),
+            "store": store_info,
         }
         return json_response(payload)
 

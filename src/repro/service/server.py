@@ -83,7 +83,10 @@ class AnnotationService:
             task.cancel()
         if self._connections:
             await asyncio.gather(*self._connections, return_exceptions=True)
-        self.state.shutdown()
+        # shutdown() joins drainer threads and closes the store (sqlite/file
+        # I/O) — off the loop, and on the default executor because it also
+        # retires the service's own worker pool.
+        await loop.run_in_executor(None, self.state.shutdown)
 
     # ------------------------------------------------------------- framing
     async def _read_request(
@@ -250,7 +253,9 @@ async def serve_until(
     on_ready: "Callable[[AnnotationService], None] | None" = None,
 ) -> None:
     """Start a service, run until ``stop`` is set, then drain it."""
-    service = AnnotationService(config)
+    # One-time startup: the store's sqlite connect happens before the socket
+    # accepts traffic, so no request can be stalled behind it.
+    service = AnnotationService(config)  # repro-lint: disable=async-blocking-call
     await service.start()
     if on_ready is not None:
         on_ready(service)
@@ -323,12 +328,16 @@ class BackgroundServer:
         return f"http://{self.config.host}:{self.port}"
 
     def _run(self) -> None:
+        # Startup handshake: the four attributes below are written on the
+        # server thread strictly before ``self._ready.set()`` and read by the
+        # starter thread only after ``self._ready.wait()`` — the Event's
+        # release/acquire pairing orders them without a lock.
         async def _main() -> None:
-            self._loop = asyncio.get_running_loop()
-            self._stop = asyncio.Event()
+            self._loop = asyncio.get_running_loop()  # repro-lint: disable=thread-escape
+            self._stop = asyncio.Event()  # repro-lint: disable=thread-escape
 
             def announce(service: AnnotationService) -> None:
-                self.service = service
+                self.service = service  # repro-lint: disable=thread-escape
                 self._ready.set()
 
             await serve_until(self.config, self._stop, on_ready=announce)
@@ -336,7 +345,7 @@ class BackgroundServer:
         try:
             asyncio.run(_main())
         except BaseException as exc:  # noqa: BLE001 - surfaced via start()
-            self._error = exc
+            self._error = exc  # repro-lint: disable=thread-escape
             self._ready.set()
 
     def start(self) -> "BackgroundServer":

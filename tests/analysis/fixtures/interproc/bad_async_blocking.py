@@ -1,0 +1,27 @@
+"""Known-bad fixture: a coroutine reaching a blocking call two frames down.
+
+``SlowBridge.handle`` never blocks lexically — the ``time.sleep`` hides two
+sync calls below it, which is exactly what `async-blocking-call` must chase
+through the call graph.  ``handle_fast`` is the good twin: same shape, but
+the sync chain stays non-blocking.
+"""
+
+import time
+
+
+class SlowBridge:
+    async def handle(self, request):
+        return self._lookup(request)
+
+    def _lookup(self, request):
+        return self._fetch(request)
+
+    def _fetch(self, request):
+        time.sleep(0.1)  # blocks the event loop, two frames below handle()
+        return request
+
+    async def handle_fast(self, request):
+        return self._shape(request)
+
+    def _shape(self, request):
+        return {"request": request}

@@ -1,0 +1,33 @@
+"""Known-bad fixture: a ``# holds:`` method reached without its lock.
+
+``Manager.tick`` -> ``_relay`` -> ``worker.flush()`` crosses an object
+boundary into a ``# holds: _lock`` method with nothing held — the lexical
+per-class rule cannot see it, `holds-transitive` must.  ``guarded_tick`` is
+the good twin: it acquires the worker's lock at the call site.
+"""
+
+import threading
+
+
+class Worker:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._backlog = []  # guarded-by: _lock
+
+    def flush(self):  # holds: _lock
+        self._backlog.clear()
+
+
+class Manager:
+    def __init__(self, worker: "Worker") -> None:
+        self.worker = worker
+
+    def tick(self):
+        self._relay()
+
+    def _relay(self):
+        self.worker.flush()  # enters the holds-method with no lock held
+
+    def guarded_tick(self):
+        with self.worker._lock:
+            self.worker.flush()  # fine: the precondition is satisfied

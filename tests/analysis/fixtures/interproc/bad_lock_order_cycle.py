@@ -1,0 +1,58 @@
+"""Known-bad fixture: a lock-acquisition-order cycle across two classes.
+
+``Ledger.post`` takes ``Ledger._lock`` then ``Journal._lock`` (through
+``journal.append``); ``Journal.audit`` takes them in the opposite order
+(through ``ledger.balance``).  Interleaved, the two threads deadlock —
+the whole point of `lock-order-cycle`.
+
+``Counter`` adds the self-deadlock shape: a non-reentrant ``Lock``
+re-acquired through a helper call (see ``good_rlock_reentrant.py`` for the
+legal RLock twin).
+"""
+
+import threading
+
+
+class Ledger:
+    def __init__(self, journal: "Journal") -> None:
+        self._lock = threading.Lock()
+        self.journal = journal
+
+    def post(self, entry):
+        # Order: Ledger._lock -> Journal._lock.
+        with self._lock:
+            self.journal.append(entry)
+
+    def balance(self):
+        with self._lock:
+            return 0
+
+
+class Journal:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.ledger: "Ledger | None" = None
+
+    def append(self, entry):
+        with self._lock:
+            del entry
+
+    def audit(self):
+        # Order: Journal._lock -> Ledger._lock — the inverse of post().
+        with self._lock:
+            return self.ledger.balance()
+
+
+class Counter:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.value = 0
+
+    def bump(self):
+        with self._lock:
+            self._bump_locked()
+
+    def _bump_locked(self):
+        # Re-acquires the plain (non-reentrant) Lock the caller holds.
+        with self._lock:
+            self.value += 1

@@ -1,0 +1,24 @@
+"""Known-bad fixture: unguarded state written from a drainer thread.
+
+``Pump.start`` hands ``_loop`` to a thread; ``_loop`` writes
+``self.count`` with no ``# guarded-by:`` annotation and no lock held —
+the `thread-escape` hazard.  The write to ``self.safe`` is the good twin:
+annotated, and performed under its lock.
+"""
+
+import threading
+
+
+class Pump:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.count = 0
+        self.safe = 0  # guarded-by: _lock
+
+    def start(self):
+        threading.Thread(target=self._loop, daemon=True).start()
+
+    def _loop(self):
+        self.count = self.count + 1  # escapes: unannotated, no lock held
+        with self._lock:
+            self.safe = self.safe + 1  # fine: annotated and locked

@@ -1,0 +1,22 @@
+"""Known-good fixture: re-acquiring a held ``threading.RLock`` is legal.
+
+The same call shape as ``Counter`` in ``bad_lock_order_cycle.py`` — a
+helper re-acquires the lock its caller holds — but over an RLock, which is
+reentrant by definition.  The interprocedural pass must stay silent.
+"""
+
+import threading
+
+
+class ReentrantCounter:
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self.value = 0
+
+    def bump(self):
+        with self._lock:
+            self._bump_locked()
+
+    def _bump_locked(self):
+        with self._lock:  # legal: RLocks are reentrant
+            self.value += 1

@@ -162,3 +162,73 @@ class TestGuardedAttributes:
             "max_batch_size", "max_wait", "queue_depth",
             "_queue", "_inflight", "_cache", "_clones",
         }
+
+
+class TestWitnessRecording:
+    def test_factory_locks_carry_their_creation_site(self, instrumented):
+        lock = threading.Lock()
+        assert lock.site is not None
+        path, line = lock.site
+        assert path.endswith("test_lockcheck.py")
+        assert line > 0
+
+    def test_edges_record_sites_and_counts(self, instrumented):
+        a = threading.Lock()
+        b = threading.Lock()
+        for _ in range(3):
+            with a, b:
+                pass
+        (edge,) = instrumented.edge_sites
+        assert instrumented.edge_sites[edge] == (a.site, b.site)
+        assert instrumented.edge_counts[edge] == 3
+
+    def test_deactivate_folds_edges_into_the_witness(self, monkeypatch):
+        monkeypatch.setattr(lockcheck, "_WITNESS", {})
+        lockcheck.activate()
+        try:
+            a = threading.Lock()
+            b = threading.Lock()
+            with a, b:
+                pass
+        finally:
+            lockcheck.deactivate()
+        assert lockcheck._WITNESS == {(a.site, b.site): 1}
+
+    def test_siteless_locks_are_dropped_from_the_witness(self, monkeypatch):
+        monkeypatch.setattr(lockcheck, "_WITNESS", {})
+        registry = lockcheck.activate()
+        try:
+            anon = InstrumentedLock(registry, name="anon")  # no factory, no site
+            named = threading.Lock()
+            with anon, named:
+                pass
+        finally:
+            lockcheck.deactivate()
+        assert lockcheck._WITNESS == {}
+
+    def test_write_witness_round_trips_through_the_checker(self, tmp_path, monkeypatch):
+        site_a = ("/repo/src/repro/core/scheduler.py", 319)
+        site_b = ("/repo/src/repro/core/store.py", 135)
+        monkeypatch.setattr(lockcheck, "_WITNESS", {(site_a, site_b): 26})
+        destination = tmp_path / "reports" / "witness.json"
+        lockcheck.write_witness(destination)
+
+        from repro.analysis.interproc.witness import load_witness
+
+        (edge,) = load_witness(destination)
+        assert edge.src_site == ("src/repro/core/scheduler.py", 319)
+        assert edge.dst_site == ("src/repro/core/store.py", 135)
+        assert edge.count == 26
+
+    def test_witness_env_var_extends_instrumentation_scope(self, monkeypatch, tmp_path):
+        class FakeItem:
+            def __init__(self, name: str) -> None:
+                self.path = tmp_path / name
+
+        plugin = lockcheck.LockCheckPlugin()
+        monkeypatch.delenv("LOCKCHECK_WITNESS", raising=False)
+        assert plugin._applies(FakeItem("test_scheduler.py"))
+        assert not plugin._applies(FakeItem("test_endpoints.py"))
+        monkeypatch.setenv("LOCKCHECK_WITNESS", str(tmp_path / "w.json"))
+        assert plugin._applies(FakeItem("test_endpoints.py"))
+        assert not plugin._applies(FakeItem("test_cli.py"))

@@ -49,9 +49,24 @@ RULE_FIXTURES = {
     "res-handle": "bad_resources.py",
 }
 
+INTERPROC_FIXTURES = Path(__file__).parent / "fixtures" / "interproc"
+
+#: Whole-program rule id -> its known-bad fixture (needs --interproc).
+INTERPROC_RULE_FIXTURES = {
+    "lock-order-cycle": "bad_lock_order_cycle.py",
+    "async-blocking-call": "bad_async_blocking.py",
+    "thread-escape": "bad_thread_escape.py",
+    "holds-transitive": "bad_holds_transitive.py",
+}
+
 
 def _rules_in(path: Path) -> set[str]:
     return {finding.rule for finding in analyze_file(path) if not finding.suppressed}
+
+
+def _interproc_rules_in(path: Path) -> set[str]:
+    report = analyze_paths([path], interproc=True)
+    return {f.rule for f in report.active}
 
 
 class TestCheckersFlagFixtures:
@@ -59,7 +74,8 @@ class TestCheckersFlagFixtures:
         registered = {
             rule for _, _, rules in iter_rules() for rule in rules
         }
-        assert registered == set(RULE_FIXTURES), (
+        expected = set(RULE_FIXTURES) | set(INTERPROC_RULE_FIXTURES)
+        assert registered == expected, (
             "every registered rule needs a known-bad fixture entry "
             "(and every fixture entry a registered rule)"
         )
@@ -69,6 +85,16 @@ class TestCheckersFlagFixtures:
     )
     def test_rule_flags_its_fixture(self, rule, fixture):
         assert rule in _rules_in(FIXTURES / fixture)
+
+    @pytest.mark.parametrize(
+        ("rule", "fixture"), sorted(INTERPROC_RULE_FIXTURES.items())
+    )
+    def test_interproc_rule_flags_its_fixture(self, rule, fixture):
+        assert rule in _interproc_rules_in(INTERPROC_FIXTURES / fixture)
+
+    def test_interproc_rules_need_the_flag(self):
+        bad = INTERPROC_FIXTURES / "bad_lock_order_cycle.py"
+        assert not _rules_in(bad), "whole-program rules must stay off per-file"
 
     def test_lock_fixture_finds_all_five_violations(self):
         findings = analyze_file(FIXTURES / "bad_lock_discipline.py")
@@ -190,7 +216,7 @@ class TestReportSchema:
         catalog = {
             rule for entry in payload["rules"] for rule in entry["rules"]
         }
-        assert catalog == set(RULE_FIXTURES)
+        assert catalog == set(RULE_FIXTURES) | set(INTERPROC_RULE_FIXTURES)
 
 
 class TestRunner:
@@ -218,7 +244,7 @@ class TestRunner:
     def test_list_rules(self, capsys):
         assert lint_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule in RULE_FIXTURES:
+        for rule in list(RULE_FIXTURES) + list(INTERPROC_RULE_FIXTURES):
             assert rule in out
 
 
@@ -227,7 +253,12 @@ class TestRulesCatalogDoc:
         rules_md = (
             REPO_ROOT / "src" / "repro" / "analysis" / "RULES.md"
         ).read_text(encoding="utf-8")
-        for rule in list(RULE_FIXTURES) + [PARSE_ERROR_RULE]:
+        rules = (
+            list(RULE_FIXTURES)
+            + list(INTERPROC_RULE_FIXTURES)
+            + [PARSE_ERROR_RULE]
+        )
+        for rule in rules:
             assert f"`{rule}`" in rules_md, f"RULES.md missing {rule}"
         # The suppression syntax is documented verbatim.
         assert "repro-lint: disable=" in rules_md

@@ -23,12 +23,23 @@ conditions own a private RLock and are not tracked.
 The plugin instruments the modules in :data:`INSTRUMENTED_MODULES`
 automatically; the self-tests drive :func:`activate`/:func:`deactivate`
 directly and inject a deliberate inversion to prove detection works.
+
+When ``LOCKCHECK_WITNESS=<path>`` is set, every observed acquisition order
+is also accumulated across the whole run — keyed by the *creation sites* of
+the two locks (the file and line of the ``threading.Lock()`` call, the same
+identity the static interprocedural analyzer assigns) — and dumped as a
+JSON witness at session end.  ``scripts/lock_witness_check.py`` cross-checks
+that file against the static acquisition graph.  The env var additionally
+extends instrumentation to the service test modules (:data:`WITNESS_MODULES`)
+so the asyncio-service lock orders are witnessed too.
 """
 
 from __future__ import annotations
 
 import ast
 import inspect
+import json
+import os
 import threading
 from pathlib import Path
 from typing import Callable
@@ -37,6 +48,14 @@ from typing import Callable
 INSTRUMENTED_MODULES = frozenset(
     {"test_scheduler", "test_store", "test_querying_store"}
 )
+
+#: Additional stems instrumented only while witness recording is enabled.
+WITNESS_MODULES = frozenset(
+    {"test_admission", "test_concurrency", "test_drain_and_stats", "test_endpoints"}
+)
+
+#: A lock creation site: (absolute source path, line of the factory call).
+Site = tuple[str, int]
 
 
 class LockOrderViolation(AssertionError):
@@ -51,6 +70,11 @@ class LockRegistry:
         #: (id(first), id(second)) -> (first.name, second.name); the edge
         #: means "second was acquired while first was held".
         self.edges: dict[tuple[int, int], tuple[str, str]] = {}
+        #: Parallel to ``edges``: the creation sites of the two locks
+        #: (``None`` for locks constructed directly, without the factory).
+        self.edge_sites: dict[tuple[int, int], tuple[Site | None, Site | None]] = {}
+        #: Parallel to ``edges``: how many times each order was observed.
+        self.edge_counts: dict[tuple[int, int], int] = {}
         self.violations: list[str] = []
         self._local = threading.local()
 
@@ -81,6 +105,8 @@ class LockRegistry:
                         "can deadlock"
                     )
                 self.edges[edge] = (holder.name, lock.name)
+                self.edge_sites[edge] = (holder.site, lock.site)
+                self.edge_counts[edge] = self.edge_counts.get(edge, 0) + 1
         stack.append(lock)
 
     def on_release(self, lock: "InstrumentedLock") -> None:
@@ -92,10 +118,16 @@ class LockRegistry:
 class InstrumentedLock:
     """API-compatible ``threading.Lock`` wrapper feeding a registry."""
 
-    def __init__(self, registry: LockRegistry, name: str = "lock") -> None:
+    def __init__(
+        self,
+        registry: LockRegistry,
+        name: str = "lock",
+        site: Site | None = None,
+    ) -> None:
         self._inner = _REAL_LOCK()
         self._registry = registry
         self.name = name
+        self.site = site
 
     def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
         acquired = self._inner.acquire(blocking, timeout)
@@ -124,14 +156,14 @@ class InstrumentedLock:
 _REAL_LOCK = threading.Lock
 
 
-def _creation_site() -> str:
-    """``file.py:lineno`` of the frame that called ``threading.Lock()``."""
+def _creation_site() -> Site | None:
+    """Creation site of the frame that called ``threading.Lock()``."""
     frame = inspect.currentframe()
     try:
         caller = frame.f_back.f_back if frame and frame.f_back else None
         if caller is None:  # pragma: no cover - interpreter-dependent
-            return "lock"
-        return f"{Path(caller.f_code.co_filename).name}:{caller.f_lineno}"
+            return None
+        return (caller.f_code.co_filename, caller.f_lineno)
     finally:
         del frame
 
@@ -166,7 +198,9 @@ class _Instrumentation:
         registry = self.registry
 
         def lock_factory() -> InstrumentedLock:
-            return InstrumentedLock(registry, name=_creation_site())
+            site = _creation_site()
+            name = f"{Path(site[0]).name}:{site[1]}" if site else "lock"
+            return InstrumentedLock(registry, name=name, site=site)
 
         threading.Lock = lock_factory  # type: ignore[misc]
         self._undo.append(lambda: setattr(threading, "Lock", _REAL_LOCK))
@@ -212,6 +246,43 @@ class _Instrumentation:
 
 _ACTIVE: _Instrumentation | None = None
 
+#: Run-wide witness: (src site, dst site) -> observation count, folded in
+#: from each registry at deactivate().  Edges whose locks were built
+#: directly (no factory, so no site) carry no identity and are dropped.
+_WITNESS: dict[tuple[Site, Site], int] = {}
+
+
+def witness_path() -> Path | None:
+    """Target of ``LOCKCHECK_WITNESS``, or ``None`` when not recording."""
+    value = os.environ.get("LOCKCHECK_WITNESS")
+    return Path(value) if value else None
+
+
+def _fold_witness(registry: LockRegistry) -> None:
+    for edge, count in registry.edge_counts.items():
+        src, dst = registry.edge_sites[edge]
+        if src is None or dst is None:
+            continue
+        key = (src, dst)
+        _WITNESS[key] = _WITNESS.get(key, 0) + count
+
+
+def write_witness(path: Path) -> None:
+    """Dump the accumulated witness in the cross-checker's schema."""
+    payload = {
+        "schema_version": 1,
+        "edges": [
+            {
+                "src": {"path": src[0], "line": src[1]},
+                "dst": {"path": dst[0], "line": dst[1]},
+                "count": count,
+            }
+            for (src, dst), count in sorted(_WITNESS.items())
+        ],
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
 
 def activate(registry: LockRegistry | None = None) -> LockRegistry:
     """Switch instrumentation on; returns the registry collecting events."""
@@ -230,6 +301,7 @@ def deactivate() -> list[str]:
     if _ACTIVE is None:
         return []
     violations = list(_ACTIVE.registry.violations)
+    _fold_witness(_ACTIVE.registry)
     _ACTIVE.uninstall()
     _ACTIVE = None
     return violations
@@ -240,7 +312,11 @@ class LockCheckPlugin:
 
     def _applies(self, item) -> bool:
         path = getattr(item, "path", None)
-        return path is not None and path.stem in INSTRUMENTED_MODULES
+        if path is None:
+            return False
+        if path.stem in INSTRUMENTED_MODULES:
+            return True
+        return witness_path() is not None and path.stem in WITNESS_MODULES
 
     def pytest_runtest_setup(self, item) -> None:
         if self._applies(item):
@@ -255,3 +331,8 @@ class LockCheckPlugin:
                         len(violations), "\n  ".join(violations)
                     )
                 )
+
+    def pytest_sessionfinish(self, session, exitstatus) -> None:
+        path = witness_path()
+        if path is not None:
+            write_witness(path)
